@@ -1,0 +1,159 @@
+// Benchmarks regenerating every paper artifact (see DESIGN.md §4 and
+// EXPERIMENTS.md): one testing.B target per experiment E1..E12, plus
+// micro-benchmarks for the protocol's hot paths (detection rounds, history
+// checking, and the Theorem 5 rewriters).
+//
+// Run with: go test -bench=. -benchmem
+package failstop_test
+
+import (
+	"testing"
+
+	"failstop"
+	"failstop/internal/experiments"
+)
+
+// benchExperiment runs one experiment per iteration and fails the benchmark
+// if the paper's claim ever stops reproducing.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner := experiments.Registry()[id]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := runner(); !res.OK {
+			b.Fatalf("%s did not reproduce:\n%s", id, res)
+		}
+	}
+}
+
+// BenchmarkE1PerfectDetectorDilemma — Theorem 1: the timeout sweep showing
+// no timeout implements FS (false detections below the spike, missed
+// detections without one).
+func BenchmarkE1PerfectDetectorDilemma(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2ConditionCheck — Figure 1: the sFS conditions hold on 100% of
+// adversarial protocol runs; FS2 does not.
+func BenchmarkE2ConditionCheck(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3NecessaryConditions — Theorem 2: Conditions 1–3 on §5 runs vs
+// the unilateral strawman.
+func BenchmarkE3NecessaryConditions(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4Theorem3Counterexample — Theorem 3: the 4-process run that
+// satisfies Conditions 1–3 yet has no FS witness.
+func BenchmarkE4Theorem3Counterexample(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5Indistinguishability — Theorem 5: rewriting every sFS run to a
+// verified isomorphic FS run, by both algorithms.
+func BenchmarkE5Indistinguishability(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6WitnessNecessity — Theorem 6 / App. A.3: witness-free quorums
+// admit manufactured failed-before cycles.
+func BenchmarkE6WitnessNecessity(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7QuorumBound — Theorem 7: the ⌊n(t-1)/t⌋+1 bound is tight in
+// both directions across an (n, t) grid.
+func BenchmarkE7QuorumBound(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8ProgressBound — Corollary 8: minimum-quorum progress iff
+// n > t².
+func BenchmarkE8ProgressBound(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9ProtocolCost — §5 cost: Θ(n²) messages per failure event, one
+// round of latency.
+func BenchmarkE9ProtocolCost(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10Election — §1 election under sFS vs unilateral detection.
+func BenchmarkE10Election(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11LastToFail — §6 / Skeen: recovery misled by cyclic detection.
+func BenchmarkE11LastToFail(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12CheapModelTradeoff — §6: latency/cycle-rate trade-off between
+// sFS and the cheap model.
+func BenchmarkE12CheapModelTradeoff(b *testing.B) { benchExperiment(b, "E12") }
+
+// --- micro-benchmarks -----------------------------------------------------
+
+// BenchmarkDetectionRound measures one full §5 detection round (suspicion
+// to cluster-wide detection) at several cluster sizes.
+func BenchmarkDetectionRound(b *testing.B) {
+	for _, n := range []int{5, 10, 20, 40} {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := failstop.NewCluster(failstop.Options{N: n, T: 2, Seed: int64(i)})
+				c.SuspectAt(5, 2, 1)
+				rep := c.Run()
+				if !rep.Quiescent {
+					b.Fatal("not quiescent")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckSFS measures checking the Figure 1 conditions on a recorded
+// history.
+func BenchmarkCheckSFS(b *testing.B) {
+	c := failstop.NewCluster(failstop.Options{N: 20, T: 3, Seed: 1})
+	c.SuspectAt(5, 2, 1)
+	c.SuspectAt(6, 4, 3)
+	h := c.Run().Abstract
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range failstop.CheckSFS(h) {
+			if !v.Holds {
+				b.Fatal(v)
+			}
+		}
+	}
+}
+
+// BenchmarkRewriteToFS measures constructing and verifying the Theorem 5
+// witness for a run with false detections.
+func BenchmarkRewriteToFS(b *testing.B) {
+	c := failstop.NewCluster(failstop.Options{N: 20, T: 3, Seed: 1})
+	c.SuspectAt(5, 2, 1)
+	c.SuspectAt(6, 4, 3)
+	h := c.Run().Abstract
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := failstop.RewriteToFS(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkA1GatingAblation — precise per-sender sFS2d gating vs the §5
+// literal rule.
+func BenchmarkA1GatingAblation(b *testing.B) { benchExperiment(b, "A1") }
+
+// BenchmarkA2QuorumPolicyAblation — fixed minimum quorums vs
+// wait-for-all-unsuspected.
+func BenchmarkA2QuorumPolicyAblation(b *testing.B) { benchExperiment(b, "A2") }
+
+// BenchmarkA3TransitivityExploration — §6 future work: transitivity of the
+// failed-before relation across protocols.
+func BenchmarkA3TransitivityExploration(b *testing.B) { benchExperiment(b, "A3") }

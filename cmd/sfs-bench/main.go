@@ -1,0 +1,70 @@
+// Command sfs-bench regenerates the paper-reproduction tables: one
+// experiment per theorem, figure, and worked example of the paper (the
+// E1..E12 index of DESIGN.md). Output is the data recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	sfs-bench                # run everything
+//	sfs-bench -run E7        # a single experiment
+//	sfs-bench -run E6,E7,E8  # a subset
+//	sfs-bench -list          # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"failstop/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("sfs-bench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		runIDs = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		list   = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	reg := experiments.Registry()
+	if *list {
+		for _, id := range experiments.IDs() {
+			res := reg[id]
+			_ = res
+			fmt.Fprintf(out, "%s\n", id)
+		}
+		return 0
+	}
+	ids := experiments.IDs()
+	if *runIDs != "" {
+		ids = strings.Split(*runIDs, ",")
+	}
+	failures := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, ok := reg[id]
+		if !ok {
+			fmt.Fprintf(out, "unknown experiment %q (have %v)\n", id, experiments.IDs())
+			return 2
+		}
+		res := runner()
+		fmt.Fprintln(out, res)
+		if !res.OK {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(out, "%d experiment(s) FAILED to reproduce\n", failures)
+		return 1
+	}
+	return 0
+}

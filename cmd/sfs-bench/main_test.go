@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-run", "E4"}, &out); code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "E4") || !strings.Contains(out.String(), "REPRODUCED") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestBenchSubset(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-run", "E4, E7"}, &out); code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "Theorem 3") || !strings.Contains(s, "Theorem 7") {
+		t.Errorf("output:\n%s", s)
+	}
+}
+
+func TestBenchList(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-list"}, &out); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, id := range []string{"E1", "E12"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestBenchUnknownID(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-run", "E99"}, &out); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+func TestBenchBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-nope"}, &out); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"failstop"
+	"failstop/internal/trace"
+)
+
+// writeScenarioTrace records a standard false-suspicion run to a file.
+func writeScenarioTrace(t *testing.T, path string) {
+	t.Helper()
+	c := failstop.NewCluster(failstop.Options{N: 5, T: 2, Seed: 1})
+	c.SuspectAt(10, 2, 1)
+	rep := c.Run()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, trace.Header{N: 5, T: 2, Protocol: "sfs", Seed: 1}, rep.History); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckValidTrace(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "trace.json")
+	writeScenarioTrace(t, in)
+	var out bytes.Buffer
+	if code := run([]string{"-in", in}, &out); code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+	for _, want := range []string{"history: valid", "Condition3: ok", "W: ok", "isomorphic fail-stop run constructed"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCheckWritesWitness(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "trace.json")
+	wit := filepath.Join(dir, "witness.json")
+	writeScenarioTrace(t, in)
+	var out bytes.Buffer
+	if code := run([]string{"-in", in, "-rewrite", wit}, &out); code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+	// The witness must itself be a readable trace satisfying FS.
+	wf, err := os.Open(wit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wf.Close()
+	_, h, err := trace.Read(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range failstop.CheckFS(h) {
+		if !v.Holds {
+			t.Errorf("witness: %s", v)
+		}
+	}
+}
+
+func TestCheckMissingAndBadInputs(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(nil, &out); code != 2 {
+		t.Errorf("no -in: exit = %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{"-in", "/nonexistent/zzz"}, &out); code != 1 {
+		t.Errorf("missing file: exit = %d, want 1", code)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not a trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-in", bad}, &out); code != 1 {
+		t.Errorf("bad trace: exit = %d, want 1", code)
+	}
+}

@@ -1,0 +1,141 @@
+// Command sfs-sim runs one deterministic simulation of the simulated
+// fail-stop protocol (or one of the paper's baselines) and reports the
+// property verdicts, optionally writing the recorded trace to a file for
+// offline checking with sfs-check.
+//
+// Usage:
+//
+//	sfs-sim -n 5 -t 2 -suspect 2:1@10 -o trace.json
+//	sfs-sim -n 10 -t 3 -protocol cheap -suspect 1:2@5 -suspect 2:1@5 -v
+//	sfs-sim -n 5 -t 2 -crash 1@5 -suspect 2:1@20 -heartbeat 0
+//
+// Injection syntax: -suspect i:j@t (process i suspects j at tick t),
+// -crash p@t (process p crashes at tick t); both repeatable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"failstop"
+	"failstop/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+type injections struct {
+	kind string // "suspect" or "crash"
+	vals []string
+}
+
+func (in *injections) String() string { return strings.Join(in.vals, ",") }
+func (in *injections) Set(s string) error {
+	in.vals = append(in.vals, s)
+	return nil
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("sfs-sim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		n        = fs.Int("n", 5, "number of processes")
+		t        = fs.Int("t", 2, "maximum failures, including erroneous detections")
+		protoStr = fs.String("protocol", "sfs", "protocol: sfs, cheap, or unilateral")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		maxTime  = fs.Int64("maxtime", 0, "virtual-time horizon (0 = run to quiescence)")
+		hbEvery  = fs.Int64("heartbeat", 0, "heartbeat interval in ticks (0 = no fd layer)")
+		hbTo     = fs.Int64("timeout", 0, "suspicion timeout in ticks (with -heartbeat)")
+		outPath  = fs.String("o", "", "write the recorded trace to this file (JSON lines)")
+		verbose  = fs.Bool("v", false, "print the full history")
+	)
+	suspects := &injections{kind: "suspect"}
+	crashes := &injections{kind: "crash"}
+	fs.Var(suspects, "suspect", "injection i:j@t — process i suspects j at tick t (repeatable)")
+	fs.Var(crashes, "crash", "injection p@t — process p crashes at tick t (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var proto failstop.Protocol
+	switch *protoStr {
+	case "sfs":
+		proto = failstop.SFS
+	case "cheap":
+		proto = failstop.Cheap
+	case "unilateral":
+		proto = failstop.Unilateral
+	default:
+		fmt.Fprintf(out, "unknown protocol %q\n", *protoStr)
+		return 2
+	}
+
+	if *hbEvery > 0 && *maxTime == 0 {
+		*maxTime = 5000 // heartbeats re-arm forever; pick a horizon
+	}
+	c := failstop.NewCluster(failstop.Options{
+		N: *n, T: *t, Protocol: proto, Seed: *seed, MaxTime: *maxTime,
+		HeartbeatEvery: *hbEvery, HeartbeatTimeout: *hbTo,
+	})
+	for _, s := range suspects.vals {
+		var i, j int
+		var at int64
+		if _, err := fmt.Sscanf(s, "%d:%d@%d", &i, &j, &at); err != nil {
+			fmt.Fprintf(out, "bad -suspect %q (want i:j@t): %v\n", s, err)
+			return 2
+		}
+		c.SuspectAt(at, failstop.ProcID(i), failstop.ProcID(j))
+	}
+	for _, s := range crashes.vals {
+		var p int
+		var at int64
+		if _, err := fmt.Sscanf(s, "%d@%d", &p, &at); err != nil {
+			fmt.Fprintf(out, "bad -crash %q (want p@t): %v\n", s, err)
+			return 2
+		}
+		c.CrashAt(at, failstop.ProcID(p))
+	}
+
+	rep := c.Run()
+	fmt.Fprintf(out, "run: n=%d t=%d protocol=%s seed=%d events=%d sent=%d delivered=%d quiescent=%v end=%d\n",
+		*n, *t, *protoStr, *seed, len(rep.History), rep.Sent, rep.Delivered, rep.Quiescent, rep.EndTime)
+	if *verbose {
+		fmt.Fprint(out, rep.History.String())
+	}
+	fmt.Fprintln(out, "verdicts:")
+	bad := false
+	for _, v := range rep.Verdicts {
+		fmt.Fprintf(out, "  %s\n", v)
+		if !v.Holds && v.Property != "FS2" {
+			bad = true
+		}
+	}
+	if _, err := failstop.RewriteToFS(rep.Abstract); err != nil {
+		fmt.Fprintf(out, "indistinguishability: NO isomorphic fail-stop run (%v)\n", err)
+	} else {
+		fmt.Fprintln(out, "indistinguishability: isomorphic fail-stop run constructed and verified")
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(out, "writing trace: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		hdr := trace.Header{N: *n, T: *t, Protocol: *protoStr, Seed: *seed}
+		if err := trace.Write(f, hdr, rep.History); err != nil {
+			fmt.Fprintf(out, "writing trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "trace written to %s\n", *outPath)
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}

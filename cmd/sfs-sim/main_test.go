@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBasicScenario(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-n", "5", "-t", "2", "-suspect", "2:1@10"}, &out)
+	if code != 0 {
+		t.Fatalf("exit = %d, output:\n%s", code, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"quiescent=true", "FS1: ok", "sFS2d: ok", "isomorphic fail-stop run constructed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunVerbosePrintsHistory(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-n", "3", "-t", "1", "-suspect", "2:1@5", "-v"}, &out); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "internal_2[suspect j=1]") {
+		t.Errorf("verbose output missing history:\n%s", out.String())
+	}
+}
+
+func TestRunWritesTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	if code := run([]string{"-n", "4", "-t", "1", "-suspect", "2:1@5", "-o", path}, &out); code != 0 {
+		t.Fatalf("exit = %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "trace written") {
+		t.Errorf("missing confirmation:\n%s", out.String())
+	}
+}
+
+func TestRunCheapProtocolAndCrash(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-n", "4", "-t", "2", "-protocol", "cheap", "-crash", "1@5", "-suspect", "2:1@20"}, &out)
+	if code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "protocol=cheap") {
+		t.Error("protocol not reported")
+	}
+}
+
+func TestRunHeartbeatMode(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-n", "4", "-t", "1", "-heartbeat", "10", "-timeout", "50", "-crash", "1@100"}, &out)
+	if code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "nope"},
+		{"-suspect", "garbage"},
+		{"-crash", "garbage"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if code := run(args, &out); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunUnilateralFailsVerdicts(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-n", "3", "-t", "1", "-protocol", "unilateral", "-suspect", "2:1@5"}, &out)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (sFS2a violated):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "sFS2a: VIOLATED") {
+		t.Errorf("expected sFS2a violation:\n%s", out.String())
+	}
+}

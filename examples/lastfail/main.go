@@ -1,0 +1,78 @@
+// Last process to fail (paper §6 / Skeen 1985): every process persists the
+// failures it detects to stable storage; after a total failure, recovery
+// looks for a process whose view covers everyone else.
+//
+// This example reproduces the paper's two-process anomaly under the cheap
+// model (cyclic detection allowed): process 1 falsely detects 2 and
+// crashes; 2 detects 1, works on, and finally crashes. BOTH stable stores
+// then claim "I detected the other" — a recovering process 1 would wrongly
+// conclude it was the last to fail. Under simulated fail-stop the cycle is
+// impossible and recovery is never misled.
+//
+// Run with: go run ./examples/lastfail
+package main
+
+import (
+	"fmt"
+
+	"failstop"
+	"failstop/internal/lastfail"
+)
+
+func run(proto failstop.Protocol, n, t int) {
+	stores := make([]*lastfail.Store, n+1)
+	cluster := failstop.NewCluster(failstop.Options{
+		N: n, T: t, Protocol: proto, Seed: 11, MinDelay: 5, MaxDelay: 60,
+		NewApp: func(p failstop.ProcID) failstop.App {
+			s := lastfail.NewStore(p)
+			stores[p] = s
+			return &lastfail.Recorder{Stable: s}
+		},
+	})
+	// Mutual false suspicion: the §6 story.
+	cluster.SuspectAt(1, 1, 2)
+	cluster.SuspectAt(5, 2, 1)
+	rep := cluster.Run()
+
+	// Everything eventually goes down (total failure); survivors' stores
+	// record their crash with the views they accumulated in the run.
+	for _, s := range stores[1:] {
+		s.Crashed = true
+	}
+	actual, _ := lastfail.ActualLast(rep.History)
+
+	fmt.Printf("--- protocol %v (n=%d) ---\n", proto, n)
+	for p := 1; p <= n; p++ {
+		fmt.Printf("  stable store of %d: detected %v\n", p, keys(stores[p]))
+	}
+	v := lastfail.Recover(stores[1:])
+	fmt.Printf("  recovery candidates: %v\n", v.Candidates)
+	if actual != 0 {
+		fmt.Printf("  actually crashed last in the run: %d\n", actual)
+	}
+	switch {
+	case lastfail.Misleading(v, actual):
+		fmt.Println("  verdict: MISLEADING — an early recoverer would draw the wrong conclusion")
+	case v.Known:
+		fmt.Printf("  verdict: correct — %d failed last\n", v.Last)
+	default:
+		fmt.Println("  verdict: unknown — recovery must wait for more processes (the safe §6 fallback)")
+	}
+	fmt.Println()
+}
+
+func keys(s *lastfail.Store) []failstop.ProcID {
+	var out []failstop.ProcID
+	for p := failstop.ProcID(1); int(p) <= 16; p++ {
+		if s.Detected[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func main() {
+	fmt.Println("determining the last process to fail, two failure models:")
+	run(failstop.Cheap, 2, 2) // the §6 anomaly
+	run(failstop.SFS, 5, 2)   // acyclic detection: never misled
+}

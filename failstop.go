@@ -1,0 +1,288 @@
+// Package failstop is a Go implementation of Sabel & Marzullo, "Simulating
+// Fail-Stop in Asynchronous Distributed Systems" (TR 94-1413 / PODC 1994):
+// the simulated-fail-stop (sFS) failure model, the one-round quorum
+// protocol that implements it, the machinery that proves runs
+// indistinguishable from fail-stop, and the lower-bound adversaries that
+// show the protocol's quorum sizes are optimal.
+//
+// The package is a facade over the internal packages; it exposes everything
+// a library user needs:
+//
+//   - NewCluster: a deterministic simulated cluster running the §5 protocol
+//     (or the paper's baselines), with crash/suspicion injection.
+//   - NewLiveCluster: the same stack on a real goroutine runtime.
+//   - CheckSFS / CheckFS / CheckAll: property verdicts on recorded runs.
+//   - RewriteToFS / Realizable: Theorem 5's explicit indistinguishability
+//     witnesses.
+//   - MinQuorum / MaxTolerable: the §4 bounds.
+//
+// A minimal session:
+//
+//	c := failstop.NewCluster(failstop.Options{N: 5, T: 2, Seed: 1})
+//	c.SuspectAt(10, 2, 1) // process 2 (erroneously) suspects process 1
+//	rep := c.Run()
+//	fmt.Println(rep.Verdicts)       // FS1 + sFS2a-d all hold; FS2 may not
+//	fs, _ := failstop.RewriteToFS(rep.Abstract) // an isomorphic FS run
+package failstop
+
+import (
+	"time"
+
+	"failstop/internal/checker"
+	"failstop/internal/cluster"
+	"failstop/internal/core"
+	"failstop/internal/fd"
+	"failstop/internal/model"
+	"failstop/internal/node"
+	"failstop/internal/quorum"
+	"failstop/internal/rewrite"
+	"failstop/internal/runtime"
+	"failstop/internal/sim"
+)
+
+// Re-exported model vocabulary. These are aliases, so values flow freely
+// between the facade and the internal packages.
+type (
+	// ProcID identifies a process (1..n).
+	ProcID = model.ProcID
+	// Event is one event of a history (send/recv/crash/failed/internal).
+	Event = model.Event
+	// History is a finite run prefix: the unit all checkers operate on.
+	History = model.History
+	// Verdict is a property-check outcome.
+	Verdict = checker.Verdict
+	// Detector is the per-process failure-detection layer.
+	Detector = core.Detector
+	// App is the application interface hosted above a detector.
+	App = core.App
+	// Context is the capability handed to protocol and application code.
+	Context = node.Context
+	// Protocol selects the detection protocol.
+	Protocol = core.Protocol
+)
+
+// Protocol choices.
+const (
+	// SFS is the paper's §5 one-round quorum protocol (the default).
+	SFS = core.SimulatedFailStop
+	// Cheap is the §6 baseline: broadcast, then detect without waiting.
+	Cheap = core.Cheap
+	// Unilateral is the §4 strawman: detect with no communication.
+	Unilateral = core.Unilateral
+)
+
+// Options configures a cluster.
+type Options struct {
+	// N is the number of processes (required, >= 2). T is the maximum
+	// number of failures tolerated, including erroneous detections
+	// (default 1). For minimum quorums to make progress, keep N > T²
+	// (Corollary 8).
+	N, T int
+	// Protocol selects the detection protocol. Default: SFS.
+	Protocol Protocol
+	// Seed makes runs reproducible.
+	Seed int64
+	// MinDelay/MaxDelay bound the simulated message delays (ticks).
+	// Defaults: 1 and 10.
+	MinDelay, MaxDelay int64
+	// MaxTime stops the simulation at a horizon; 0 runs to quiescence.
+	// Required (>0) when heartbeats are enabled, which re-arm forever.
+	MaxTime int64
+	// HeartbeatEvery enables the fd layer: heartbeats every given ticks.
+	// 0 disables heartbeats (suspicions are injected explicitly).
+	HeartbeatEvery int64
+	// HeartbeatTimeout is the suspicion timeout; 0 with heartbeats enabled
+	// means "never suspect" (useful to demonstrate FS1 violations).
+	HeartbeatTimeout int64
+	// NewApp, when non-nil, builds the application for each process.
+	NewApp func(p ProcID) App
+}
+
+// Cluster is a deterministic simulated cluster.
+type Cluster struct {
+	inner *cluster.Cluster
+	opts  Options
+}
+
+// NewCluster builds a simulated cluster per opts.
+func NewCluster(opts Options) *Cluster {
+	if opts.T == 0 {
+		opts.T = 1
+	}
+	if opts.Protocol == 0 {
+		opts.Protocol = SFS
+	}
+	co := cluster.Options{
+		Sim: sim.Config{
+			N: opts.N, Seed: opts.Seed,
+			MinDelay: opts.MinDelay, MaxDelay: opts.MaxDelay,
+			MaxTime: opts.MaxTime,
+		},
+		Det: core.Config{N: opts.N, T: opts.T, Protocol: opts.Protocol},
+		App: opts.NewApp,
+	}
+	if opts.HeartbeatEvery > 0 {
+		co.FD = func(ProcID) core.Component {
+			return &fd.Heartbeat{Interval: opts.HeartbeatEvery, Timeout: opts.HeartbeatTimeout}
+		}
+	}
+	return &Cluster{inner: cluster.New(co), opts: opts}
+}
+
+// Detector returns process p's detector (for state inspection after Run).
+func (c *Cluster) Detector(p ProcID) *Detector { return c.inner.Detectors[p] }
+
+// SuspectAt injects a spontaneous suspicion: at tick t, process i starts
+// the detection protocol for j.
+func (c *Cluster) SuspectAt(t int64, i, j ProcID) { c.inner.SuspectAt(t, i, j) }
+
+// CrashAt injects a genuine crash of p at tick t.
+func (c *Cluster) CrashAt(t int64, p ProcID) { c.inner.CrashAt(t, p) }
+
+// Report is the outcome of a run.
+type Report struct {
+	// History is the full recorded history, including protocol traffic.
+	History History
+	// Abstract is the model-level history: protocol SUSP messages and
+	// heartbeats removed. The sFS/FS properties are defined over this.
+	Abstract History
+	// Verdicts holds the Figure 1 checks (FS1, sFS2a-d) plus FS2 and the
+	// Witness property, all evaluated on the appropriate history.
+	Verdicts []Verdict
+	// Quiescent reports whether the run drained completely (liveness
+	// verdicts are only meaningful if so, or at a generous MaxTime).
+	Quiescent bool
+	// Sent and Delivered count message events in the full history.
+	Sent, Delivered int
+	// EndTime is the virtual time at which the run ended.
+	EndTime int64
+}
+
+// Run executes the simulation and checks the paper's properties.
+func (c *Cluster) Run() Report {
+	res := c.inner.Run()
+	ab := res.History.DropTags(core.TagSusp, fd.TagHeartbeat)
+	verdicts := checker.SFS(ab)
+	verdicts = append(verdicts, checker.FS2(ab))
+	verdicts = append(verdicts, checker.WitnessProperty(res.History, core.TagSusp, c.opts.T))
+	return Report{
+		History:   res.History,
+		Abstract:  ab,
+		Verdicts:  verdicts,
+		Quiescent: res.Quiescent(),
+		Sent:      res.Sent,
+		Delivered: res.Delivered,
+		EndTime:   res.EndTime,
+	}
+}
+
+// CheckSFS evaluates the Figure 1 conditions (FS1, sFS2a-d) on a
+// model-level history.
+func CheckSFS(h History) []Verdict { return checker.SFS(h) }
+
+// CheckFS evaluates the fail-stop conditions (FS1, FS2).
+func CheckFS(h History) []Verdict { return checker.FS(h) }
+
+// CheckAll evaluates every property the checker knows, using suspTag to
+// reconstruct quorum sets (use DefaultSuspTag for this package's clusters)
+// and t as the failure bound for the Witness property.
+func CheckAll(h History, suspTag string, t int) []Verdict {
+	return checker.All(h, suspTag, t)
+}
+
+// DefaultSuspTag is the payload tag of the §5 protocol's "j failed"
+// messages in recorded histories.
+const DefaultSuspTag = core.TagSusp
+
+// RewriteToFS produces a fail-stop history isomorphic (with respect to
+// every process) to the given model-level history — the Theorem 5 witness —
+// or an error if none exists (Theorem 3 situations, or detections whose
+// target never crashed). The result is verified before being returned.
+func RewriteToFS(h History) (History, error) {
+	out, _, err := rewrite.Graph(h)
+	if err != nil {
+		return nil, err
+	}
+	if err := rewrite.Verify(h, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Realizable reports whether an isomorphic fail-stop history exists.
+func Realizable(h History) bool { return rewrite.Realizable(h) }
+
+// MinQuorum returns the minimum quorum size for n processes and up to t
+// failures: the smallest integer exceeding n(t-1)/t (Theorem 7).
+func MinQuorum(n, t int) int { return quorum.MinSize(n, t) }
+
+// MaxTolerable returns the largest t such that minimum-quorum detection
+// makes progress with n processes: the largest t with n > t² (Corollary 8).
+func MaxTolerable(n int) int { return quorum.MaxTolerable(n) }
+
+// LiveOptions configures a live (goroutine) cluster.
+type LiveOptions struct {
+	// N is the number of processes; T the failure bound. As for Options.
+	N, T int
+	// Protocol selects the detection protocol. Default: SFS.
+	Protocol Protocol
+	// Seed seeds the delay generator.
+	Seed int64
+	// MinDelay/MaxDelay bound real message delays.
+	// Defaults: 100µs and 2ms.
+	MinDelay, MaxDelay time.Duration
+	// NewApp, when non-nil, builds the application for each process.
+	NewApp func(p ProcID) App
+}
+
+// LiveCluster runs the same protocol stack on real goroutines.
+type LiveCluster struct {
+	net  *runtime.Net
+	dets []*core.Detector
+}
+
+// NewLiveCluster builds a live cluster. Call Start, drive it with Suspect
+// and Crash, then Stop; History returns the recorded run at any point.
+func NewLiveCluster(opts LiveOptions) *LiveCluster {
+	if opts.T == 0 {
+		opts.T = 1
+	}
+	if opts.Protocol == 0 {
+		opts.Protocol = SFS
+	}
+	net := runtime.New(runtime.Config{
+		N: opts.N, Seed: opts.Seed,
+		MinDelay: opts.MinDelay, MaxDelay: opts.MaxDelay,
+	})
+	lc := &LiveCluster{net: net, dets: make([]*core.Detector, opts.N+1)}
+	for p := 1; p <= opts.N; p++ {
+		var app App
+		if opts.NewApp != nil {
+			app = opts.NewApp(ProcID(p))
+		}
+		d := core.NewDetector(core.Config{N: opts.N, T: opts.T, Protocol: opts.Protocol}, nil, app)
+		lc.dets[p] = d
+		net.SetHandler(ProcID(p), d)
+	}
+	return lc
+}
+
+// Start launches the cluster's goroutines.
+func (lc *LiveCluster) Start() { lc.net.Start() }
+
+// Stop shuts the cluster down and waits for its goroutines.
+func (lc *LiveCluster) Stop() { lc.net.Stop() }
+
+// Suspect makes process i suspect j (serialized with i's other events).
+func (lc *LiveCluster) Suspect(i, j ProcID) {
+	d := lc.dets[i]
+	lc.net.Do(i, func(ctx node.Context) { d.Suspect(ctx, j) })
+}
+
+// Crash crashes process p.
+func (lc *LiveCluster) Crash(p ProcID) {
+	lc.net.Do(p, func(ctx node.Context) { ctx.CrashSelf() })
+}
+
+// History returns a snapshot of the recorded history.
+func (lc *LiveCluster) History() History { return lc.net.History() }

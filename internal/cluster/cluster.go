@@ -1,0 +1,93 @@
+// Package cluster wires n core.Detector instances into a deterministic
+// simulation: one constructor call builds the simulator, the detectors, and
+// optional fd components and applications per process. It is the common
+// harness used by tests, the experiment generators, and the public facade.
+package cluster
+
+import (
+	"failstop/internal/core"
+	"failstop/internal/model"
+	"failstop/internal/node"
+	"failstop/internal/sim"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Sim configures the simulator. Sim.N is set from Det.N if zero.
+	Sim sim.Config
+	// Det configures every process's detector identically.
+	Det core.Config
+	// FD, when non-nil, constructs the fd component for each process.
+	FD func(p model.ProcID) core.Component
+	// App, when non-nil, constructs the application for each process.
+	App func(p model.ProcID) core.App
+}
+
+// Cluster is a wired simulation ready to run.
+type Cluster struct {
+	// Sim is the underlying simulator; use it for custom injections.
+	Sim *sim.Sim
+	// Detectors holds the per-process detectors, indexed 1..N (index 0 nil).
+	Detectors []*core.Detector
+	n         int
+}
+
+// New builds a cluster.
+func New(opts Options) *Cluster {
+	n := opts.Det.N
+	if opts.Sim.N == 0 {
+		opts.Sim.N = n
+	}
+	s := sim.New(opts.Sim)
+	c := &Cluster{Sim: s, Detectors: make([]*core.Detector, n+1), n: n}
+	for p := model.ProcID(1); int(p) <= n; p++ {
+		var fd core.Component
+		if opts.FD != nil {
+			fd = opts.FD(p)
+		}
+		var app core.App
+		if opts.App != nil {
+			app = opts.App(p)
+		}
+		d := core.NewDetector(opts.Det, fd, app)
+		c.Detectors[p] = d
+		s.SetHandler(p, d)
+	}
+	return c
+}
+
+// N returns the number of processes.
+func (c *Cluster) N() int { return c.n }
+
+// SuspectAt injects a spontaneous suspicion: at virtual time t, process i
+// begins the detection protocol for j (the paper's "i suspects the failure
+// of j, e.g. due to a timeout").
+func (c *Cluster) SuspectAt(t int64, i, j model.ProcID) {
+	d := c.Detectors[i]
+	c.Sim.At(t, i, func(ctx node.Context) { d.Suspect(ctx, j) })
+}
+
+// CrashAt injects a genuine crash of p at virtual time t.
+func (c *Cluster) CrashAt(t int64, p model.ProcID) {
+	c.Sim.CrashAt(t, p)
+}
+
+// Run executes the simulation and returns its result.
+func (c *Cluster) Run() *sim.Result { return c.Sim.Run() }
+
+// QuorumSets aggregates the quorum snapshots of every completed detection
+// across all processes, as sets, for Witness-property checking (§4,
+// Definition 5).
+func (c *Cluster) QuorumSets() []map[model.ProcID]bool {
+	var out []map[model.ProcID]bool
+	for p := 1; p <= c.n; p++ {
+		for _, q := range c.Detectors[p].Quorums() {
+			set := make(map[model.ProcID]bool, len(q))
+			for _, m := range q {
+				set[m] = true
+			}
+			out = append(out, set)
+		}
+	}
+	return out
+}

@@ -1,0 +1,596 @@
+// Package core implements the paper's primary contribution: the one-round
+// simulated-fail-stop failure-detection protocol of §5, together with the
+// two reference points the paper discusses — the "cheap" model of §6
+// (broadcast, then detect unilaterally: every sFS property except sFS2b)
+// and the unilateral strawman of §4 (detect with no communication at all).
+//
+// Protocol recap (§5). When process i suspects the failure of process j
+// (spontaneously, e.g. via a timeout at the fd layer):
+//
+//   - i sends the message "j failed" to all processes. SUSP and ACK.SUSP are
+//     the same message, so one broadcast per (process, target) pair suffices;
+//     every process counts distinct senders of "j failed".
+//   - When i has heard "j failed" from more than n(t-1)/t processes
+//     (including itself), i executes failed_i(j).
+//   - When any process x receives "x failed", x executes crash_x.
+//   - When a process receives "y failed" for another y, it suspects y and
+//     joins the protocol (broadcasting its own "y failed").
+//
+// sFS2d is obtained at the receive level: a Detector implements node.Gate
+// and defers the receive event of an application message from sender s
+// while there exists a target x such that "x failed" has been heard from s
+// but failed_self(x) has not yet executed. Because channels are FIFO, any
+// message s sent after executing failed_s(x) necessarily sits behind s's
+// "x failed" broadcast, so the deferral implements exactly the sFS2d
+// condition. (§5 states the blunter rule "take no other action until the
+// protocol completes"; Config.StrictGating selects that literal variant,
+// which is also correct but can block application traffic longer.)
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"failstop/internal/model"
+	"failstop/internal/node"
+	"failstop/internal/quorum"
+)
+
+// Message tags used by the detector layer.
+const (
+	// TagSusp marks "j failed" protocol messages; Subject carries j.
+	// SUSP and ACK.SUSP coincide in the §5 protocol.
+	TagSusp = "SUSP"
+	// TagApp marks application messages routed through Detector.SendApp.
+	TagApp = "APP"
+)
+
+// Protocol selects the failure-detection protocol a Detector runs.
+type Protocol int
+
+// Protocols. SimulatedFailStop is the paper's §5 protocol; Cheap and
+// Unilateral are the baselines the paper compares against in §4 and §6.
+const (
+	// SimulatedFailStop: one-round quorum protocol satisfying FS1+sFS2a-d.
+	SimulatedFailStop Protocol = iota + 1
+	// Cheap (§6): broadcast "j failed", then execute failed_i(j) immediately
+	// without waiting. Satisfies sFS2a, sFS2c, sFS2d but not sFS2b: cyclic
+	// failure detections are possible.
+	Cheap
+	// Unilateral (§4 strawman): execute failed_i(j) with no communication.
+	// Violates sFS2a and sFS2d; exists to demonstrate why Conditions 1-3
+	// force at least a broadcast.
+	Unilateral
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case SimulatedFailStop:
+		return "sfs"
+	case Cheap:
+		return "cheap"
+	case Unilateral:
+		return "unilateral"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// QuorumPolicy selects how the §5 protocol decides a quorum is complete.
+type QuorumPolicy int
+
+// Quorum policies (§4 discusses both implementations of the Witness
+// property).
+const (
+	// FixedQuorum waits for a fixed number of "j failed" senders: more than
+	// n(t-1)/t of them (Theorem 7's minimum) unless Config.QuorumSize
+	// overrides it.
+	FixedQuorum QuorumPolicy = iota + 1
+	// AllButSuspected waits for "j failed" from every process that the
+	// detector does not itself suspect of having failed. Requires only
+	// t < n but waits for up to n-1 messages (§4's first implementation).
+	AllButSuspected
+)
+
+// Config parameterizes a Detector.
+type Config struct {
+	// N is the number of processes; T the maximum number of failures in any
+	// run, including those caused by erroneous suspicions.
+	N, T int
+	// Protocol selects the detection protocol. Default: SimulatedFailStop.
+	Protocol Protocol
+	// Policy selects quorum completion for SimulatedFailStop.
+	// Default: FixedQuorum.
+	Policy QuorumPolicy
+	// QuorumSize overrides the fixed quorum size (counting the detector
+	// itself). 0 means quorum.MinSize(N, T). Used by the lower-bound
+	// experiments to run deliberately undersized quorums.
+	QuorumSize int
+	// StrictGating, when true, defers application receives whenever any
+	// detection is in progress (§5's literal "takes no other action"), not
+	// only those from senders with outstanding detections. Both settings
+	// satisfy sFS2d; the strict one blocks more.
+	StrictGating bool
+	// DeferAppSends, when true, queues outgoing application messages while
+	// any detection is in progress and flushes them on completion — the
+	// sending half of §5's "takes no other action".
+	DeferAppSends bool
+	// Piggyback explores the paper's §6 future work ("stronger versions of
+	// fail-stop", specifically a transitive failed-before relation): SUSP
+	// messages carry the sender's completed detections, and a receiver does
+	// not count a "j failed" toward j's quorum until it has itself detected
+	// everything the sender had detected when it sent the message. This
+	// strengthens the ordering of detections — a process can then only
+	// detect y after detecting what y's supporters knew — at the price of
+	// additional blocking (experiment A3 measures both effects). Process
+	// ids are encoded one byte each, so Piggyback requires N <= 255.
+	Piggyback bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Protocol == 0 {
+		c.Protocol = SimulatedFailStop
+	}
+	if c.Policy == 0 {
+		c.Policy = FixedQuorum
+	}
+	if c.QuorumSize == 0 && c.Protocol == SimulatedFailStop && c.Policy == FixedQuorum {
+		c.QuorumSize = quorum.MinSize(c.N, c.T)
+	}
+	return c
+}
+
+// Component is a protocol layer co-hosted with the detector on the same
+// process (the fd heartbeat layer). It receives messages whose tags the
+// detector does not own and timers prefixed "fd/".
+type Component interface {
+	Init(ctx node.Context, d *Detector)
+	OnMessage(ctx node.Context, d *Detector, from model.ProcID, p node.Payload)
+	OnTimer(ctx node.Context, d *Detector, name string)
+}
+
+// App is the application hosted above the detector. It is the paper's
+// "process within the system": it sees failure notifications and
+// application messages, never raw protocol traffic.
+type App interface {
+	Init(ctx node.Context, d *Detector)
+	// OnAppMessage delivers an application payload. Under the §5 protocol
+	// the receive event has already been gated per sFS2d.
+	OnAppMessage(ctx node.Context, d *Detector, from model.ProcID, data []byte)
+	// OnFailed notifies the app that failed_self(j) has just executed.
+	OnFailed(ctx node.Context, d *Detector, j model.ProcID)
+	// OnTimer fires application timers (names without the "fd/" prefix).
+	OnTimer(ctx node.Context, d *Detector, name string)
+}
+
+// AppCrashListener is optionally implemented by Apps that must observe the
+// crash of their own process — e.g. the §6 last-process-to-fail application,
+// which models stable storage surviving the crash.
+type AppCrashListener interface {
+	OnCrash(ctx node.Context, d *Detector)
+}
+
+// Detector is one process's failure-detection layer: a node.Handler that
+// runs the configured protocol and hosts an optional fd Component and an
+// optional App.
+type Detector struct {
+	cfg Config
+	fd  Component
+	app App
+
+	self      model.ProcID
+	crashed   bool
+	suspected map[model.ProcID]bool                  // broadcast sent for target
+	counts    map[model.ProcID]map[model.ProcID]bool // target -> senders of "target failed" (incl. self)
+	detected  map[model.ProcID]bool                  // failed_self(target) executed
+	quorums   map[model.ProcID][]model.ProcID        // target -> quorum snapshot at detection
+	deferred  []deferredSend                         // app sends queued during detection
+	pending   []pendingCount                         // piggybacked counts awaiting dependencies
+}
+
+// pendingCount is a "j failed" from sender whose piggybacked dependencies
+// (the sender's detections at send time) the receiver has not yet matched.
+type pendingCount struct {
+	sender, target model.ProcID
+	deps           []model.ProcID
+}
+
+type deferredSend struct {
+	to   model.ProcID
+	data []byte
+}
+
+// Interface conformance.
+var (
+	_ node.Handler       = (*Detector)(nil)
+	_ node.Gate          = (*Detector)(nil)
+	_ node.CrashListener = (*Detector)(nil)
+)
+
+// OnCrash implements node.CrashListener: it marks the detector dead (both
+// genuine crashes injected by the environment and protocol-induced crashes
+// flow through here) and forwards to the App if it listens.
+func (d *Detector) OnCrash(ctx node.Context) {
+	d.crashed = true
+	if l, ok := d.app.(AppCrashListener); ok {
+		l.OnCrash(ctx, d)
+	}
+}
+
+// NewDetector builds a detector with the given configuration, optional fd
+// component, and optional application.
+func NewDetector(cfg Config, fd Component, app App) *Detector {
+	cfg = cfg.withDefaults()
+	if cfg.N < 2 {
+		panic("core: need at least 2 processes")
+	}
+	if cfg.T < 1 {
+		panic("core: T must be at least 1")
+	}
+	return &Detector{
+		cfg:       cfg,
+		fd:        fd,
+		app:       app,
+		suspected: make(map[model.ProcID]bool),
+		counts:    make(map[model.ProcID]map[model.ProcID]bool),
+		detected:  make(map[model.ProcID]bool),
+		quorums:   make(map[model.ProcID][]model.ProcID),
+	}
+}
+
+// Config returns the detector's effective configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Init implements node.Handler.
+func (d *Detector) Init(ctx node.Context) {
+	d.self = ctx.Self()
+	if d.fd != nil {
+		d.fd.Init(ctx, d)
+	}
+	if d.app != nil {
+		d.app.Init(ctx, d)
+	}
+}
+
+// OnMessage implements node.Handler: protocol messages are handled here;
+// application payloads go to the App; anything else goes to the fd
+// Component.
+func (d *Detector) OnMessage(ctx node.Context, from model.ProcID, p node.Payload) {
+	if d.crashed {
+		return
+	}
+	switch p.Tag {
+	case TagSusp:
+		d.onSusp(ctx, from, p.Subject, p.Data)
+	case TagApp:
+		if d.app != nil {
+			d.app.OnAppMessage(ctx, d, from, p.Data)
+		}
+	default:
+		if d.fd != nil {
+			d.fd.OnMessage(ctx, d, from, p)
+		}
+	}
+}
+
+// OnTimer implements node.Handler: timers named "fd/..." belong to the fd
+// component, the rest to the app.
+func (d *Detector) OnTimer(ctx node.Context, name string) {
+	if d.crashed {
+		return
+	}
+	if len(name) >= 3 && name[:3] == "fd/" {
+		if d.fd != nil {
+			d.fd.OnTimer(ctx, d, name)
+		}
+		return
+	}
+	if d.app != nil {
+		d.app.OnTimer(ctx, d, name)
+	}
+}
+
+// Accepts implements node.Gate: the sFS2d receive deferral. Protocol and fd
+// messages are always received; application messages are deferred while the
+// receiver owes a detection that the sender has already announced (precise
+// rule) or while any detection is in progress (StrictGating).
+func (d *Detector) Accepts(from model.ProcID, p node.Payload) bool {
+	if d.crashed || p.Tag != TagApp || d.cfg.Protocol == Unilateral {
+		return true
+	}
+	if d.cfg.StrictGating {
+		return !d.detecting()
+	}
+	for target, senders := range d.counts {
+		if senders[from] && !d.detected[target] {
+			return false
+		}
+	}
+	return true
+}
+
+// Suspect initiates the failure-detection protocol for target j, e.g. on a
+// timeout (the paper's "process i suspects the failure of process j").
+// Suspecting oneself or an already-detected process is a no-op.
+func (d *Detector) Suspect(ctx node.Context, j model.ProcID) {
+	if d.crashed || j == d.self || j == model.None || d.suspected[j] || d.detected[j] {
+		return
+	}
+	d.suspected[j] = true
+	ctx.EmitInternal("suspect", j)
+	switch d.cfg.Protocol {
+	case Unilateral:
+		// §4 strawman: no communication at all.
+		d.complete(ctx, j, []model.ProcID{d.self})
+		return
+	case SimulatedFailStop, Cheap:
+		d.broadcastSusp(ctx, j)
+	}
+	switch d.cfg.Protocol {
+	case Cheap:
+		// §6: detect immediately after the broadcast; no quorum wait.
+		d.complete(ctx, j, []model.ProcID{d.self})
+	case SimulatedFailStop:
+		d.countSusp(ctx, j, d.self)
+		// A new suspicion shrinks the AllButSuspected requirement for every
+		// in-flight detection: re-evaluate them all.
+		if d.cfg.Policy == AllButSuspected {
+			d.reevaluateAll(ctx)
+		}
+	}
+}
+
+func (d *Detector) broadcastSusp(ctx node.Context, j model.ProcID) {
+	var data []byte
+	if d.cfg.Piggyback {
+		data = encodeProcIDs(d.DetectedSet())
+	}
+	for q := model.ProcID(1); int(q) <= d.cfg.N; q++ {
+		if q != d.self {
+			ctx.Send(q, node.Payload{Tag: TagSusp, Subject: j, Data: data})
+		}
+	}
+}
+
+// encodeProcIDs packs process ids one byte each (ids are <= 255).
+func encodeProcIDs(ps []model.ProcID) []byte {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]byte, len(ps))
+	for i, p := range ps {
+		out[i] = byte(p)
+	}
+	return out
+}
+
+// decodeProcIDs unpacks encodeProcIDs.
+func decodeProcIDs(data []byte) []model.ProcID {
+	out := make([]model.ProcID, len(data))
+	for i, b := range data {
+		out[i] = model.ProcID(b)
+	}
+	return out
+}
+
+// onSusp processes a "x failed" message from sender.
+func (d *Detector) onSusp(ctx node.Context, sender, x model.ProcID, data []byte) {
+	if x == d.self {
+		// "When process x receives a message of the form 'x failed', x
+		// executes crash_x."
+		ctx.CrashSelf()
+		d.crashed = true
+		return
+	}
+	switch d.cfg.Protocol {
+	case SimulatedFailStop:
+		// "When process x receives a message of the form 'y failed', x
+		// suspects the failure of y" — join the round, then count the sender.
+		d.Suspect(ctx, x)
+		if d.crashed {
+			return
+		}
+		if d.cfg.Piggyback {
+			if deps := d.unmetDeps(data); len(deps) > 0 {
+				// The sender knew of detections we have not matched yet:
+				// hold this count until we do (§6 exploration).
+				d.pending = append(d.pending, pendingCount{sender: sender, target: x, deps: deps})
+				return
+			}
+		}
+		d.countSusp(ctx, x, sender)
+	case Cheap:
+		d.Suspect(ctx, x)
+	case Unilateral:
+		// Unilateral detectors send no SUSP messages, but crash-on-self-failed
+		// above still applies if some other protocol's message arrives in a
+		// mixed experiment; other targets are ignored.
+	}
+}
+
+// countSusp records that sender has announced "j failed" and completes the
+// detection if the quorum condition is met.
+func (d *Detector) countSusp(ctx node.Context, j, sender model.ProcID) {
+	if d.detected[j] {
+		return
+	}
+	set := d.counts[j]
+	if set == nil {
+		set = make(map[model.ProcID]bool, d.cfg.N)
+		d.counts[j] = set
+	}
+	set[sender] = true
+	d.maybeComplete(ctx, j)
+}
+
+func (d *Detector) maybeComplete(ctx node.Context, j model.ProcID) {
+	if d.crashed || d.detected[j] || !d.suspected[j] {
+		return
+	}
+	set := d.counts[j]
+	switch d.cfg.Policy {
+	case FixedQuorum:
+		if len(set) < d.cfg.QuorumSize {
+			return
+		}
+	case AllButSuspected:
+		// Wait for "j failed" from every process not suspected by self.
+		for q := model.ProcID(1); int(q) <= d.cfg.N; q++ {
+			if q == d.self || d.suspected[q] {
+				continue
+			}
+			if !set[q] {
+				return
+			}
+		}
+	}
+	members := make([]model.ProcID, 0, len(set))
+	for m := range set {
+		members = append(members, m)
+	}
+	sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+	d.complete(ctx, j, members)
+}
+
+func (d *Detector) reevaluateAll(ctx node.Context) {
+	for j := model.ProcID(1); int(j) <= d.cfg.N; j++ {
+		if d.crashed {
+			return
+		}
+		if d.suspected[j] && !d.detected[j] {
+			d.maybeComplete(ctx, j)
+		}
+	}
+}
+
+// complete executes failed_self(j) with the given quorum snapshot.
+func (d *Detector) complete(ctx node.Context, j model.ProcID, quorumSet []model.ProcID) {
+	d.detected[j] = true
+	d.quorums[j] = quorumSet
+	ctx.EmitFailed(j)
+	if d.app != nil {
+		d.app.OnFailed(ctx, d, j)
+	}
+	if d.cfg.Piggyback {
+		d.drainPending(ctx)
+	}
+	if !d.detecting() {
+		d.flushDeferred(ctx)
+	}
+}
+
+// unmetDeps returns the piggybacked detections (if any) that this process
+// has not yet matched.
+func (d *Detector) unmetDeps(data []byte) []model.ProcID {
+	if len(data) == 0 {
+		return nil
+	}
+	var out []model.ProcID
+	for _, dep := range decodeProcIDs(data) {
+		if !d.detected[dep] && dep != d.self {
+			out = append(out, dep)
+		}
+	}
+	return out
+}
+
+// drainPending re-evaluates piggybacked counts whose dependencies may have
+// just been satisfied. Completing one count can complete a detection that
+// unblocks others, so iterate to a fixpoint.
+func (d *Detector) drainPending(ctx node.Context) {
+	for {
+		progressed := false
+		rest := d.pending[:0]
+		for _, pc := range d.pending {
+			if d.crashed {
+				return
+			}
+			met := true
+			for _, dep := range pc.deps {
+				if !d.detected[dep] {
+					met = false
+					break
+				}
+			}
+			if met {
+				d.countSusp(ctx, pc.target, pc.sender)
+				progressed = true
+			} else {
+				rest = append(rest, pc)
+			}
+		}
+		d.pending = rest
+		if !progressed {
+			return
+		}
+	}
+}
+
+// detecting reports whether any detection is in progress.
+func (d *Detector) detecting() bool {
+	for j, susp := range d.suspected {
+		if susp && !d.detected[j] {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Detector) flushDeferred(ctx node.Context) {
+	pending := d.deferred
+	d.deferred = nil
+	for _, s := range pending {
+		ctx.Send(s.to, node.Payload{Tag: TagApp, Data: s.data})
+	}
+}
+
+// SendApp sends an application payload to another process through the
+// detector layer. With Config.DeferAppSends, sends issued while a detection
+// is in progress are queued and flushed when the protocol completes.
+func (d *Detector) SendApp(ctx node.Context, to model.ProcID, data []byte) {
+	if d.crashed {
+		return
+	}
+	if d.cfg.DeferAppSends && d.detecting() {
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		d.deferred = append(d.deferred, deferredSend{to: to, data: buf})
+		return
+	}
+	ctx.Send(to, node.Payload{Tag: TagApp, Data: data})
+}
+
+// Detected reports whether failed_self(j) has executed.
+func (d *Detector) Detected(j model.ProcID) bool { return d.detected[j] }
+
+// Suspects reports whether self has suspected j (broadcast issued).
+func (d *Detector) Suspects(j model.ProcID) bool { return d.suspected[j] }
+
+// Crashed reports whether the process crashed.
+func (d *Detector) Crashed() bool { return d.crashed }
+
+// DetectedSet returns the sorted set of processes detected so far.
+func (d *Detector) DetectedSet() []model.ProcID {
+	out := make([]model.ProcID, 0, len(d.detected))
+	for j, ok := range d.detected {
+		if ok {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Quorums returns a copy of the quorum snapshot for each completed
+// detection: the set Q_{self,j} of Definition 5 (senders of "j failed"
+// heard before failed_self(j), including self).
+func (d *Detector) Quorums() map[model.ProcID][]model.ProcID {
+	out := make(map[model.ProcID][]model.ProcID, len(d.quorums))
+	for j, q := range d.quorums {
+		cp := make([]model.ProcID, len(q))
+		copy(cp, q)
+		out[j] = cp
+	}
+	return out
+}

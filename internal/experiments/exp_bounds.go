@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+
+	"failstop/internal/adversary"
+	"failstop/internal/checker"
+	"failstop/internal/cluster"
+	"failstop/internal/core"
+	"failstop/internal/fd"
+	"failstop/internal/model"
+	"failstop/internal/node"
+	"failstop/internal/quorum"
+	"failstop/internal/sim"
+	"failstop/internal/stats"
+)
+
+// E1 reproduces Theorem 1 operationally: no timeout implements the Perfect
+// Failure Detector. Two scenarios per timeout value:
+//
+//   - spike: the victim is healthy but its heartbeats suffer an adversarial
+//     delay spike. A finite timeout below the spike produces a false
+//     detection (an FS2 violation at the FS level — the sFS machinery then
+//     kills the victim to stay internally consistent).
+//   - crash: the victim genuinely crashes. A detector with no timeout
+//     (∞) never detects it — an FS1 violation.
+func E1() Result {
+	const (
+		n, t      = 5, 2
+		hbEvery   = 10
+		spikeSize = 400
+		horizon   = 6000
+	)
+	timeouts := []int64{20, 40, 80, 160, 320, 0} // 0 = no timeout (∞)
+
+	run := func(timeout int64, spike bool) (falseDet, missed bool) {
+		var delay sim.DelayFn
+		spikeFn := adversary.HeartbeatSpike(1, fd.TagHeartbeat, 100, 2, spikeSize)
+		delay = func(from, to model.ProcID, p node.Payload, at int64) int64 {
+			if to == 1 && p.Tag == core.TagSusp {
+				return 60 // let quorums complete before the kill lands
+			}
+			if spike {
+				return spikeFn(from, to, p, at)
+			}
+			return 2
+		}
+		c := cluster.New(cluster.Options{
+			Sim: sim.Config{N: n, Seed: 7, Delay: delay, MaxTime: horizon},
+			Det: core.Config{N: n, T: t},
+			FD: func(model.ProcID) core.Component {
+				return &fd.Heartbeat{Interval: hbEvery, Timeout: timeout}
+			},
+		})
+		if !spike {
+			c.CrashAt(100, 1)
+		}
+		res := c.Run()
+		if spike {
+			// The victim was healthy: any detection of it was false.
+			for p := model.ProcID(2); int(p) <= n; p++ {
+				if res.History.FailedIndex(p, 1) >= 0 {
+					falseDet = true
+				}
+			}
+		} else {
+			// FS1 on the full history: every live process must have
+			// detected the genuine crash by the horizon.
+			missed = !checker.FS1(res.History).Holds
+		}
+		return falseDet, missed
+	}
+
+	tbl := stats.NewTable("timeout", "false detection (healthy victim, spike)", "missed detection (real crash)")
+	ok := true
+	for _, to := range timeouts {
+		label := fmt.Sprintf("%d", to)
+		if to == 0 {
+			label = "∞ (none)"
+		}
+		falseDet, _ := run(to, true)
+		_, missed := run(to, false)
+		tbl.Row(label, falseDet, missed)
+		finite := to != 0
+		switch {
+		case finite && to <= spikeSize && !falseDet:
+			ok = false // a small timeout must be fooled by the spike
+		case finite && missed:
+			ok = false // a finite timeout must catch genuine crashes
+		case !finite && !missed:
+			ok = false // no timeout means no completeness
+		case !finite && falseDet:
+			ok = false
+		}
+	}
+	return Result{
+		ID:    "E1",
+		Title: "Theorem 1: FS (a Perfect Failure Detector) is unimplementable — the timeout dilemma",
+		Table: tbl.String(),
+		OK:    ok,
+		Notes: []string{
+			fmt.Sprintf("n=%d, heartbeat every %d ticks, adversarial spike of %d ticks on the victim's heartbeats", n, hbEvery, spikeSize),
+			"every finite timeout below the spike yields a false detection (FS2 broken); no timeout yields a missed detection (FS1 broken)",
+		},
+	}
+}
+
+// E6 reproduces Theorem 6 / Appendix A.3: when quorums are too small to
+// guarantee the Witness property, the adversarial schedule manufactures a
+// k-cycle in the failed-before relation; with W restored (Theorem 7
+// quorums) the same adversary produces no cycle.
+func E6() Result {
+	cases := []struct{ n, k int }{{5, 2}, {7, 2}, {10, 3}, {13, 3}, {17, 4}, {26, 5}}
+	tbl := stats.NewTable("n", "k (cycle len)", "quorum", "witness-free", "cycle formed")
+	ok := true
+	for _, tc := range cases {
+		for _, q := range []int{quorum.MinSize(tc.n, tc.k) - 1, quorum.MinSize(tc.n, tc.k)} {
+			out := adversary.RunCycleScenario(tc.n, tc.k, q, 1)
+			// Theorem 6 is about the quorum family of the would-be cycle's
+			// detections: below the bound all k complete with an empty
+			// intersection; at the bound they stall, so the (partial)
+			// family trivially keeps a witness.
+			_, hasWitness := quorum.Witness(out.RingQuorums)
+			gotCycle := out.Cycle != nil
+			under := q < quorum.MinSize(tc.n, tc.k)
+			witnessFree := len(out.RingQuorums) == tc.k && !hasWitness
+			tbl.Row(tc.n, tc.k, q, witnessFree, gotCycle)
+			if under && (!gotCycle || !witnessFree) {
+				ok = false
+			}
+			if !under && (gotCycle || witnessFree) {
+				ok = false
+			}
+		}
+	}
+	return Result{
+		ID:    "E6",
+		Title: "Theorem 6 / App. A.3: the Witness property is necessary — witness-free quorums admit failed-before cycles",
+		Table: tbl.String(),
+		OK:    ok,
+		Notes: []string{
+			"schedule: every process suspects the k ring targets in descending rotation order; 'you failed' messages parked (FIFO parks everything behind them)",
+			"below the bound the quorum family has empty intersection and the k-cycle completes; at the bound every quorum stalls one short",
+		},
+	}
+}
+
+// E7 reproduces Theorem 7's tightness on a grid: at q = ⌊n(t-1)/t⌋ (one
+// below the bound) the cycle adversary wins; at q = ⌊n(t-1)/t⌋+1 it loses.
+func E7() Result {
+	grid := []struct{ n, t int }{
+		{4, 2}, {5, 2}, {6, 2}, {9, 2}, {10, 3}, {12, 3}, {15, 3}, {17, 4}, {20, 4}, {26, 5},
+	}
+	tbl := stats.NewTable("n", "t", "min quorum ⌊n(t-1)/t⌋+1", "cycle at q-1", "cycle at q")
+	ok := true
+	for _, g := range grid {
+		q := quorum.MinSize(g.n, g.t)
+		below := adversary.RunCycleScenario(g.n, g.t, q-1, 1).Cycle != nil
+		at := adversary.RunCycleScenario(g.n, g.t, q, 1).Cycle != nil
+		tbl.Row(g.n, g.t, q, below, at)
+		if !below || at {
+			ok = false
+		}
+	}
+	return Result{
+		ID:    "E7",
+		Title: "Theorem 7: fixed quorums must exceed n(t-1)/t — tight in both directions",
+		Table: tbl.String(),
+		OK:    ok,
+		Notes: []string{"'cycle at q-1' must be true (bound is necessary), 'cycle at q' false (bound is sufficient)"},
+	}
+}
+
+// E8 reproduces Corollary 8: with minimum quorums, the protocol makes
+// progress (all live processes complete all detections) iff n > t².
+func E8() Result {
+	grid := []struct{ n, t int }{
+		{3, 2}, {4, 2}, {5, 2}, {8, 2}, {9, 3}, {10, 3}, {14, 3}, {16, 4}, {17, 4}, {20, 4},
+	}
+	tbl := stats.NewTable("n", "t", "n > t²", "progress (all detections complete)")
+	ok := true
+	for _, g := range grid {
+		c := cluster.New(cluster.Options{
+			Sim: sim.Config{N: g.n, Seed: 3, MinDelay: 1, MaxDelay: 5},
+			Det: core.Config{N: g.n, T: g.t},
+		})
+		// t genuine crashes, then a survivor suspects each victim.
+		for i := 0; i < g.t; i++ {
+			victim := model.ProcID(g.n - i)
+			c.CrashAt(int64(1+i), victim)
+			c.SuspectAt(int64(50+i), 1, victim)
+		}
+		c.Run()
+		progress := true
+		for p := 1; p <= g.n-g.t; p++ {
+			for i := 0; i < g.t; i++ {
+				if !c.Detectors[p].Detected(model.ProcID(g.n - i)) {
+					progress = false
+				}
+			}
+		}
+		predicted := g.n > g.t*g.t
+		tbl.Row(g.n, g.t, predicted, progress)
+		if progress != predicted {
+			ok = false
+		}
+	}
+	return Result{
+		ID:    "E8",
+		Title: "Corollary 8: minimum-quorum progress requires n > t²",
+		Table: tbl.String(),
+		OK:    ok,
+		Notes: []string{"t genuine crashes leave n-t live processes; the quorum ⌊n(t-1)/t⌋+1 is reachable iff n > t²"},
+	}
+}

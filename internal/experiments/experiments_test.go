@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must reproduce its paper claim. These tests ARE the
+// reproduction gate: a regression in any protocol, checker, or bound shows
+// up here as a FAILED experiment.
+func TestAllExperimentsReproduce(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			res := Registry()[id]()
+			if !res.OK {
+				t.Errorf("%s did not reproduce:\n%s", id, res)
+			}
+			if res.ID != id {
+				t.Errorf("result ID %q, want %q", res.ID, id)
+			}
+			if res.Title == "" || res.Table == "" {
+				t.Error("experiment must render a title and table")
+			}
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(ids))
+	}
+	if ids[0] != "E1" || ids[11] != "E12" || ids[12] != "A1" || ids[14] != "A3" {
+		t.Errorf("ordering wrong: %v", ids)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{ID: "E0", Title: "x", Table: "tbl\n", OK: true, Notes: []string{"n"}}
+	s := r.String()
+	for _, want := range []string{"E0", "REPRODUCED", "tbl", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+	r.OK = false
+	if !strings.Contains(r.String(), "FAILED") {
+		t.Error("failed result must say FAILED")
+	}
+}
+
+// All is exercised one experiment at a time by TestAllExperimentsReproduce;
+// here we only check the registry ordering contract: E-experiments by
+// number, then A-ablations by number.
+func TestAllOrder(t *testing.T) {
+	ids := IDs()
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "A1", "A2", "A3"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs[%d] = %s, want %s (%v)", i, ids[i], want[i], ids)
+		}
+	}
+}

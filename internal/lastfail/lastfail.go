@@ -1,0 +1,176 @@
+// Package lastfail implements §6's canonical sFS2b-sensitive application:
+// determining the last process to fail (Skeen, "Determining the last
+// process to fail", ACM TOCS 1985).
+//
+// Every process records the failures it detects — its view of the
+// failed-before relation — in stable storage that survives its crash.
+// After a total failure, recovery examines the persisted views: the last
+// process to fail is one that detected the failure of every other process
+// before crashing.
+//
+// The paper's point (§6): if cyclic failure detection is possible (the
+// cheap model), the problem is unsolvable — in the two-process anomaly,
+// process 1 falsely detects 2 and crashes; 2 detects 1, works on, and
+// finally crashes; a recovering 1 wrongly concludes it was last. Under sFS
+// the failed-before relation is acyclic, so at most one process can have
+// detected all others, and when one exists it really was the last to fail.
+//
+// Recovery is modeled outside the crash-no-recovery formal model, exactly
+// as §6 itself does: stable storage is a Store the harness retains across
+// the simulated crash.
+package lastfail
+
+import (
+	"sort"
+
+	"failstop/internal/core"
+	"failstop/internal/model"
+	"failstop/internal/node"
+)
+
+// Store is one process's stable storage: it survives the crash of the
+// process (the harness allocates it outside the simulation).
+type Store struct {
+	// Self is the owning process.
+	Self model.ProcID
+	// Detected records every failure detection the process executed.
+	Detected map[model.ProcID]bool
+	// Crashed records whether the process crashed during the run.
+	Crashed bool
+}
+
+// NewStore allocates stable storage for process p.
+func NewStore(p model.ProcID) *Store {
+	return &Store{Self: p, Detected: make(map[model.ProcID]bool)}
+}
+
+// Recorder is the core.App that writes detections to stable storage.
+type Recorder struct {
+	// Stable is this process's store. Required.
+	Stable *Store
+}
+
+var (
+	_ core.App              = (*Recorder)(nil)
+	_ core.AppCrashListener = (*Recorder)(nil)
+)
+
+// Init implements core.App.
+func (r *Recorder) Init(ctx node.Context, d *core.Detector) {
+	if r.Stable == nil {
+		panic("lastfail: Recorder needs a Store")
+	}
+}
+
+// OnFailed implements core.App: persist the detection.
+func (r *Recorder) OnFailed(ctx node.Context, d *core.Detector, j model.ProcID) {
+	r.Stable.Detected[j] = true
+}
+
+// OnAppMessage implements core.App (no application traffic).
+func (r *Recorder) OnAppMessage(node.Context, *core.Detector, model.ProcID, []byte) {}
+
+// OnTimer implements core.App (no timers).
+func (r *Recorder) OnTimer(node.Context, *core.Detector, string) {}
+
+// OnCrash implements core.AppCrashListener: stable storage records that the
+// process went down.
+func (r *Recorder) OnCrash(ctx node.Context, d *core.Detector) {
+	r.Stable.Crashed = true
+}
+
+// Verdict is the outcome of recovery analysis.
+type Verdict struct {
+	// Known reports whether recovery could determine a unique last process
+	// to fail from the persisted views.
+	Known bool
+	// Last is that process when Known.
+	Last model.ProcID
+	// Candidates lists every process whose view qualifies it as "detected
+	// all other crashed processes". Under sFS there is at most one; under
+	// the cheap model a cycle can produce several — the §6 anomaly.
+	Candidates []model.ProcID
+}
+
+// Recover runs Skeen-style recovery over the persisted stores of a total
+// failure (every process crashed): a process qualifies as last-to-fail if
+// its view records the failure of every other crashed process. If some
+// store shows a process that never crashed, the failure was not total and
+// Recover returns an unknown verdict with no candidates — asking "who
+// failed last" is premature.
+func Recover(stores []*Store) Verdict {
+	for _, s := range stores {
+		if s != nil && !s.Crashed {
+			return Verdict{}
+		}
+	}
+	var candidates []model.ProcID
+	for _, s := range stores {
+		if s == nil || !s.Crashed {
+			continue
+		}
+		all := true
+		for _, o := range stores {
+			if o == nil || o.Self == s.Self {
+				continue
+			}
+			if o.Crashed && !s.Detected[o.Self] {
+				all = false
+				break
+			}
+		}
+		if all {
+			candidates = append(candidates, s.Self)
+		}
+	}
+	sort.Slice(candidates, func(a, b int) bool { return candidates[a] < candidates[b] })
+	v := Verdict{Candidates: candidates}
+	if len(candidates) == 1 {
+		v.Known, v.Last = true, candidates[0]
+	}
+	return v
+}
+
+// ActualLast returns the process whose crash event is the last in the
+// history — the ground truth a recovery verdict is judged against — and
+// whether every process crashed (total failure).
+func ActualLast(h model.History) (model.ProcID, bool) {
+	n := h.Processes()
+	last := model.None
+	lastIdx := -1
+	crashes := 0
+	for i, e := range h {
+		if e.Kind == model.KindCrash {
+			crashes++
+			if i > lastIdx {
+				lastIdx, last = i, e.Proc
+			}
+		}
+	}
+	return last, crashes == n
+}
+
+// Correct reports whether the recovery verdict is consistent with the
+// ground truth: an unknown verdict is trivially consistent (recovery must
+// wait for more processes, which is §6's fallback), and a known verdict
+// must name the actual last crasher.
+func Correct(v Verdict, actual model.ProcID) bool {
+	if !v.Known {
+		return true
+	}
+	return v.Last == actual
+}
+
+// Misleading reports whether the persisted views would mislead an
+// early-recovering process: some candidate other than the actual last
+// crasher exists. This captures the §6 anomaly, where process 1 recovers
+// first and wrongly concludes it failed last, without requiring the
+// candidate set to be a singleton.
+func Misleading(v Verdict, actual model.ProcID) bool {
+	for _, c := range v.Candidates {
+		if c != actual {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,211 @@
+package lastfail_test
+
+import (
+	"testing"
+
+	"failstop/internal/cluster"
+	"failstop/internal/core"
+	"failstop/internal/lastfail"
+	"failstop/internal/model"
+	"failstop/internal/node"
+	"failstop/internal/sim"
+)
+
+func recorders(n int) (func(model.ProcID) core.App, []*lastfail.Store) {
+	stores := make([]*lastfail.Store, n+1)
+	return func(p model.ProcID) core.App {
+		s := lastfail.NewStore(p)
+		stores[p] = s
+		return &lastfail.Recorder{Stable: s}
+	}, stores
+}
+
+// TestSection6AnomalyUnderCheapModel reproduces the exact two-process story
+// of §6: process 1 falsely detects 2's failure and then crashes; process 2
+// detects 1's failure, proceeds with its work, and finally crashes. A
+// recovering process 1 would wrongly conclude it was the last to fail.
+func TestSection6AnomalyUnderCheapModel(t *testing.T) {
+	apps, stores := recorders(2)
+	delay := func(from, to model.ProcID, p node.Payload, at int64) int64 {
+		if from == 1 && to == 2 {
+			return 100 // "2 failed" crawls: 2 lives on for a while
+		}
+		return 10
+	}
+	c := cluster.New(cluster.Options{
+		Sim: sim.Config{N: 2, Seed: 1, Delay: delay},
+		Det: core.Config{N: 2, T: 2, Protocol: core.Cheap},
+		App: apps,
+	})
+	c.SuspectAt(1, 1, 2) // 1 falsely detects 2
+	c.SuspectAt(5, 2, 1) // 2 detects 1
+	res := c.Run()
+
+	actual, total := lastfail.ActualLast(res.History)
+	if !total {
+		t.Fatal("expected a total failure")
+	}
+	if actual != 2 {
+		t.Fatalf("actual last = %d, want 2 (the §6 story)", actual)
+	}
+	v := lastfail.Recover([]*lastfail.Store{stores[1], stores[2]})
+	if len(v.Candidates) != 2 {
+		t.Fatalf("candidates = %v, want both (the cycle)", v.Candidates)
+	}
+	if !lastfail.Misleading(v, actual) {
+		t.Error("recovery must be misleading under the cheap model")
+	}
+}
+
+// Under sFS the same double suspicion cannot complete both detections:
+// recovery is never misleading.
+func TestNoMisleadingRecoveryUnderSFS(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		apps, stores := recorders(5)
+		c := cluster.New(cluster.Options{
+			Sim: sim.Config{N: 5, Seed: seed, MinDelay: 1, MaxDelay: 20},
+			Det: core.Config{N: 5, T: 2, Protocol: core.SimulatedFailStop},
+			App: apps,
+		})
+		c.SuspectAt(1, 1, 2)
+		c.SuspectAt(1, 2, 1)
+		res := c.Run()
+		// Crash all survivors to model the eventual total failure.
+		// (Stable stores already hold their detection views.)
+		actualFirst, _ := lastfail.ActualLast(res.History)
+		_ = actualFirst
+		for p := model.ProcID(1); p <= 5; p++ {
+			if stores[p] != nil && !stores[p].Crashed {
+				stores[p].Crashed = true
+			}
+		}
+		// Ground truth: the protocol's victims crashed during the run; the
+		// survivors "crash" afterwards, so any candidate naming a victim is
+		// misleading. Under sFS, mutual detection is impossible, so at most
+		// one of {1,2} appears in any view, and no *victim* can be a
+		// candidate (it would need to have detected its own detector's
+		// failure, completing a cycle).
+		sl := make([]*lastfail.Store, 0, 5)
+		for p := model.ProcID(1); p <= 5; p++ {
+			sl = append(sl, stores[p])
+		}
+		v := lastfail.Recover(sl)
+		for _, cand := range v.Candidates {
+			if res.History.CrashIndex(cand) >= 0 {
+				t.Errorf("seed %d: in-run victim %d qualifies as last-to-fail", seed, cand)
+			}
+		}
+	}
+}
+
+// A clean sequential-failure run under sFS: detections recorded before each
+// crash give a correct (or safely unknown) verdict.
+func TestSequentialFailuresRecovery(t *testing.T) {
+	apps, stores := recorders(10)
+	c := cluster.New(cluster.Options{
+		Sim: sim.Config{N: 10, Seed: 3, MinDelay: 1, MaxDelay: 5},
+		Det: core.Config{N: 10, T: 3, Protocol: core.SimulatedFailStop},
+		App: apps,
+	})
+	// Three genuine crashes, detected in sequence.
+	c.CrashAt(10, 1)
+	c.SuspectAt(30, 2, 1)
+	c.CrashAt(200, 2)
+	c.SuspectAt(230, 3, 2)
+	c.CrashAt(400, 3)
+	c.SuspectAt(430, 4, 3)
+	res := c.Run()
+	for p := model.ProcID(4); p <= 10; p++ {
+		st := stores[p]
+		if !st.Detected[1] || !st.Detected[2] || !st.Detected[3] {
+			t.Fatalf("process %d view incomplete: %v", p, st.Detected)
+		}
+	}
+	// Total failure: survivors die without further detections.
+	for p := model.ProcID(4); p <= 10; p++ {
+		stores[p].Crashed = true
+	}
+	sl := make([]*lastfail.Store, 0, 10)
+	for p := model.ProcID(1); p <= 10; p++ {
+		sl = append(sl, stores[p])
+	}
+	v := lastfail.Recover(sl)
+	// No survivor detected the other survivors, so recovery must say
+	// "unknown" — the §6 fallback of waiting for more processes — rather
+	// than ever naming a wrong process.
+	if v.Known {
+		t.Errorf("verdict should be unknown, got %d", v.Last)
+	}
+	if lastfail.Misleading(v, 10) && len(v.Candidates) > 0 {
+		t.Errorf("candidates %v mislead", v.Candidates)
+	}
+	_ = res
+}
+
+func TestRecoverPureLogic(t *testing.T) {
+	mk := func(p model.ProcID, crashed bool, detected ...model.ProcID) *lastfail.Store {
+		s := lastfail.NewStore(p)
+		s.Crashed = crashed
+		for _, d := range detected {
+			s.Detected[d] = true
+		}
+		return s
+	}
+	// Unique full view: known and correct.
+	v := lastfail.Recover([]*lastfail.Store{
+		mk(1, true),
+		mk(2, true, 1),
+		mk(3, true, 1, 2),
+	})
+	if !v.Known || v.Last != 3 {
+		t.Errorf("verdict = %+v, want Known last=3", v)
+	}
+	if !lastfail.Correct(v, 3) || lastfail.Misleading(v, 3) {
+		t.Error("verdict must be correct and not misleading")
+	}
+	// Cycle: both candidates, misleading.
+	v2 := lastfail.Recover([]*lastfail.Store{
+		mk(1, true, 2),
+		mk(2, true, 1),
+	})
+	if v2.Known || len(v2.Candidates) != 2 {
+		t.Errorf("verdict = %+v, want two candidates", v2)
+	}
+	if !lastfail.Misleading(v2, 2) {
+		t.Error("cyclic views must mislead")
+	}
+	if !lastfail.Correct(v2, 2) {
+		t.Error("unknown verdicts are trivially consistent")
+	}
+	// Live processes are ignored.
+	v3 := lastfail.Recover([]*lastfail.Store{
+		mk(1, true),
+		mk(2, false, 1),
+	})
+	if v3.Known {
+		t.Errorf("live process must not be a candidate: %+v", v3)
+	}
+	// Nil stores tolerated.
+	v4 := lastfail.Recover([]*lastfail.Store{nil, mk(2, true)})
+	if !v4.Known || v4.Last != 2 {
+		t.Errorf("verdict = %+v", v4)
+	}
+}
+
+func TestActualLast(t *testing.T) {
+	h := model.History{
+		model.Crash(2),
+		model.Crash(1),
+	}.Normalize()
+	last, total := lastfail.ActualLast(h)
+	if last != 1 || !total {
+		t.Errorf("ActualLast = %d,%v want 1,true", last, total)
+	}
+	partial := model.History{
+		model.Crash(2),
+		model.Internal(1, "alive", model.None),
+	}.Normalize()
+	if _, total := lastfail.ActualLast(partial); total {
+		t.Error("partial failure reported as total")
+	}
+}

@@ -1,0 +1,146 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FailedBefore is the paper's failed-before relation (Definition 3)
+// restricted to a finite history: i failed-before j iff failed_j(i) occurs
+// in the history. It is a directed graph over process ids.
+type FailedBefore struct {
+	n     int
+	edges map[ProcID][]ProcID // i -> processes j such that failed_j(i) occurs
+}
+
+// NewFailedBefore extracts the failed-before relation from a history.
+func NewFailedBefore(h History) *FailedBefore {
+	fb := &FailedBefore{n: h.Processes(), edges: make(map[ProcID][]ProcID)}
+	seen := make(map[[2]ProcID]bool)
+	for _, e := range h {
+		if e.Kind != KindFailed {
+			continue
+		}
+		key := [2]ProcID{e.Target, e.Proc}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		fb.edges[e.Target] = append(fb.edges[e.Target], e.Proc)
+	}
+	for _, succ := range fb.edges {
+		sort.Slice(succ, func(a, b int) bool { return succ[a] < succ[b] })
+	}
+	return fb
+}
+
+// Holds reports whether i failed-before j (failed_j(i) occurred).
+func (fb *FailedBefore) Holds(i, j ProcID) bool {
+	for _, s := range fb.edges[i] {
+		if s == j {
+			return true
+		}
+	}
+	return false
+}
+
+// Pairs returns all (i, j) pairs with i failed-before j, ordered.
+func (fb *FailedBefore) Pairs() [][2]ProcID {
+	var out [][2]ProcID
+	var keys []ProcID
+	for i := range fb.edges {
+		keys = append(keys, i)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	for _, i := range keys {
+		for _, j := range fb.edges[i] {
+			out = append(out, [2]ProcID{i, j})
+		}
+	}
+	return out
+}
+
+// Cycle returns a cycle in the failed-before relation as a sequence of
+// process ids (x1, x2, ..., xk) such that x1 failed-before x2, ...,
+// xk failed-before x1 — i.e. a violation of sFS2b / Condition 2 — or nil if
+// the relation is acyclic.
+func (fb *FailedBefore) Cycle() []ProcID {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[ProcID]int, fb.n)
+	parent := make(map[ProcID]ProcID, fb.n)
+
+	var cycle []ProcID
+	var dfs func(u ProcID) bool
+	dfs = func(u ProcID) bool {
+		color[u] = gray
+		for _, v := range fb.edges[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Found a back edge u -> v: reconstruct v ... u.
+				cycle = []ProcID{v}
+				for x := u; x != v; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				// reverse to get v, ..., u in edge order
+				for a, b := 0, len(cycle)-1; a < b; a, b = a+1, b-1 {
+					cycle[a], cycle[b] = cycle[b], cycle[a]
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+
+	var roots []ProcID
+	for i := range fb.edges {
+		roots = append(roots, i)
+	}
+	sort.Slice(roots, func(a, b int) bool { return roots[a] < roots[b] })
+	for _, r := range roots {
+		if color[r] == white && dfs(r) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Acyclic reports whether the failed-before relation has no cycle
+// (Condition 2 / sFS2b).
+func (fb *FailedBefore) Acyclic() bool { return fb.Cycle() == nil }
+
+// Transitive reports whether the relation is transitive: whenever i
+// failed-before j and j failed-before k, also i failed-before k. §6 notes
+// that sFS's failed-before relation is *not* transitive in general, and that
+// transitivity enables faster last-process-to-fail recovery.
+func (fb *FailedBefore) Transitive() bool {
+	for i, js := range fb.edges {
+		for _, j := range js {
+			for _, k := range fb.edges[j] {
+				if k != i && !fb.Holds(i, k) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// String renders the relation as "i -> j" lines.
+func (fb *FailedBefore) String() string {
+	pairs := fb.Pairs()
+	out := make([]byte, 0, len(pairs)*8)
+	for _, p := range pairs {
+		out = append(out, fmt.Sprintf("%d failed-before %d\n", p[0], p[1])...)
+	}
+	return string(out)
+}

@@ -1,0 +1,306 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// History is a finite prefix of a run's history: the sequence of events
+// (e_0, e_1, e_2, ...) that transforms the initial global state into the
+// final one. The paper's runs are infinite; this repository works with
+// finite executions run to quiescence, and each property checker documents
+// how it treats the finite horizon (see internal/checker).
+type History []Event
+
+// Normalize assigns each event's Seq field to its index and returns h.
+func (h History) Normalize() History {
+	for i := range h {
+		h[i].Seq = i
+	}
+	return h
+}
+
+// Clone returns a deep copy of the history.
+func (h History) Clone() History {
+	c := make(History, len(h))
+	copy(c, h)
+	return c
+}
+
+// Processes returns the largest process id that appears anywhere in the
+// history (as actor, peer, or target). Histories produced by the simulator
+// use the contiguous id space 1..n, so this is n.
+func (h History) Processes() int {
+	max := ProcID(0)
+	for _, e := range h {
+		for _, p := range [...]ProcID{e.Proc, e.Peer, e.Target} {
+			if p > max {
+				max = p
+			}
+		}
+	}
+	return int(max)
+}
+
+// Projection returns the subsequence of events executed by process p,
+// in history order. This is the operational form of the paper's r_i (the
+// state sequence of i with stutters removed): two histories are isomorphic
+// with respect to i exactly when their projections onto i are Same-equal
+// event for event.
+func (h History) Projection(p ProcID) []Event {
+	var out []Event
+	for _, e := range h {
+		if e.Proc == p {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// IsomorphicTo reports whether h =_P h': every process executes the same
+// events in the same order in both histories (Definition 4's r =_P r').
+func (h History) IsomorphicTo(o History) bool {
+	n := h.Processes()
+	if on := o.Processes(); on > n {
+		n = on
+	}
+	for p := ProcID(1); p <= ProcID(n); p++ {
+		a, b := h.Projection(p), o.Projection(p)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !a[i].Same(b[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DropTags returns the subsequence of h without send/receive events whose
+// payload tag is in tags. Crash, failed, and internal events are always
+// kept.
+//
+// This is the abstraction step between a protocol implementation and the
+// paper's model: the §5 protocol exchanges SUSP messages (and the fd layer
+// exchanges heartbeats) in order to IMPLEMENT the failed/crash events, and
+// the sFS properties of §3 constrain the model-level history — application
+// messages plus crash and failed events — not the detector's own machinery.
+// (§4 makes this explicit: a one-round protocol "exchanges one round of
+// messages ... before executing failed_i(j)"; those messages realize the
+// event, they are not events the model reasons about.) Dropping a tag
+// removes both the send and the matching receive, so the result is again a
+// valid history.
+func (h History) DropTags(tags ...string) History {
+	drop := make(map[string]bool, len(tags))
+	for _, t := range tags {
+		drop[t] = true
+	}
+	out := make(History, 0, len(h))
+	for _, e := range h {
+		if (e.Kind == KindSend || e.Kind == KindRecv) && drop[e.Tag] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out.Normalize()
+}
+
+// CrashIndex returns the index of crash_p in h, or -1 if p never crashes.
+func (h History) CrashIndex(p ProcID) int {
+	for i, e := range h {
+		if e.Kind == KindCrash && e.Proc == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// FailedIndex returns the index of failed_i(j) in h, or -1 if i never
+// detects the failure of j.
+func (h History) FailedIndex(i, j ProcID) int {
+	for k, e := range h {
+		if e.Kind == KindFailed && e.Proc == i && e.Target == j {
+			return k
+		}
+	}
+	return -1
+}
+
+// SendIndex returns the index of the send event for message id, or -1.
+func (h History) SendIndex(id MsgID) int {
+	for i, e := range h {
+		if e.Kind == KindSend && e.Msg == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// RecvIndex returns the index of the receive event for message id, or -1.
+func (h History) RecvIndex(id MsgID) int {
+	for i, e := range h {
+		if e.Kind == KindRecv && e.Msg == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Crashed returns the set of processes that crash in h.
+func (h History) Crashed() map[ProcID]bool {
+	out := make(map[ProcID]bool)
+	for _, e := range h {
+		if e.Kind == KindCrash {
+			out[e.Proc] = true
+		}
+	}
+	return out
+}
+
+// Detections returns every (detector, detected) pair realized in h, in
+// history order: one entry per failed_i(j) event.
+func (h History) Detections() []Detection {
+	var out []Detection
+	for i, e := range h {
+		if e.Kind == KindFailed {
+			out = append(out, Detection{Detector: e.Proc, Detected: e.Target, Index: i})
+		}
+	}
+	return out
+}
+
+// Detection is one failure-detection event: Detector executed
+// failed_Detector(Detected) at history index Index.
+type Detection struct {
+	Detector ProcID
+	Detected ProcID
+	Index    int
+}
+
+// ValidationError describes a way in which a sequence of events fails to be
+// a history of any run of the paper's system model.
+type ValidationError struct {
+	Index int    // offending event index, or -1 for history-wide violations
+	Rule  string // short rule name, e.g. "fifo", "crash-finality"
+	Desc  string
+}
+
+// Error implements the error interface.
+func (v *ValidationError) Error() string {
+	if v.Index >= 0 {
+		return fmt.Sprintf("invalid history at event %d: %s: %s", v.Index, v.Rule, v.Desc)
+	}
+	return fmt.Sprintf("invalid history: %s: %s", v.Rule, v.Desc)
+}
+
+// ErrInvalidHistory is the sentinel wrapped by all validation errors.
+var ErrInvalidHistory = errors.New("invalid history")
+
+func violation(idx int, rule, format string, args ...any) error {
+	return fmt.Errorf("%w: %w", ErrInvalidHistory,
+		&ValidationError{Index: idx, Rule: rule, Desc: fmt.Sprintf(format, args...)})
+}
+
+// Validate checks that h could be the history of a run of the system model
+// of §2 / Appendix A.1:
+//
+//   - every event has a valid kind and an actor process;
+//   - each message id is sent at most once and received at most once;
+//   - every receive matches an earlier send with the same message id over
+//     the same channel (recv_i(j,m) requires an earlier send_j(i,m)), and
+//     the payload tag and subject agree;
+//   - channels are FIFO: receives on channel C_{j,i} occur in the order of
+//     their matching sends;
+//   - crash is final: a crashed process executes no further events, and
+//     crash_p occurs at most once;
+//   - detection is stable and single-shot: failed_i(j) occurs at most once
+//     per ordered pair (i, j).
+//
+// Validate returns nil for a valid history, or an error wrapping both
+// ErrInvalidHistory and a *ValidationError describing the first violation.
+func (h History) Validate() error {
+	type chanKey struct{ from, to ProcID }
+	sendIdx := make(map[MsgID]int)         // message id -> send event index
+	recvSeen := make(map[MsgID]bool)       // message id -> received already
+	sendOrder := make(map[chanKey][]MsgID) // per-channel send order
+	recvCursor := make(map[chanKey]int)    // per-channel next expected send position
+	crashed := make(map[ProcID]bool)       // processes that have crashed
+	detected := make(map[[2]ProcID]bool)   // (i,j) -> failed_i(j) seen
+
+	for idx, e := range h {
+		if e.Proc == None {
+			return violation(idx, "actor", "event %s has no actor process", e)
+		}
+		switch e.Kind {
+		case KindSend, KindRecv, KindCrash, KindFailed, KindInternal:
+		default:
+			return violation(idx, "kind", "event has invalid kind %d", int(e.Kind))
+		}
+		if crashed[e.Proc] {
+			return violation(idx, "crash-finality", "process %d executes %s after crashing", e.Proc, e)
+		}
+		switch e.Kind {
+		case KindSend:
+			if e.Peer == None || e.Msg == 0 {
+				return violation(idx, "send", "send event %s lacks destination or message id", e)
+			}
+			if prev, dup := sendIdx[e.Msg]; dup {
+				return violation(idx, "unique-msg", "message m%d sent twice (first at %d)", e.Msg, prev)
+			}
+			sendIdx[e.Msg] = idx
+			k := chanKey{from: e.Proc, to: e.Peer}
+			sendOrder[k] = append(sendOrder[k], e.Msg)
+		case KindRecv:
+			if e.Peer == None || e.Msg == 0 {
+				return violation(idx, "recv", "receive event %s lacks source or message id", e)
+			}
+			si, ok := sendIdx[e.Msg]
+			if !ok {
+				return violation(idx, "recv-before-send", "message m%d received but never sent earlier", e.Msg)
+			}
+			if recvSeen[e.Msg] {
+				return violation(idx, "unique-recv", "message m%d received twice", e.Msg)
+			}
+			s := h[si]
+			if s.Proc != e.Peer || s.Peer != e.Proc {
+				return violation(idx, "channel", "message m%d sent on C_{%d,%d} but received as if on C_{%d,%d}",
+					e.Msg, s.Proc, s.Peer, e.Peer, e.Proc)
+			}
+			if s.Tag != e.Tag || s.Target != e.Target {
+				return violation(idx, "garble", "message m%d payload differs between send (%s) and receive (%s)",
+					e.Msg, s.payload(), e.payload())
+			}
+			k := chanKey{from: e.Peer, to: e.Proc}
+			cur := recvCursor[k]
+			order := sendOrder[k]
+			if cur >= len(order) || order[cur] != e.Msg {
+				return violation(idx, "fifo", "message m%d received out of FIFO order on C_{%d,%d}", e.Msg, e.Peer, e.Proc)
+			}
+			recvCursor[k] = cur + 1
+			recvSeen[e.Msg] = true
+		case KindCrash:
+			crashed[e.Proc] = true
+		case KindFailed:
+			if e.Target == None {
+				return violation(idx, "failed", "failed event of %d lacks a target", e.Proc)
+			}
+			key := [2]ProcID{e.Proc, e.Target}
+			if detected[key] {
+				return violation(idx, "failed-once", "failed_%d(%d) executed twice", e.Proc, e.Target)
+			}
+			detected[key] = true
+		}
+	}
+	return nil
+}
+
+// String renders the history one event per line, in the paper's notation.
+func (h History) String() string {
+	out := make([]byte, 0, len(h)*24)
+	for i, e := range h {
+		out = append(out, fmt.Sprintf("%4d  %s\n", i, e)...)
+	}
+	return string(out)
+}

@@ -1,0 +1,156 @@
+package model
+
+// VClock is a vector clock over the process id space 1..n. Index 0 is
+// unused so that VClock[p] is the component of process p directly.
+type VClock []int64
+
+// NewVClock returns a zeroed vector clock for n processes.
+func NewVClock(n int) VClock { return make(VClock, n+1) }
+
+// Clone returns a copy of the clock.
+func (v VClock) Clone() VClock {
+	c := make(VClock, len(v))
+	copy(c, v)
+	return c
+}
+
+// Join sets v to the componentwise maximum of v and o.
+func (v VClock) Join(o VClock) {
+	for i := range v {
+		if i < len(o) && o[i] > v[i] {
+			v[i] = o[i]
+		}
+	}
+}
+
+// LessEq reports whether v ≤ o componentwise.
+func (v VClock) LessEq(o VClock) bool {
+	for i := range v {
+		var ov int64
+		if i < len(o) {
+			ov = o[i]
+		}
+		if v[i] > ov {
+			return false
+		}
+	}
+	return true
+}
+
+// HB computes happens-before over a history. It is built once per history
+// and answers queries in O(1) via vector clocks. The relation follows the
+// paper's Definition (§2): program order, send-before-matching-receive, and
+// transitive closure — and, like the paper's, it is reflexive.
+type HB struct {
+	h      History
+	clocks []VClock // clocks[k] is the vector clock of event k
+}
+
+// NewHB computes vector clocks for every event of h in a single pass.
+// h must be a valid history (receives matched to earlier sends); NewHB does
+// not re-validate.
+func NewHB(h History) *HB {
+	n := h.Processes()
+	clocks := make([]VClock, len(h))
+	last := make([]VClock, n+1) // last[p]: clock of p's most recent event
+	sendClock := make(map[MsgID]VClock, len(h)/2)
+
+	for k, e := range h {
+		c := NewVClock(n)
+		if prev := last[e.Proc]; prev != nil {
+			copy(c, prev)
+		}
+		if e.Kind == KindRecv {
+			if sc := sendClock[e.Msg]; sc != nil {
+				c.Join(sc)
+			}
+		}
+		c[e.Proc]++
+		clocks[k] = c
+		last[e.Proc] = c
+		if e.Kind == KindSend {
+			sendClock[e.Msg] = c
+		}
+	}
+	return &HB{h: h, clocks: clocks}
+}
+
+// Before reports whether event at index a happens-before the event at index
+// b (reflexively: Before(a, a) is true). Indexes are history positions.
+func (hb *HB) Before(a, b int) bool {
+	if a == b {
+		return true
+	}
+	ea := hb.h[a]
+	// Standard vector-clock test: a -> b iff VC(a)[proc(a)] <= VC(b)[proc(a)].
+	pa := int(ea.Proc)
+	cb := hb.clocks[b]
+	if pa >= len(cb) {
+		return false
+	}
+	return hb.clocks[a][pa] <= cb[pa]
+}
+
+// Concurrent reports whether the events at indexes a and b are unordered by
+// happens-before.
+func (hb *HB) Concurrent(a, b int) bool {
+	return a != b && !hb.Before(a, b) && !hb.Before(b, a)
+}
+
+// Clock returns the vector clock of the event at index k (shared, not a copy).
+func (hb *HB) Clock(k int) VClock { return hb.clocks[k] }
+
+// BeforeBFS is a reference implementation of happens-before that walks the
+// event DAG (program-order edges plus send→receive edges) instead of using
+// vector clocks. It is exponentially slower and exists only as an oracle for
+// property tests cross-checking HB.
+func BeforeBFS(h History, a, b int) bool {
+	if a == b {
+		return true
+	}
+	if a > b {
+		// happens-before implies history order (paper §2): a later event can
+		// never happen-before an earlier one.
+		return false
+	}
+	// Precompute edges: program-order successor and send->recv matching.
+	next := make([]int, len(h)) // next[k]: index of the next event of h[k].Proc, or -1
+	lastOf := make(map[ProcID]int)
+	for k := range h {
+		next[k] = -1
+	}
+	for k, e := range h {
+		if prev, ok := lastOf[e.Proc]; ok {
+			next[prev] = k
+		}
+		lastOf[e.Proc] = k
+	}
+	recvOf := make(map[MsgID]int)
+	for k, e := range h {
+		if e.Kind == KindRecv {
+			recvOf[e.Msg] = k
+		}
+	}
+	// BFS over indexes reachable from a via the relation.
+	seen := make([]bool, len(h))
+	queue := []int{a}
+	seen[a] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == b {
+			return true
+		}
+		if nk := next[cur]; nk >= 0 && !seen[nk] {
+			seen[nk] = true
+			queue = append(queue, nk)
+		}
+		if e := h[cur]; e.Kind == KindSend {
+			if rk, ok := recvOf[e.Msg]; ok && !seen[rk] {
+				seen[rk] = true
+				queue = append(queue, rk)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,153 @@
+// Package quorum implements the quorum arithmetic of §4: the Witness
+// property, the minimum fixed quorum size of Theorem 7, the replication
+// bound of Corollary 8, and the adversarial quorum-set family used in the
+// Theorem 7 lower-bound proof.
+package quorum
+
+import (
+	"fmt"
+
+	"failstop/internal/model"
+)
+
+// MinSize returns the minimum fixed quorum size that guarantees the Witness
+// property when up to t failures (including erroneous detections) can occur
+// among n processes: the smallest integer strictly greater than n(t-1)/t
+// (Theorem 7).
+//
+// MinSize panics if n < 1 or t < 1; t = 1 yields 1 (a single process may
+// detect unilaterally, because a failed-before cycle needs at least two
+// crashes).
+func MinSize(n, t int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("quorum: n = %d, must be >= 1", n))
+	}
+	if t < 1 {
+		panic(fmt.Sprintf("quorum: t = %d, must be >= 1", t))
+	}
+	// Smallest integer > n(t-1)/t  ==  floor(n(t-1)/t) + 1.
+	return n*(t-1)/t + 1
+}
+
+// MaxTolerable returns the largest t such that a one-round protocol using
+// minimum-size quorums makes progress with n processes: by Corollary 8 this
+// requires n > t², so the answer is ⌈√n⌉ - 1 computed exactly.
+func MaxTolerable(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("quorum: n = %d, must be >= 1", n))
+	}
+	t := 0
+	for (t+1)*(t+1) < n {
+		t++
+	}
+	return t
+}
+
+// Progresses reports whether a one-round protocol with minimum quorums can
+// complete detections when t of the n processes may be down: the quorum
+// must be reachable from the n-t processes that remain, i.e.
+// n - t >= MinSize(n, t). By Corollary 8 this is equivalent to n > t².
+func Progresses(n, t int) bool {
+	return n-t >= MinSize(n, t)
+}
+
+// Witness reports whether the family of quorum sets satisfies the Witness
+// property W: the intersection of all quorum sets is nonempty (§4). The
+// family maps each detection to the set of processes whose acknowledgements
+// the detector collected.
+func Witness(quorums []map[model.ProcID]bool) (model.ProcID, bool) {
+	if len(quorums) == 0 {
+		return model.None, true
+	}
+	// Intersect all sets, iterating over the first.
+	for w := range quorums[0] {
+		inAll := true
+		for _, q := range quorums[1:] {
+			if !q[w] {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			return w, true
+		}
+	}
+	return model.None, false
+}
+
+// SubfamiliesIntersect reports whether every subfamily of at most t of the
+// given quorum sets has a nonempty intersection. This is the form of the
+// Witness property that Theorem 7's quorum size actually guarantees — and
+// all that sFS2b needs, because a failed-before cycle involves at most t
+// processes (at most t crashes occur), hence at most t quorum sets.
+//
+// A family may have empty global intersection while every t-subfamily
+// intersects; such a family is still safe.
+func SubfamiliesIntersect(quorums []map[model.ProcID]bool, t int) bool {
+	if t <= 0 || len(quorums) <= 1 {
+		return true
+	}
+	if t > len(quorums) {
+		t = len(quorums)
+	}
+	idx := make([]int, t)
+	var rec func(pos, start int) bool
+	rec = func(pos, start int) bool {
+		if pos == t {
+			sub := make([]map[model.ProcID]bool, t)
+			for i, q := range idx {
+				sub[i] = quorums[q]
+			}
+			_, okW := Witness(sub)
+			return okW
+		}
+		for i := start; i <= len(quorums)-(t-pos); i++ {
+			idx[pos] = i
+			if !rec(pos+1, i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0, 0)
+}
+
+// EmptyIntersectionFamily constructs the Theorem 7 adversarial family: t
+// quorum sets over processes 1..n, each of size n - ⌈n/t⌉, such that every
+// process is excluded from at least one set and the intersection of the
+// family is therefore empty. It returns nil if no such family exists for
+// the given sizes (i.e. when the per-set exclusion windows cannot cover all
+// n processes).
+//
+// This is the construction from the proof of Theorem 7:
+// Q_1 = P - {1..y}, Q_2 = P - {y+1..2y}, ..., with y = ⌈n/t⌉.
+func EmptyIntersectionFamily(n, t int) []map[model.ProcID]bool {
+	if n < 1 || t < 1 {
+		return nil
+	}
+	y := (n + t - 1) / t // ⌈n/t⌉, so that t windows of y processes cover 1..n
+	if y >= n {
+		// Each exclusion window swallows every process: quorums are empty,
+		// and the intersection is trivially empty (only meaningful for t=1
+		// or tiny n; callers treat it as "no interesting family").
+		return nil
+	}
+	fam := make([]map[model.ProcID]bool, 0, t)
+	for i := 0; i < t; i++ {
+		lo, hi := i*y+1, (i+1)*y
+		if hi > n {
+			// The paper's final window is {n-y+1 .. n}: shifted to keep the
+			// excluded set at exactly y processes, overlapping its
+			// predecessor rather than shrinking.
+			lo, hi = n-y+1, n
+		}
+		q := make(map[model.ProcID]bool, n-y)
+		for p := 1; p <= n; p++ {
+			if p < lo || p > hi {
+				q[model.ProcID(p)] = true
+			}
+		}
+		fam = append(fam, q)
+	}
+	return fam
+}

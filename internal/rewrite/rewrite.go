@@ -1,0 +1,285 @@
+// Package rewrite implements the constructive content of Theorem 5: every
+// history satisfying the simulated-fail-stop conditions is isomorphic (with
+// respect to every process) to a history satisfying fail-stop. Given a
+// model-level history, the package produces the witnessing FS history — an
+// explicit certificate of indistinguishability — or reports that none
+// exists (as for the Theorem 3 counterexample).
+//
+// Two independent algorithms are provided and cross-checked in tests:
+//
+//   - Graph: build the constraint graph over events — program-order edges,
+//     send→receive edges, and one edge crash_i → failed_j(i) per detection
+//     (the FS2 obligation) — and topologically sort it, preferring the
+//     original order. A topological order restricted to the first two edge
+//     kinds is exactly an isomorphic valid history; the extra edges force
+//     FS2. A cycle proves no isomorphic FS run exists.
+//
+//   - Swaps: the paper's Appendix A.2 procedure. Pick a "bad pair" (i, j)
+//     with failed_j(i) preceding crash_i; repeatedly move the first event
+//     in the window between them that is not happens-after failed_j(i) to
+//     just before failed_j(i), until crash_i itself moves; repeat across
+//     bad pairs. The paper's case analysis shows this terminates on sFS
+//     histories.
+//
+// FS-realizability (the graph acyclicity test) is also exposed directly:
+// it is the operational form of "∃r' ∈ FS: r' =_P r".
+package rewrite
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"failstop/internal/model"
+)
+
+// ErrNotRealizable reports that no isomorphic fail-stop history exists.
+var ErrNotRealizable = errors.New("rewrite: history is not isomorphic to any fail-stop history")
+
+// ErrNoCrash reports a detection whose target never crashes in the history:
+// FS2 can then never be satisfied by reordering (sFS2a must hold, and the
+// history must include the crash — run the system to quiescence first).
+var ErrNoCrash = errors.New("rewrite: detected process never crashes in the history")
+
+// Stats describes the work a rewrite performed.
+type Stats struct {
+	// BadPairs is the number of (detected, detector) pairs that initially
+	// violated FS2 order.
+	BadPairs int
+	// Moves counts single-event moves (swap algorithm) or total events
+	// re-emitted (graph algorithm).
+	Moves int
+	// Passes counts bad-pair fixing rounds (swap algorithm only).
+	Passes int
+}
+
+// Graph rewrites h into an isomorphic history satisfying FS2, using the
+// constraint-graph topological sort. The input must be a valid history
+// (model.History.Validate) whose detections all have a crash event
+// (checker.SFS2a); otherwise an error is returned. On success the result
+// is valid, isomorphic to h w.r.t. every process, and satisfies FS2.
+func Graph(h model.History) (model.History, Stats, error) {
+	var st Stats
+	n := len(h)
+	adj := make([][]int, n) // adj[a] = successors of a
+	indeg := make([]int, n)
+
+	addEdge := func(a, b int) {
+		adj[a] = append(adj[a], b)
+		indeg[b]++
+	}
+
+	// Program-order edges.
+	lastOf := make(map[model.ProcID]int)
+	for k, e := range h {
+		if prev, okP := lastOf[e.Proc]; okP {
+			addEdge(prev, k)
+		}
+		lastOf[e.Proc] = k
+	}
+	// Message edges.
+	sendAt := make(map[model.MsgID]int)
+	for k, e := range h {
+		if e.Kind == model.KindSend {
+			sendAt[e.Msg] = k
+		}
+	}
+	for k, e := range h {
+		if e.Kind == model.KindRecv {
+			s, okS := sendAt[e.Msg]
+			if !okS {
+				return nil, st, fmt.Errorf("rewrite: receive of m%d without send (invalid history)", e.Msg)
+			}
+			addEdge(s, k)
+		}
+	}
+	// FS2 edges: crash_i before failed_j(i).
+	for _, d := range h.Detections() {
+		ci := h.CrashIndex(d.Detected)
+		if ci < 0 {
+			return nil, st, fmt.Errorf("%w: failed_%d(%d)", ErrNoCrash, d.Detector, d.Detected)
+		}
+		if ci > d.Index {
+			st.BadPairs++
+		}
+		addEdge(ci, d.Index)
+	}
+
+	// Kahn's algorithm with a min-heap on original index: the output is the
+	// lexicographically earliest topological order, i.e. as close to the
+	// original interleaving as the constraints allow.
+	pq := &intHeap{}
+	for k := 0; k < n; k++ {
+		if indeg[k] == 0 {
+			heap.Push(pq, k)
+		}
+	}
+	out := make(model.History, 0, n)
+	for pq.Len() > 0 {
+		k := heap.Pop(pq).(int)
+		out = append(out, h[k])
+		for _, succ := range adj[k] {
+			indeg[succ]--
+			if indeg[succ] == 0 {
+				heap.Push(pq, succ)
+			}
+		}
+	}
+	if len(out) != n {
+		return nil, st, fmt.Errorf("%w: constraint cycle among %d events", ErrNotRealizable, n-len(out))
+	}
+	st.Moves = n
+	return out.Normalize(), st, nil
+}
+
+// Realizable reports whether an isomorphic fail-stop history exists for h:
+// the constraint graph of Graph is acyclic and every detection's target
+// crashes. This is the decision procedure behind Theorem 3's negative
+// example and Theorem 5's positive guarantee.
+func Realizable(h model.History) bool {
+	_, _, err := Graph(h)
+	return err == nil
+}
+
+// maxSwapPasses bounds the outer bad-pair loop of Swaps. Theorem 5's proof
+// bounds the number of re-badded pairs by n per fix; n^2 * detections is a
+// generous ceiling that only an un-rewritable (non-sFS) input can hit.
+func maxSwapPasses(h model.History) int {
+	n := h.Processes()
+	d := len(h.Detections())
+	if d == 0 {
+		return 1
+	}
+	return (n*n + 1) * d
+}
+
+// Swaps rewrites h using the paper's Appendix A.2 swap construction. The
+// input requirements and output guarantees match Graph. Inputs that satisfy
+// the sFS conditions always succeed (Theorem 5); other inputs may exhaust
+// the pass budget and return ErrNotRealizable.
+func Swaps(h model.History) (model.History, Stats, error) {
+	var st Stats
+	cur := h.Clone().Normalize()
+
+	// Precondition shared with Graph: every detected process crashes.
+	for _, d := range cur.Detections() {
+		if cur.CrashIndex(d.Detected) < 0 {
+			return nil, st, fmt.Errorf("%w: failed_%d(%d)", ErrNoCrash, d.Detector, d.Detected)
+		}
+	}
+	st.BadPairs = len(badPairs(cur))
+
+	budget := maxSwapPasses(cur)
+	for pass := 0; ; pass++ {
+		if pass > budget {
+			return nil, st, fmt.Errorf("%w: swap construction did not converge", ErrNotRealizable)
+		}
+		bps := badPairs(cur)
+		if len(bps) == 0 {
+			break
+		}
+		st.Passes++
+		var err error
+		cur, err = fixPair(cur, bps[0], &st)
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	return cur.Normalize(), st, nil
+}
+
+// badPair identifies failed_j(i) at index fi preceding crash_i at index ci.
+type badPair struct {
+	i, j   model.ProcID
+	fi, ci int
+}
+
+func badPairs(h model.History) []badPair {
+	var out []badPair
+	for _, d := range h.Detections() {
+		ci := h.CrashIndex(d.Detected)
+		if ci > d.Index {
+			out = append(out, badPair{i: d.Detected, j: d.Detector, fi: d.Index, ci: ci})
+		}
+	}
+	return out
+}
+
+// fixPair applies the inner induction of the Appendix A.2 base case: move
+// events of the window (failed_j(i) .. crash_i] that are not happens-after
+// failed_j(i) to just before failed_j(i), first such event first, until
+// crash_i has been moved.
+func fixPair(h model.History, bp badPair, st *Stats) (model.History, error) {
+	for {
+		hb := model.NewHB(h)
+		fi := h.FailedIndex(bp.j, bp.i)
+		ci := h.CrashIndex(bp.i)
+		if ci < fi {
+			return h, nil // pair fixed
+		}
+		if hb.Before(fi, ci) {
+			// Lemma 4 rules this out for sFS histories; a non-sFS input can
+			// trigger it.
+			return nil, fmt.Errorf("%w: failed_%d(%d) happens-before crash_%d",
+				ErrNotRealizable, bp.j, bp.i, bp.i)
+		}
+		// First event in (fi, ci] not happens-after failed_j(i).
+		moved := false
+		for k := fi + 1; k <= ci; k++ {
+			if hb.Before(fi, k) {
+				continue
+			}
+			// Move h[k] to position fi (just before the failed event),
+			// shifting fi..k-1 right by one.
+			e := h[k]
+			copy(h[fi+1:k+1], h[fi:k])
+			h[fi] = e
+			h.Normalize()
+			st.Moves++
+			moved = true
+			break
+		}
+		if !moved {
+			return nil, fmt.Errorf("%w: window of failed_%d(%d) fully happens-after it",
+				ErrNotRealizable, bp.j, bp.i)
+		}
+	}
+}
+
+// Verify checks that rewritten is a correct Theorem 5 witness for original:
+// valid, isomorphic to original with respect to every process, and
+// satisfying FS2 (every detection after its target's crash). It returns nil
+// on success.
+func Verify(original, rewritten model.History) error {
+	if err := rewritten.Validate(); err != nil {
+		return fmt.Errorf("rewrite: result invalid: %w", err)
+	}
+	if len(original) != len(rewritten) {
+		return fmt.Errorf("rewrite: result has %d events, original %d", len(rewritten), len(original))
+	}
+	if !original.IsomorphicTo(rewritten) {
+		return errors.New("rewrite: result not isomorphic to original")
+	}
+	for _, d := range rewritten.Detections() {
+		ci := rewritten.CrashIndex(d.Detected)
+		if ci < 0 || ci > d.Index {
+			return fmt.Errorf("rewrite: FS2 violated in result: failed_%d(%d) at %d, crash at %d",
+				d.Detector, d.Detected, d.Index, ci)
+		}
+	}
+	return nil
+}
+
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,457 @@
+// Package runtime is the live counterpart of internal/sim: the same
+// node.Handler/node.Context contract, executed by real goroutines over
+// mutex-guarded FIFO queues with randomized real-time delays, instead of a
+// deterministic virtual-time scheduler.
+//
+// It exists to show that the protocol stack is a real implementation, not a
+// simulator artifact: the §5 detector, fd layer, and applications run here
+// unchanged. Runs are nondeterministic, so tests against the runtime assert
+// only schedule-independent properties (the sFS conditions hold on the
+// recorded history of every schedule).
+//
+// Concurrency design: one worker goroutine per process delivers messages
+// and timers serially, so handler callbacks are never concurrent for the
+// same process. Senders enqueue onto per-channel FIFO queues with a
+// delivery-ready timestamp; the worker picks the earliest ready channel
+// head its gate accepts. A global recorder assigns history order by lock
+// acquisition, which is consistent with every per-process and per-channel
+// order — recorded histories are valid model histories.
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"failstop/internal/model"
+	"failstop/internal/node"
+)
+
+// Config parameterizes a live network.
+type Config struct {
+	// N is the number of processes. Required.
+	N int
+	// Seed seeds the delay generator.
+	Seed int64
+	// MinDelay and MaxDelay bound the uniform per-message delivery delay.
+	// Defaults: 100µs and 2ms.
+	MinDelay, MaxDelay time.Duration
+	// Tick is the duration of one virtual tick for node.Context.Now and
+	// SetTimer. Default: 1ms.
+	Tick time.Duration
+}
+
+// Net is a live network of processes. Attach handlers, Start, then Stop.
+type Net struct {
+	cfg      Config
+	start    time.Time
+	handlers []node.Handler
+	procs    []*proc
+
+	recMu   sync.Mutex
+	history model.History
+	nextMsg model.MsgID
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	wg      sync.WaitGroup
+	stopCh  chan struct{}
+	started bool
+	stopped bool
+	mu      sync.Mutex
+}
+
+// New creates a live network.
+func New(cfg Config) *Net {
+	if cfg.N <= 0 {
+		panic("runtime: Config.N must be positive")
+	}
+	if cfg.MinDelay == 0 && cfg.MaxDelay == 0 {
+		cfg.MinDelay, cfg.MaxDelay = 100*time.Microsecond, 2*time.Millisecond
+	}
+	if cfg.MaxDelay < cfg.MinDelay {
+		cfg.MaxDelay = cfg.MinDelay
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = time.Millisecond
+	}
+	n := &Net{
+		cfg:      cfg,
+		handlers: make([]node.Handler, cfg.N+1),
+		procs:    make([]*proc, cfg.N+1),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		stopCh:   make(chan struct{}),
+	}
+	for p := 1; p <= cfg.N; p++ {
+		n.procs[p] = newProc(n, model.ProcID(p))
+	}
+	return n
+}
+
+// SetHandler attaches the handler for process p. Must be called before
+// Start.
+func (n *Net) SetHandler(p model.ProcID, h node.Handler) {
+	n.handlers[p] = h
+}
+
+// Start initializes every handler and launches the worker goroutines.
+func (n *Net) Start() {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		panic("runtime: Start called twice")
+	}
+	n.started = true
+	n.start = time.Now()
+	n.mu.Unlock()
+	for p := 1; p <= n.cfg.N; p++ {
+		if n.handlers[p] == nil {
+			panic(fmt.Sprintf("runtime: no handler for process %d", p))
+		}
+	}
+	for p := 1; p <= n.cfg.N; p++ {
+		n.procs[p].ctxDo(func(ctx node.Context) { n.handlers[p].Init(ctx) })
+	}
+	for p := 1; p <= n.cfg.N; p++ {
+		n.wg.Add(1)
+		go n.procs[p].loop(&n.wg)
+	}
+}
+
+// Stop terminates the workers and waits for them to exit. Idempotent.
+func (n *Net) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	n.mu.Unlock()
+	close(n.stopCh)
+	for p := 1; p <= n.cfg.N; p++ {
+		n.procs[p].wake()
+	}
+	n.wg.Wait()
+}
+
+// Run is a convenience for examples: Start, let the network run for d,
+// then Stop and return the recorded history.
+func (n *Net) Run(d time.Duration) model.History {
+	n.Start()
+	time.Sleep(d)
+	n.Stop()
+	return n.History()
+}
+
+// History returns a snapshot of the recorded history.
+func (n *Net) History() model.History {
+	n.recMu.Lock()
+	defer n.recMu.Unlock()
+	return n.history.Clone().Normalize()
+}
+
+// Do runs fn in the context of process p (serialized with its deliveries),
+// e.g. to inject a suspicion: net.Do(2, func(ctx){ det.Suspect(ctx, 1) }).
+// It is a no-op if p has crashed.
+func (n *Net) Do(p model.ProcID, fn func(node.Context)) {
+	n.procs[p].inject(fn)
+}
+
+func (n *Net) nowTicks() int64 {
+	return int64(time.Since(n.start) / n.cfg.Tick)
+}
+
+func (n *Net) record(e model.Event) {
+	n.recMu.Lock()
+	e.Time = n.nowTicks()
+	e.Seq = len(n.history)
+	n.history = append(n.history, e)
+	n.recMu.Unlock()
+}
+
+func (n *Net) delay() time.Duration {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	span := int64(n.cfg.MaxDelay - n.cfg.MinDelay)
+	if span <= 0 {
+		return n.cfg.MinDelay
+	}
+	return n.cfg.MinDelay + time.Duration(n.rng.Int63n(span+1))
+}
+
+// liveMsg is a queued message on a live channel.
+type liveMsg struct {
+	id      model.MsgID
+	payload node.Payload
+	readyAt time.Time
+}
+
+// proc is the per-process worker state.
+type proc struct {
+	net  *Net
+	self model.ProcID
+
+	mu       sync.Mutex
+	queues   map[model.ProcID][]liveMsg // per-sender FIFO
+	injects  []func(node.Context)
+	timers   map[string]*liveTimer
+	dueTimer []string              // timer names that have fired, in order
+	emitted  map[model.ProcID]bool // failed_self(j) already recorded
+	crashed  bool
+	wakeCh   chan struct{}
+}
+
+type liveTimer struct {
+	gen   int64
+	timer *time.Timer
+}
+
+func newProc(n *Net, self model.ProcID) *proc {
+	return &proc{
+		net:     n,
+		self:    self,
+		queues:  make(map[model.ProcID][]liveMsg),
+		timers:  make(map[string]*liveTimer),
+		emitted: make(map[model.ProcID]bool),
+		wakeCh:  make(chan struct{}, 1),
+	}
+}
+
+func (p *proc) wake() {
+	select {
+	case p.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// inject schedules fn for serialized execution on p's worker.
+func (p *proc) inject(fn func(node.Context)) {
+	p.mu.Lock()
+	if p.crashed {
+		p.mu.Unlock()
+		return
+	}
+	p.injects = append(p.injects, fn)
+	p.mu.Unlock()
+	p.wake()
+}
+
+// ctxDo runs fn synchronously in p's context (used for Init before the
+// workers start).
+func (p *proc) ctxDo(fn func(node.Context)) {
+	fn(&liveCtx{p: p})
+}
+
+// loop is the worker: deliver injections, due timers, and ready channel
+// heads until the network stops or the process crashes.
+func (p *proc) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-p.net.stopCh:
+			return
+		default:
+		}
+		if !p.step() {
+			// Nothing deliverable: wait for a wake-up or shutdown.
+			select {
+			case <-p.net.stopCh:
+				return
+			case <-p.wakeCh:
+			case <-time.After(p.net.cfg.MaxDelay):
+				// Periodic re-check: a head may have become ready.
+			}
+		}
+	}
+}
+
+// step delivers at most one pending item; it reports whether it did.
+func (p *proc) step() bool {
+	p.mu.Lock()
+	if p.crashed {
+		p.mu.Unlock()
+		return false
+	}
+	// 1. Injections.
+	if len(p.injects) > 0 {
+		fn := p.injects[0]
+		p.injects = p.injects[1:]
+		p.mu.Unlock()
+		fn(&liveCtx{p: p})
+		return true
+	}
+	// 2. Due timers.
+	if len(p.dueTimer) > 0 {
+		name := p.dueTimer[0]
+		p.dueTimer = p.dueTimer[1:]
+		p.mu.Unlock()
+		p.net.handlers[p.self].OnTimer(&liveCtx{p: p}, name)
+		return true
+	}
+	// 3. Ready channel heads, in sender order for fairness determinism.
+	now := time.Now()
+	gate, _ := p.net.handlers[p.self].(node.Gate)
+	senders := make([]model.ProcID, 0, len(p.queues))
+	for from := range p.queues {
+		if len(p.queues[from]) > 0 {
+			senders = append(senders, from)
+		}
+	}
+	sort.Slice(senders, func(a, b int) bool { return senders[a] < senders[b] })
+	for _, from := range senders {
+		head := p.queues[from][0]
+		if head.readyAt.After(now) {
+			continue
+		}
+		if gate != nil && !gate.Accepts(from, head.payload) {
+			continue
+		}
+		p.queues[from] = p.queues[from][1:]
+		p.mu.Unlock()
+		p.net.record(model.Recv(p.self, from, head.id, head.payload.Tag, head.payload.Subject))
+		p.net.handlers[p.self].OnMessage(&liveCtx{p: p}, from, head.payload)
+		return true
+	}
+	p.mu.Unlock()
+	return false
+}
+
+// liveCtx implements node.Context for one process of a live network.
+type liveCtx struct {
+	p *proc
+}
+
+var _ node.Context = (*liveCtx)(nil)
+
+func (c *liveCtx) Self() model.ProcID { return c.p.self }
+func (c *liveCtx) N() int             { return c.p.net.cfg.N }
+func (c *liveCtx) Now() int64         { return c.p.net.nowTicks() }
+
+func (c *liveCtx) Send(to model.ProcID, pl node.Payload) {
+	p := c.p
+	net := p.net
+	p.mu.Lock()
+	crashed := p.crashed
+	p.mu.Unlock()
+	if crashed {
+		return
+	}
+	if to == p.self {
+		panic("runtime: send to self not supported")
+	}
+	if to < 1 || int(to) > net.cfg.N {
+		panic(fmt.Sprintf("runtime: send to invalid process %d", to))
+	}
+	net.recMu.Lock()
+	net.nextMsg++
+	id := net.nextMsg
+	e := model.Send(p.self, to, id, pl.Tag, pl.Subject)
+	e.Time = net.nowTicks()
+	e.Seq = len(net.history)
+	net.history = append(net.history, e)
+	net.recMu.Unlock()
+
+	d := net.delay()
+	dst := net.procs[to]
+	dst.mu.Lock()
+	dst.queues[p.self] = append(dst.queues[p.self], liveMsg{
+		id:      id,
+		payload: pl,
+		readyAt: time.Now().Add(d),
+	})
+	dst.mu.Unlock()
+	dst.wake()
+	// Ensure a re-check once the delay elapses even if nothing else wakes
+	// the destination.
+	time.AfterFunc(d, dst.wake)
+}
+
+func (c *liveCtx) SetTimer(name string, delayTicks int64) {
+	p := c.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashed {
+		return
+	}
+	lt := p.timers[name]
+	if lt == nil {
+		lt = &liveTimer{}
+		p.timers[name] = lt
+	} else if lt.timer != nil {
+		lt.timer.Stop()
+	}
+	lt.gen++
+	gen := lt.gen
+	d := time.Duration(delayTicks) * p.net.cfg.Tick
+	lt.timer = time.AfterFunc(d, func() {
+		p.mu.Lock()
+		cur := p.timers[name]
+		if p.crashed || cur == nil || cur.gen != gen {
+			p.mu.Unlock()
+			return
+		}
+		p.dueTimer = append(p.dueTimer, name)
+		p.mu.Unlock()
+		p.wake()
+	})
+}
+
+func (c *liveCtx) CancelTimer(name string) {
+	p := c.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if lt := p.timers[name]; lt != nil {
+		lt.gen++
+		if lt.timer != nil {
+			lt.timer.Stop()
+		}
+	}
+}
+
+func (c *liveCtx) EmitFailed(j model.ProcID) {
+	p := c.p
+	p.mu.Lock()
+	if p.crashed || p.emitted[j] {
+		p.mu.Unlock()
+		return
+	}
+	p.emitted[j] = true
+	p.mu.Unlock()
+	p.net.record(model.Failed(p.self, j))
+}
+
+func (c *liveCtx) CrashSelf() {
+	p := c.p
+	p.mu.Lock()
+	if p.crashed {
+		p.mu.Unlock()
+		return
+	}
+	p.crashed = true
+	for _, lt := range p.timers {
+		lt.gen++
+		if lt.timer != nil {
+			lt.timer.Stop()
+		}
+	}
+	p.mu.Unlock()
+	p.net.record(model.Crash(p.self))
+	if l, ok := p.net.handlers[p.self].(node.CrashListener); ok {
+		l.OnCrash(c)
+	}
+	p.wake()
+}
+
+func (c *liveCtx) EmitInternal(tag string, subject model.ProcID) {
+	p := c.p
+	p.mu.Lock()
+	crashed := p.crashed
+	p.mu.Unlock()
+	if crashed {
+		return
+	}
+	p.net.record(model.Internal(p.self, tag, subject))
+}

@@ -1,0 +1,234 @@
+package runtime_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"failstop/internal/checker"
+	"failstop/internal/core"
+	"failstop/internal/model"
+	"failstop/internal/node"
+	"failstop/internal/runtime"
+)
+
+// collector records message tags it received, thread-safely for assertions
+// after Stop.
+type collector struct {
+	mu  sync.Mutex
+	got []string
+}
+
+func (c *collector) Init(node.Context) {}
+func (c *collector) OnMessage(ctx node.Context, from model.ProcID, p node.Payload) {
+	c.mu.Lock()
+	c.got = append(c.got, p.Tag)
+	c.mu.Unlock()
+	if p.Tag == "PING" {
+		ctx.Send(from, node.Payload{Tag: "PONG"})
+	}
+}
+func (c *collector) OnTimer(node.Context, string) {}
+
+func (c *collector) tags() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.got))
+	copy(out, c.got)
+	return out
+}
+
+func fastCfg(n int, seed int64) runtime.Config {
+	return runtime.Config{
+		N:        n,
+		Seed:     seed,
+		MinDelay: 50 * time.Microsecond,
+		MaxDelay: 500 * time.Microsecond,
+		Tick:     100 * time.Microsecond,
+	}
+}
+
+func TestLivePingPong(t *testing.T) {
+	net := runtime.New(fastCfg(2, 1))
+	c1, c2 := &collector{}, &collector{}
+	net.SetHandler(1, c1)
+	net.SetHandler(2, c2)
+	net.Start()
+	net.Do(1, func(ctx node.Context) { ctx.Send(2, node.Payload{Tag: "PING"}) })
+	deadline := time.Now().Add(2 * time.Second)
+	for len(c1.tags()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	net.Stop()
+	if got := c2.tags(); len(got) != 1 || got[0] != "PING" {
+		t.Errorf("process 2 got %v", got)
+	}
+	if got := c1.tags(); len(got) != 1 || got[0] != "PONG" {
+		t.Errorf("process 1 got %v", got)
+	}
+	if err := net.History().Validate(); err != nil {
+		t.Errorf("invalid history: %v", err)
+	}
+}
+
+func TestLiveFIFO(t *testing.T) {
+	net := runtime.New(fastCfg(2, 2))
+	c2 := &collector{}
+	net.SetHandler(1, &collector{})
+	net.SetHandler(2, c2)
+	net.Start()
+	net.Do(1, func(ctx node.Context) {
+		for _, tag := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+			ctx.Send(2, node.Payload{Tag: tag})
+		}
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for len(c2.tags()) < 8 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	net.Stop()
+	got := c2.tags()
+	want := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FIFO broken: got %v", got)
+		}
+	}
+	if err := net.History().Validate(); err != nil {
+		t.Errorf("invalid history: %v", err)
+	}
+}
+
+// The full sFS stack on the live runtime: a false suspicion must play out
+// exactly as in the simulator — target killed, everyone detects, all sFS
+// conditions hold on the recorded history.
+func TestLiveSFSProtocol(t *testing.T) {
+	const n, tFail = 5, 2
+	net := runtime.New(fastCfg(n, 3))
+	dets := make([]*core.Detector, n+1)
+	for p := 1; p <= n; p++ {
+		d := core.NewDetector(core.Config{N: n, T: tFail}, nil, nil)
+		dets[p] = d
+		net.SetHandler(model.ProcID(p), d)
+	}
+	net.Start()
+	net.Do(2, func(ctx node.Context) { dets[2].Suspect(ctx, 1) })
+
+	// Poll via the mutex-guarded history: detectors themselves are
+	// single-threaded state owned by their worker goroutine.
+	deadline := time.Now().Add(5 * time.Second)
+	done := func() bool {
+		h := net.History()
+		for p := model.ProcID(2); int(p) <= n; p++ {
+			if h.FailedIndex(p, 1) < 0 {
+				return false
+			}
+		}
+		return h.CrashIndex(1) >= 0
+	}
+	for !done() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	net.Stop()
+	if !done() {
+		t.Fatal("protocol did not converge on the live runtime")
+	}
+	h := net.History()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("invalid history: %v", err)
+	}
+	ab := h.DropTags(core.TagSusp)
+	for _, v := range checker.SFS(ab) {
+		if !v.Holds {
+			t.Errorf("%s", v)
+		}
+	}
+	if v := checker.WitnessProperty(h, core.TagSusp, tFail); !v.Holds {
+		t.Errorf("%s", v)
+	}
+}
+
+func TestLiveTimers(t *testing.T) {
+	net := runtime.New(fastCfg(1, 4))
+	var mu sync.Mutex
+	var fired []string
+	h := &timerHandler{onTimer: func(name string) {
+		mu.Lock()
+		fired = append(fired, name)
+		mu.Unlock()
+	}}
+	net.SetHandler(1, h)
+	net.Start()
+	net.Do(1, func(ctx node.Context) {
+		// Generous spacing: under the race scheduler, goroutine wakeups can
+		// be delayed by milliseconds, and a cancel must not lose the race
+		// against its own timer's firing.
+		ctx.SetTimer("a", 200) // 20ms
+		ctx.SetTimer("b", 50)  // 5ms
+		ctx.SetTimer("c", 400) // 40ms, cancelled immediately below
+		ctx.CancelTimer("c")
+	})
+	time.Sleep(80 * time.Millisecond)
+	net.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want [b a]", fired)
+	}
+	if fired[0] != "b" || fired[1] != "a" {
+		t.Errorf("fired = %v, want [b a]", fired)
+	}
+}
+
+type timerHandler struct {
+	onTimer func(string)
+}
+
+func (h *timerHandler) Init(node.Context)                                  {}
+func (h *timerHandler) OnMessage(node.Context, model.ProcID, node.Payload) {}
+func (h *timerHandler) OnTimer(_ node.Context, name string)                { h.onTimer(name) }
+
+func TestLiveCrashStopsProcess(t *testing.T) {
+	net := runtime.New(fastCfg(2, 5))
+	c2 := &collector{}
+	net.SetHandler(1, &collector{})
+	net.SetHandler(2, c2)
+	net.Start()
+	net.Do(2, func(ctx node.Context) { ctx.CrashSelf() })
+	time.Sleep(5 * time.Millisecond)
+	net.Do(1, func(ctx node.Context) { ctx.Send(2, node.Payload{Tag: "X"}) })
+	time.Sleep(20 * time.Millisecond)
+	net.Stop()
+	if got := c2.tags(); len(got) != 0 {
+		t.Errorf("crashed process received %v", got)
+	}
+	h := net.History()
+	if err := h.Validate(); err != nil {
+		t.Errorf("invalid history: %v", err)
+	}
+	if h.CrashIndex(2) < 0 {
+		t.Error("crash not recorded")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	net := runtime.New(fastCfg(1, 6))
+	net.SetHandler(1, &collector{})
+	net.Start()
+	net.Stop()
+	net.Stop() // must not panic or deadlock
+}
+
+func TestRunConvenience(t *testing.T) {
+	net := runtime.New(fastCfg(2, 7))
+	net.SetHandler(1, &collector{})
+	net.SetHandler(2, &collector{})
+	net.Do(1, func(ctx node.Context) { ctx.Send(2, node.Payload{Tag: "X"}) })
+	h := net.Run(20 * time.Millisecond)
+	if err := h.Validate(); err != nil {
+		t.Errorf("invalid history: %v", err)
+	}
+}

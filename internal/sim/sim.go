@@ -1,0 +1,506 @@
+// Package sim is a deterministic discrete-event simulator of the paper's
+// asynchronous system model: n processes, reliable unidirectional FIFO
+// channels, unbounded message delay, no global clock visible to processes.
+//
+// Determinism: given the same Config (including Seed), handlers, and
+// injected actions, Run produces the identical history every time. The
+// scheduler orders occurrences by (virtual time, insertion sequence), and
+// all randomness flows from the seeded generator.
+//
+// Adversaries: message delays are chosen per message by Config.Delay
+// (default: uniform in [MinDelay, MaxDelay]). A negative delay parks the
+// message — and, because channels are FIFO, everything behind it — for the
+// rest of the run; this is how the Theorem 6 / Appendix A.3 schedules
+// "delay messages indefinitely".
+//
+// Receive gating: handlers implementing node.Gate can refuse the message at
+// the head of a channel; the channel blocks until a later event of the
+// receiver changes the gate's answer. This is the mechanism by which the
+// §5 protocol defers receive events to satisfy sFS2d. A run that ends with
+// gated channels still holding messages is reported as blocked, which is
+// itself a measurable outcome (Corollary 8 experiments).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"failstop/internal/model"
+	"failstop/internal/node"
+)
+
+// DelayFn chooses the delivery delay in ticks for a message sent at time at
+// from from to to. Returning a negative value parks the message (and the
+// channel behind it) for the remainder of the run.
+type DelayFn func(from, to model.ProcID, p node.Payload, at int64) int64
+
+// Config parameterizes a simulation.
+type Config struct {
+	// N is the number of processes (ids 1..N). Required.
+	N int
+	// Seed seeds the delay generator. Runs with equal seeds are identical.
+	Seed int64
+	// MinDelay and MaxDelay bound the default uniform message delay.
+	// Defaults: 1 and 10.
+	MinDelay, MaxDelay int64
+	// Delay overrides the default delay distribution when non-nil.
+	Delay DelayFn
+	// MaxTime stops the simulation once the next occurrence would be later
+	// than this horizon. 0 means no horizon (run to quiescence).
+	MaxTime int64
+	// MaxEvents caps the history length as a runaway-protocol safeguard.
+	// Default: 1 << 20.
+	MaxEvents int
+}
+
+type chanKey struct{ from, to model.ProcID }
+
+type pendingMsg struct {
+	id      model.MsgID
+	payload node.Payload
+	readyAt int64 // delivery-ready time; -1 if parked forever
+}
+
+type channel struct {
+	queue     []pendingMsg
+	scheduled bool // a head-delivery occurrence is in the event queue
+	gated     bool // head was refused by the receiver's gate
+}
+
+type occKind int
+
+const (
+	occDeliver occKind = iota + 1
+	occTimer
+	occInject
+)
+
+type occurrence struct {
+	time int64
+	seq  int64 // insertion order; total tie-break
+	kind occKind
+
+	ch   chanKey            // occDeliver
+	proc model.ProcID       // occTimer, occInject
+	name string             // occTimer
+	gen  int64              // occTimer: generation, stale timers are skipped
+	fn   func(node.Context) // occInject
+}
+
+type occHeap []*occurrence
+
+func (h occHeap) Len() int { return len(h) }
+func (h occHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h occHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *occHeap) Push(x any)   { *h = append(*h, x.(*occurrence)) }
+func (h *occHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// BlockedChannel describes a channel that still held undelivered messages
+// when the run ended, and why.
+type BlockedChannel struct {
+	From, To model.ProcID
+	Queued   int
+	// Reason is "gated" (receiver refused the head), "parked" (adversary
+	// held the head forever), or "receiver-crashed".
+	Reason string
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// History is the recorded event history, validated by construction.
+	History model.History
+	// EndTime is the virtual time of the last executed occurrence.
+	EndTime int64
+	// Sent and Delivered count send and receive events.
+	Sent, Delivered int
+	// Blocked lists channels holding undelivered messages to live processes
+	// at the end of the run (gated or parked) plus channels into crashed
+	// processes. A run with gated entries did not reach protocol quiescence.
+	Blocked []BlockedChannel
+	// HitHorizon reports that the run stopped at MaxTime or MaxEvents rather
+	// than by draining the event queue.
+	HitHorizon bool
+}
+
+// Quiescent reports whether the run drained completely: no horizon hit and
+// no messages stuck in gated or parked channels (messages to crashed
+// processes are expected leftovers and do not count).
+func (r *Result) Quiescent() bool {
+	if r.HitHorizon {
+		return false
+	}
+	for _, b := range r.Blocked {
+		if b.Reason != "receiver-crashed" {
+			return false
+		}
+	}
+	return true
+}
+
+// Sim is a single-use simulator instance: configure, attach handlers,
+// inject actions, then call Run exactly once.
+type Sim struct {
+	cfg      Config
+	rng      *rand.Rand
+	handlers []node.Handler // index 1..N
+	ctxs     []*procCtx
+	chans    map[chanKey]*channel
+	queue    occHeap
+	now      int64
+	seq      int64
+	nextMsg  model.MsgID
+	history  model.History
+	crashed  []bool
+	failed   map[[2]model.ProcID]bool
+	timerGen map[string]int64 // key: "proc/name"
+	sent     int
+	deliv    int
+	ran      bool
+}
+
+// New creates a simulator for cfg.N processes. Handlers must be attached
+// with SetHandler before Run.
+func New(cfg Config) *Sim {
+	if cfg.N <= 0 {
+		panic("sim: Config.N must be positive")
+	}
+	if cfg.MinDelay == 0 && cfg.MaxDelay == 0 {
+		cfg.MinDelay, cfg.MaxDelay = 1, 10
+	}
+	if cfg.MaxDelay < cfg.MinDelay {
+		cfg.MaxDelay = cfg.MinDelay
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 1 << 20
+	}
+	s := &Sim{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		handlers: make([]node.Handler, cfg.N+1),
+		ctxs:     make([]*procCtx, cfg.N+1),
+		chans:    make(map[chanKey]*channel),
+		crashed:  make([]bool, cfg.N+1),
+		failed:   make(map[[2]model.ProcID]bool),
+		timerGen: make(map[string]int64),
+	}
+	for p := 1; p <= cfg.N; p++ {
+		s.ctxs[p] = &procCtx{s: s, p: model.ProcID(p)}
+	}
+	return s
+}
+
+// SetHandler attaches the handler for process p (1..N).
+func (s *Sim) SetHandler(p model.ProcID, h node.Handler) {
+	s.handlers[p] = h
+}
+
+// Handler returns the handler attached to p.
+func (s *Sim) Handler(p model.ProcID) node.Handler { return s.handlers[p] }
+
+// At schedules fn to run in the context of process p at virtual time t.
+// If p has crashed by then, fn is skipped. Injections at equal times run in
+// the order they were registered.
+func (s *Sim) At(t int64, p model.ProcID, fn func(node.Context)) {
+	s.push(&occurrence{time: t, kind: occInject, proc: p, fn: fn})
+}
+
+// CrashAt injects a genuine (spontaneous) crash of p at time t.
+func (s *Sim) CrashAt(t int64, p model.ProcID) {
+	s.At(t, p, func(ctx node.Context) { ctx.CrashSelf() })
+}
+
+func (s *Sim) push(o *occurrence) {
+	o.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, o)
+}
+
+// Run executes the simulation to quiescence or horizon and returns the
+// result. Run may be called only once.
+func (s *Sim) Run() *Result {
+	if s.ran {
+		panic("sim: Run called twice")
+	}
+	s.ran = true
+	for p := 1; p <= s.cfg.N; p++ {
+		if s.handlers[p] == nil {
+			panic(fmt.Sprintf("sim: no handler for process %d", p))
+		}
+	}
+
+	res := &Result{}
+	for p := model.ProcID(1); int(p) <= s.cfg.N; p++ {
+		s.handlers[p].Init(s.ctxs[p])
+		s.afterEvent(p)
+	}
+
+	for s.queue.Len() > 0 {
+		if len(s.history) >= s.cfg.MaxEvents {
+			res.HitHorizon = true
+			break
+		}
+		o := heap.Pop(&s.queue).(*occurrence)
+		if s.cfg.MaxTime > 0 && o.time > s.cfg.MaxTime {
+			res.HitHorizon = true
+			break
+		}
+		if o.time > s.now {
+			s.now = o.time
+		}
+		switch o.kind {
+		case occDeliver:
+			s.deliver(o.ch)
+		case occTimer:
+			s.fireTimer(o)
+		case occInject:
+			if !s.crashed[o.proc] {
+				o.fn(s.ctxs[o.proc])
+				s.afterEvent(o.proc)
+			}
+		}
+	}
+
+	res.History = s.history.Normalize()
+	res.EndTime = s.now
+	res.Sent = s.sent
+	res.Delivered = s.deliv
+	res.Blocked = s.blockedChannels()
+	return res
+}
+
+func (s *Sim) blockedChannels() []BlockedChannel {
+	var out []BlockedChannel
+	var keys []chanKey
+	for k, c := range s.chans {
+		if len(c.queue) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].from != keys[b].from {
+			return keys[a].from < keys[b].from
+		}
+		return keys[a].to < keys[b].to
+	})
+	for _, k := range keys {
+		c := s.chans[k]
+		reason := "gated"
+		switch {
+		case s.crashed[k.to]:
+			reason = "receiver-crashed"
+		case c.queue[0].readyAt < 0:
+			reason = "parked"
+		}
+		out = append(out, BlockedChannel{From: k.from, To: k.to, Queued: len(c.queue), Reason: reason})
+	}
+	return out
+}
+
+// deliver attempts to deliver the head of channel k.
+func (s *Sim) deliver(k chanKey) {
+	c := s.chans[k]
+	if c == nil {
+		return
+	}
+	c.scheduled = false
+	if len(c.queue) == 0 || s.crashed[k.to] {
+		return
+	}
+	head := c.queue[0]
+	h := s.handlers[k.to]
+	if g, ok := h.(node.Gate); ok && !g.Accepts(k.from, head.payload) {
+		c.gated = true
+		return
+	}
+	c.gated = false
+	c.queue = c.queue[1:]
+	s.record(model.Recv(k.to, k.from, head.id, head.payload.Tag, head.payload.Subject))
+	s.deliv++
+	s.scheduleHead(k)
+	h.OnMessage(s.ctxs[k.to], k.from, head.payload)
+	s.afterEvent(k.to)
+}
+
+// afterEvent re-evaluates gated channels into p after any event of p: the
+// gate's answer may have changed (e.g. a detection completed).
+func (s *Sim) afterEvent(p model.ProcID) {
+	if s.crashed[p] {
+		return
+	}
+	var keys []chanKey
+	for k, c := range s.chans {
+		if k.to == p && c.gated && len(c.queue) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].from < keys[b].from })
+	for _, k := range keys {
+		c := s.chans[k]
+		g, ok := s.handlers[p].(node.Gate)
+		if ok && !g.Accepts(k.from, c.queue[0].payload) {
+			continue
+		}
+		c.gated = false
+		if !c.scheduled {
+			c.scheduled = true
+			s.push(&occurrence{time: s.now, kind: occDeliver, ch: k})
+		}
+	}
+}
+
+// scheduleHead queues a delivery occurrence for the head of channel k, if
+// any and not parked.
+func (s *Sim) scheduleHead(k chanKey) {
+	c := s.chans[k]
+	if c == nil || c.scheduled || c.gated || len(c.queue) == 0 || s.crashed[k.to] {
+		return
+	}
+	head := c.queue[0]
+	if head.readyAt < 0 {
+		return // parked forever
+	}
+	at := head.readyAt
+	if at < s.now {
+		at = s.now
+	}
+	c.scheduled = true
+	s.push(&occurrence{time: at, kind: occDeliver, ch: k})
+}
+
+func (s *Sim) fireTimer(o *occurrence) {
+	if s.crashed[o.proc] {
+		return
+	}
+	key := timerKey(o.proc, o.name)
+	if s.timerGen[key] != o.gen {
+		return // cancelled or replaced
+	}
+	delete(s.timerGen, key)
+	s.handlers[o.proc].OnTimer(s.ctxs[o.proc], o.name)
+	s.afterEvent(o.proc)
+}
+
+func timerKey(p model.ProcID, name string) string {
+	return fmt.Sprintf("%d/%s", p, name)
+}
+
+func (s *Sim) record(e model.Event) {
+	e.Time = s.now
+	e.Seq = len(s.history)
+	s.history = append(s.history, e)
+}
+
+// procCtx implements node.Context for one process.
+type procCtx struct {
+	s *Sim
+	p model.ProcID
+}
+
+var _ node.Context = (*procCtx)(nil)
+
+func (c *procCtx) Self() model.ProcID { return c.p }
+func (c *procCtx) N() int             { return c.s.cfg.N }
+func (c *procCtx) Now() int64         { return c.s.now }
+
+func (c *procCtx) Send(to model.ProcID, p node.Payload) {
+	s := c.s
+	if s.crashed[c.p] {
+		return
+	}
+	if to == c.p {
+		panic("sim: send to self not supported (count self-quorum locally)")
+	}
+	if to < 1 || int(to) > s.cfg.N {
+		panic(fmt.Sprintf("sim: send to invalid process %d", to))
+	}
+	s.nextMsg++
+	id := s.nextMsg
+	s.record(model.Send(c.p, to, id, p.Tag, p.Subject))
+	s.sent++
+
+	var delay int64
+	if s.cfg.Delay != nil {
+		delay = s.cfg.Delay(c.p, to, p, s.now)
+	} else {
+		delay = s.cfg.MinDelay + s.rng.Int63n(s.cfg.MaxDelay-s.cfg.MinDelay+1)
+	}
+	ready := int64(-1)
+	if delay >= 0 {
+		ready = s.now + delay
+	}
+	k := chanKey{from: c.p, to: to}
+	ch := s.chans[k]
+	if ch == nil {
+		ch = &channel{}
+		s.chans[k] = ch
+	}
+	ch.queue = append(ch.queue, pendingMsg{id: id, payload: p, readyAt: ready})
+	if len(ch.queue) == 1 {
+		s.scheduleHead(k)
+	}
+}
+
+func (c *procCtx) SetTimer(name string, delay int64) {
+	s := c.s
+	if s.crashed[c.p] {
+		return
+	}
+	key := timerKey(c.p, name)
+	gen := s.timerGen[key] + 1
+	s.timerGen[key] = gen
+	s.push(&occurrence{time: s.now + delay, kind: occTimer, proc: c.p, name: name, gen: gen})
+}
+
+func (c *procCtx) CancelTimer(name string) {
+	key := timerKey(c.p, name)
+	if _, ok := c.s.timerGen[key]; ok {
+		c.s.timerGen[key]++ // outstanding occurrence becomes stale
+	}
+}
+
+func (c *procCtx) EmitFailed(j model.ProcID) {
+	s := c.s
+	if s.crashed[c.p] {
+		return
+	}
+	key := [2]model.ProcID{c.p, j}
+	if s.failed[key] {
+		return // failed_i(j) is single-shot
+	}
+	s.failed[key] = true
+	s.record(model.Failed(c.p, j))
+}
+
+func (c *procCtx) CrashSelf() {
+	s := c.s
+	if s.crashed[c.p] {
+		return
+	}
+	s.record(model.Crash(c.p))
+	s.crashed[c.p] = true
+	if l, ok := s.handlers[c.p].(node.CrashListener); ok {
+		l.OnCrash(c)
+	}
+}
+
+func (c *procCtx) EmitInternal(tag string, subject model.ProcID) {
+	s := c.s
+	if s.crashed[c.p] {
+		return
+	}
+	s.record(model.Internal(c.p, tag, subject))
+}

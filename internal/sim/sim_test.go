@@ -1,0 +1,503 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"failstop/internal/model"
+	"failstop/internal/node"
+)
+
+// echoHandler replies "PONG" to every "PING" and records deliveries.
+type echoHandler struct {
+	got []string
+}
+
+func (h *echoHandler) Init(node.Context) {}
+func (h *echoHandler) OnMessage(ctx node.Context, from model.ProcID, p node.Payload) {
+	h.got = append(h.got, p.Tag)
+	if p.Tag == "PING" {
+		ctx.Send(from, node.Payload{Tag: "PONG"})
+	}
+}
+func (h *echoHandler) OnTimer(node.Context, string) {}
+
+// scriptHandler performs scripted actions on Init/timers.
+type scriptHandler struct {
+	init    func(ctx node.Context)
+	onTimer func(ctx node.Context, name string)
+	onMsg   func(ctx node.Context, from model.ProcID, p node.Payload)
+}
+
+func (h *scriptHandler) Init(ctx node.Context) {
+	if h.init != nil {
+		h.init(ctx)
+	}
+}
+func (h *scriptHandler) OnMessage(ctx node.Context, from model.ProcID, p node.Payload) {
+	if h.onMsg != nil {
+		h.onMsg(ctx, from, p)
+	}
+}
+func (h *scriptHandler) OnTimer(ctx node.Context, name string) {
+	if h.onTimer != nil {
+		h.onTimer(ctx, name)
+	}
+}
+
+func idle() node.Handler { return &scriptHandler{} }
+
+func newSim(t *testing.T, n int, seed int64) *Sim {
+	t.Helper()
+	s := New(Config{N: n, Seed: seed})
+	for p := 1; p <= n; p++ {
+		s.SetHandler(model.ProcID(p), idle())
+	}
+	return s
+}
+
+func TestPingPong(t *testing.T) {
+	s := New(Config{N: 2, Seed: 1})
+	e1, e2 := &echoHandler{}, &echoHandler{}
+	s.SetHandler(1, &scriptHandler{
+		init: func(ctx node.Context) { ctx.Send(2, node.Payload{Tag: "PING"}) },
+		onMsg: func(ctx node.Context, from model.ProcID, p node.Payload) {
+			e1.OnMessage(ctx, from, p)
+		},
+	})
+	s.SetHandler(2, e2)
+	res := s.Run()
+	if err := res.History.Validate(); err != nil {
+		t.Fatalf("invalid history: %v\n%s", err, res.History)
+	}
+	if !res.Quiescent() {
+		t.Errorf("run not quiescent: %+v", res.Blocked)
+	}
+	if res.Sent != 2 || res.Delivered != 2 {
+		t.Errorf("Sent=%d Delivered=%d, want 2/2", res.Sent, res.Delivered)
+	}
+	if len(e2.got) != 1 || e2.got[0] != "PING" {
+		t.Errorf("process 2 got %v", e2.got)
+	}
+	if len(e1.got) != 1 || e1.got[0] != "PONG" {
+		t.Errorf("process 1 got %v", e1.got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() model.History {
+		s := New(Config{N: 4, Seed: 42})
+		for p := 1; p <= 4; p++ {
+			p := model.ProcID(p)
+			s.SetHandler(p, &scriptHandler{
+				init: func(ctx node.Context) {
+					for q := model.ProcID(1); q <= 4; q++ {
+						if q != p {
+							ctx.Send(q, node.Payload{Tag: "X"})
+						}
+					}
+				},
+				onMsg: func(ctx node.Context, from model.ProcID, pl node.Payload) {
+					if pl.Tag == "X" && from < p {
+						ctx.Send(from, node.Payload{Tag: "Y"})
+					}
+				},
+			})
+		}
+		return s.Run().History
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two runs with same seed differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	run := func(seed int64) model.History {
+		s := New(Config{N: 3, Seed: seed})
+		for p := 1; p <= 3; p++ {
+			p := model.ProcID(p)
+			s.SetHandler(p, &scriptHandler{
+				init: func(ctx node.Context) {
+					for q := model.ProcID(1); q <= 3; q++ {
+						if q != p {
+							ctx.Send(q, node.Payload{Tag: "X"})
+						}
+					}
+				},
+			})
+		}
+		return s.Run().History
+	}
+	a, b := run(1), run(2)
+	if reflect.DeepEqual(a, b) {
+		t.Skip("seeds happened to coincide; extremely unlikely but not an error")
+	}
+}
+
+func TestFIFOPreservedUnderRandomDelays(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		s := New(Config{N: 2, Seed: seed, MinDelay: 1, MaxDelay: 50})
+		var got []string
+		s.SetHandler(1, &scriptHandler{
+			init: func(ctx node.Context) {
+				for _, tag := range []string{"a", "b", "c", "d", "e"} {
+					ctx.Send(2, node.Payload{Tag: tag})
+				}
+			},
+		})
+		s.SetHandler(2, &scriptHandler{
+			onMsg: func(_ node.Context, _ model.ProcID, p node.Payload) {
+				got = append(got, p.Tag)
+			},
+		})
+		res := s.Run()
+		if err := res.History.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := []string{"a", "b", "c", "d", "e"}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: delivery order %v, want %v", seed, got, want)
+		}
+	}
+}
+
+func TestCrashStopsDelivery(t *testing.T) {
+	s := New(Config{N: 2, Seed: 1, MinDelay: 5, MaxDelay: 5})
+	delivered := 0
+	s.SetHandler(1, &scriptHandler{
+		init: func(ctx node.Context) { ctx.Send(2, node.Payload{Tag: "X"}) },
+	})
+	s.SetHandler(2, &scriptHandler{
+		onMsg: func(node.Context, model.ProcID, node.Payload) { delivered++ },
+	})
+	s.CrashAt(1, 2) // crash before the message (delay 5) arrives
+	res := s.Run()
+	if delivered != 0 {
+		t.Errorf("delivered %d messages to crashed process", delivered)
+	}
+	if res.History.CrashIndex(2) < 0 {
+		t.Error("crash_2 not recorded")
+	}
+	if err := res.History.Validate(); err != nil {
+		t.Errorf("invalid history: %v", err)
+	}
+	if len(res.Blocked) != 1 || res.Blocked[0].Reason != "receiver-crashed" {
+		t.Errorf("Blocked = %+v, want one receiver-crashed entry", res.Blocked)
+	}
+	if !res.Quiescent() {
+		t.Error("messages to crashed processes must not prevent quiescence")
+	}
+}
+
+func TestCrashedProcessActsNoMore(t *testing.T) {
+	s := New(Config{N: 2, Seed: 1})
+	s.SetHandler(1, &scriptHandler{
+		init: func(ctx node.Context) {
+			ctx.SetTimer("tick", 10)
+			ctx.CrashSelf()
+			// All of these must be silently ignored after the crash.
+			ctx.Send(2, node.Payload{Tag: "X"})
+			ctx.EmitFailed(2)
+			ctx.EmitInternal("zombie", model.None)
+			ctx.SetTimer("tock", 1)
+			ctx.CrashSelf()
+		},
+	})
+	s.SetHandler(2, idle())
+	res := s.Run()
+	if err := res.History.Validate(); err != nil {
+		t.Fatalf("invalid history: %v\n%s", err, res.History)
+	}
+	if len(res.History) != 1 || !res.History[0].IsCrash() {
+		t.Errorf("history = %s, want exactly crash_1", res.History)
+	}
+}
+
+func TestTimersFireReplaceAndCancel(t *testing.T) {
+	s := New(Config{N: 1, Seed: 1})
+	var fired []string
+	s.SetHandler(1, &scriptHandler{
+		init: func(ctx node.Context) {
+			ctx.SetTimer("a", 10)
+			ctx.SetTimer("b", 5)
+			ctx.SetTimer("c", 7)
+			ctx.CancelTimer("c")
+			ctx.SetTimer("a", 20) // replaces the 10-tick "a"
+		},
+		onTimer: func(ctx node.Context, name string) {
+			fired = append(fired, name)
+		},
+	})
+	res := s.Run()
+	if want := []string{"b", "a"}; !reflect.DeepEqual(fired, want) {
+		t.Errorf("timers fired %v, want %v", fired, want)
+	}
+	if res.EndTime != 20 {
+		t.Errorf("EndTime = %d, want 20 (replaced timer)", res.EndTime)
+	}
+}
+
+func TestInjectionSkippedAfterCrash(t *testing.T) {
+	s := newSim(t, 2, 1)
+	ran := false
+	s.CrashAt(5, 1)
+	s.At(10, 1, func(ctx node.Context) { ran = true })
+	s.Run()
+	if ran {
+		t.Error("injection ran on crashed process")
+	}
+}
+
+func TestParkedMessageBlocksChannel(t *testing.T) {
+	parkAll := func(from, to model.ProcID, p node.Payload, at int64) int64 { return -1 }
+	s := New(Config{N: 2, Seed: 1, Delay: parkAll})
+	s.SetHandler(1, &scriptHandler{
+		init: func(ctx node.Context) {
+			ctx.Send(2, node.Payload{Tag: "X"})
+			ctx.Send(2, node.Payload{Tag: "Y"})
+		},
+	})
+	s.SetHandler(2, idle())
+	res := s.Run()
+	if res.Delivered != 0 {
+		t.Errorf("Delivered = %d, want 0", res.Delivered)
+	}
+	if len(res.Blocked) != 1 {
+		t.Fatalf("Blocked = %+v, want one entry", res.Blocked)
+	}
+	b := res.Blocked[0]
+	if b.Reason != "parked" || b.Queued != 2 || b.From != 1 || b.To != 2 {
+		t.Errorf("Blocked[0] = %+v", b)
+	}
+	if res.Quiescent() {
+		t.Error("parked channels must not count as quiescent")
+	}
+}
+
+// gatedHandler refuses APP messages until open is set.
+type gatedHandler struct {
+	open bool
+	got  []string
+}
+
+func (h *gatedHandler) Init(node.Context) {}
+func (h *gatedHandler) OnMessage(_ node.Context, _ model.ProcID, p node.Payload) {
+	if p.Tag == "OPEN" {
+		h.open = true
+	}
+	h.got = append(h.got, p.Tag)
+}
+func (h *gatedHandler) OnTimer(node.Context, string) {}
+func (h *gatedHandler) Accepts(_ model.ProcID, p node.Payload) bool {
+	return h.open || p.Tag != "APP"
+}
+
+func TestGateDefersReceiveUntilStateChanges(t *testing.T) {
+	s := New(Config{N: 3, Seed: 1, MinDelay: 1, MaxDelay: 1})
+	g := &gatedHandler{}
+	s.SetHandler(1, &scriptHandler{
+		init: func(ctx node.Context) { ctx.Send(3, node.Payload{Tag: "APP"}) },
+	})
+	// Process 2 opens the gate later; the gated APP must then be delivered.
+	s.SetHandler(2, &scriptHandler{
+		init: func(ctx node.Context) { ctx.SetTimer("later", 50) },
+		onTimer: func(ctx node.Context, _ string) {
+			ctx.Send(3, node.Payload{Tag: "OPEN"})
+		},
+	})
+	s.SetHandler(3, g)
+	res := s.Run()
+	if want := []string{"OPEN", "APP"}; !reflect.DeepEqual(g.got, want) {
+		t.Fatalf("delivery order %v, want %v", g.got, want)
+	}
+	if !res.Quiescent() {
+		t.Errorf("expected quiescent run, blocked: %+v", res.Blocked)
+	}
+	// The receive event of APP must come after the receive of OPEN in the
+	// recorded history, even though APP was sent first.
+	appIdx, openIdx := -1, -1
+	for i, e := range res.History {
+		if e.IsRecv() && e.Tag == "APP" {
+			appIdx = i
+		}
+		if e.IsRecv() && e.Tag == "OPEN" {
+			openIdx = i
+		}
+	}
+	if appIdx < openIdx {
+		t.Error("gated APP receive must be recorded after the gate opened")
+	}
+}
+
+func TestGateBlockedForeverReported(t *testing.T) {
+	s := New(Config{N: 2, Seed: 1})
+	s.SetHandler(1, &scriptHandler{
+		init: func(ctx node.Context) { ctx.Send(2, node.Payload{Tag: "APP"}) },
+	})
+	s.SetHandler(2, &gatedHandler{}) // never opened
+	res := s.Run()
+	if res.Quiescent() {
+		t.Error("run with gated leftovers must not be quiescent")
+	}
+	if len(res.Blocked) != 1 || res.Blocked[0].Reason != "gated" {
+		t.Errorf("Blocked = %+v", res.Blocked)
+	}
+}
+
+func TestMaxTimeHorizon(t *testing.T) {
+	s := New(Config{N: 1, Seed: 1, MaxTime: 100})
+	ticks := 0
+	s.SetHandler(1, &scriptHandler{
+		init: func(ctx node.Context) { ctx.SetTimer("t", 10) },
+		onTimer: func(ctx node.Context, _ string) {
+			ticks++
+			ctx.SetTimer("t", 10) // re-arm forever
+		},
+	})
+	res := s.Run()
+	if !res.HitHorizon {
+		t.Error("expected horizon hit")
+	}
+	if ticks != 10 {
+		t.Errorf("ticks = %d, want 10", ticks)
+	}
+	if res.Quiescent() {
+		t.Error("horizon-terminated run is not quiescent")
+	}
+}
+
+func TestMaxEventsCap(t *testing.T) {
+	s := New(Config{N: 2, Seed: 1, MaxEvents: 50})
+	// Infinite ping-pong.
+	bounce := func(ctx node.Context, from model.ProcID, p node.Payload) {
+		ctx.Send(from, p)
+	}
+	s.SetHandler(1, &scriptHandler{
+		init:  func(ctx node.Context) { ctx.Send(2, node.Payload{Tag: "B"}) },
+		onMsg: bounce,
+	})
+	s.SetHandler(2, &scriptHandler{onMsg: bounce})
+	res := s.Run()
+	if !res.HitHorizon {
+		t.Error("expected MaxEvents horizon")
+	}
+	if len(res.History) > 51 {
+		t.Errorf("history len %d exceeds cap", len(res.History))
+	}
+}
+
+func TestEmitFailedSingleShotAndRecorded(t *testing.T) {
+	s := newSim(t, 3, 1)
+	s.At(1, 1, func(ctx node.Context) {
+		ctx.EmitFailed(2)
+		ctx.EmitFailed(2) // duplicate ignored
+		ctx.EmitFailed(3)
+		ctx.EmitInternal("note", 2)
+	})
+	res := s.Run()
+	if err := res.History.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if got := len(res.History.Detections()); got != 2 {
+		t.Errorf("detections = %d, want 2", got)
+	}
+}
+
+func TestHistoryTimesMonotone(t *testing.T) {
+	s := New(Config{N: 3, Seed: 7, MinDelay: 1, MaxDelay: 30})
+	for p := 1; p <= 3; p++ {
+		p := model.ProcID(p)
+		s.SetHandler(p, &scriptHandler{
+			init: func(ctx node.Context) {
+				for q := model.ProcID(1); q <= 3; q++ {
+					if q != p {
+						ctx.Send(q, node.Payload{Tag: "X"})
+						ctx.Send(q, node.Payload{Tag: "Y"})
+					}
+				}
+			},
+		})
+	}
+	res := s.Run()
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i].Time < res.History[i-1].Time {
+			t.Fatalf("history times not monotone at %d", i)
+		}
+	}
+}
+
+func TestSendToSelfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on self-send")
+		}
+	}()
+	s := newSim(t, 2, 1)
+	s.At(1, 1, func(ctx node.Context) { ctx.Send(1, node.Payload{Tag: "X"}) })
+	s.Run()
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	s := newSim(t, 1, 1)
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on second Run")
+		}
+	}()
+	s.Run()
+}
+
+type crashWitness struct {
+	scriptHandler
+	sawCrash bool
+}
+
+func (c *crashWitness) OnCrash(node.Context) { c.sawCrash = true }
+
+func TestCrashListenerInvoked(t *testing.T) {
+	s := New(Config{N: 1, Seed: 1})
+	w := &crashWitness{}
+	s.SetHandler(1, w)
+	s.CrashAt(3, 1)
+	s.Run()
+	if !w.sawCrash {
+		t.Error("OnCrash not invoked")
+	}
+}
+
+// Property: random mesh traffic always yields valid histories.
+func TestRandomTrafficYieldsValidHistories(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		n := 3 + int(seed%4)
+		s := New(Config{N: n, Seed: seed, MinDelay: 1, MaxDelay: 25})
+		for p := 1; p <= n; p++ {
+			p := model.ProcID(p)
+			s.SetHandler(p, &scriptHandler{
+				init: func(ctx node.Context) {
+					for q := model.ProcID(1); int(q) <= n; q++ {
+						if q != p {
+							ctx.Send(q, node.Payload{Tag: "M", Subject: p})
+						}
+					}
+				},
+				onMsg: func(ctx node.Context, from model.ProcID, pl node.Payload) {
+					if pl.Subject == ctx.Self() {
+						return
+					}
+					if from > ctx.Self() {
+						ctx.Send(from, node.Payload{Tag: "R", Subject: ctx.Self()})
+					}
+				},
+			})
+		}
+		if n > 2 {
+			s.CrashAt(int64(seed%13)+1, model.ProcID(n))
+		}
+		res := s.Run()
+		if err := res.History.Validate(); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, res.History)
+		}
+	}
+}

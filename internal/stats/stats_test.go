@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.P95 != 7 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {150, 40},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+}
+
+func TestInts(t *testing.T) {
+	xs := Ints([]int{1, 2})
+	if len(xs) != 2 || xs[0] != 1 || xs[1] != 2 {
+		t.Errorf("Ints = %v", xs)
+	}
+}
+
+// Property: Min <= Median <= P95 <= Max and Mean within [Min, Max].
+func TestSummaryOrdering(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median+1e-9 && s.Median <= s.P95+1e-9 &&
+			s.P95 <= s.Max+1e-9 && s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("n", "t", "result").
+		Row(5, 2, "ok").
+		Row(100, 10, 3.14159)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "result") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "3.14") {
+		t.Errorf("float not formatted: %q", lines[3])
+	}
+	// Columns align: every line same width or longer header separator.
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+}

@@ -1,0 +1,100 @@
+// Package trace serializes histories to and from a line-oriented JSON
+// format, so that runs can be recorded by cmd/sfs-sim and re-checked
+// offline by cmd/sfs-check (or exchanged with other tools).
+//
+// The format is one JSON object per line: a header line with metadata, then
+// one line per event in history order. Streaming line-delimited JSON keeps
+// large traces greppable and diffable.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"failstop/internal/model"
+)
+
+// Header carries run metadata at the top of a trace file.
+type Header struct {
+	// Version identifies the trace format.
+	Version int `json:"version"`
+	// N is the number of processes.
+	N int `json:"n"`
+	// T is the failure bound the run was configured with.
+	T int `json:"t,omitempty"`
+	// Protocol names the detection protocol ("sfs", "cheap", "unilateral").
+	Protocol string `json:"protocol,omitempty"`
+	// Seed is the simulation seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Note is free-form commentary.
+	Note string `json:"note,omitempty"`
+}
+
+// FormatVersion is the current trace format version.
+const FormatVersion = 1
+
+// Write streams a header and history to w.
+func Write(w io.Writer, hdr Header, h model.History) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr.Version = FormatVersion
+	if hdr.N == 0 {
+		hdr.N = h.Processes()
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("trace: encoding header: %w", err)
+	}
+	for i := range h {
+		if err := enc.Encode(h[i]); err != nil {
+			return fmt.Errorf("trace: encoding event %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing: %w", err)
+	}
+	return nil
+}
+
+// ErrBadTrace is wrapped by all read-side format errors.
+var ErrBadTrace = errors.New("trace: malformed trace")
+
+// Read parses a trace produced by Write and returns its header and history.
+// The history is normalized but NOT validated; callers that need model
+// validity should call History.Validate themselves.
+func Read(r io.Reader) (Header, model.History, error) {
+	var hdr Header
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return hdr, nil, fmt.Errorf("%w: %w", ErrBadTrace, err)
+		}
+		return hdr, nil, fmt.Errorf("%w: empty input", ErrBadTrace)
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("%w: header: %w", ErrBadTrace, err)
+	}
+	if hdr.Version != FormatVersion {
+		return hdr, nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, hdr.Version)
+	}
+	var h model.History
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e model.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return hdr, nil, fmt.Errorf("%w: line %d: %w", ErrBadTrace, line, err)
+		}
+		h = append(h, e)
+	}
+	if err := sc.Err(); err != nil {
+		return hdr, nil, fmt.Errorf("%w: %w", ErrBadTrace, err)
+	}
+	return hdr, h.Normalize(), nil
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"failstop/internal/model"
+)
+
+func sample() model.History {
+	return model.History{
+		model.Send(1, 2, 1, "SUSP", 3),
+		model.Recv(2, 1, 1, "SUSP", 3),
+		model.Failed(2, 3),
+		model.Crash(3),
+		model.Internal(1, "note", model.None),
+	}.Normalize()
+}
+
+func TestRoundTrip(t *testing.T) {
+	h := sample()
+	var buf bytes.Buffer
+	hdr := Header{N: 3, T: 1, Protocol: "sfs", Seed: 42, Note: "unit"}
+	if err := Write(&buf, hdr, h); err != nil {
+		t.Fatal(err)
+	}
+	got, gh, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 3 || got.T != 1 || got.Protocol != "sfs" || got.Seed != 42 || got.Version != FormatVersion {
+		t.Errorf("header = %+v", got)
+	}
+	if len(gh) != len(h) {
+		t.Fatalf("history length %d, want %d", len(gh), len(h))
+	}
+	for i := range h {
+		if !h[i].Same(gh[i]) {
+			t.Errorf("event %d: %s != %s", i, h[i], gh[i])
+		}
+	}
+}
+
+func TestHeaderDefaultsN(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{}, sample()); err != nil {
+		t.Fatal(err)
+	}
+	hdr, _, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.N != 3 {
+		t.Errorf("N = %d, want 3 (inferred)", hdr.N)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "not json\n",
+		"bad version": `{"version":99}` + "\n",
+		"bad event":   `{"version":1,"n":2}` + "\nnope\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, _, err := Read(strings.NewReader(in))
+			if !errors.Is(err, ErrBadTrace) {
+				t.Errorf("err = %v, want ErrBadTrace", err)
+			}
+		})
+	}
+}
+
+func TestBlankLinesTolerated(t *testing.T) {
+	in := `{"version":1,"n":2}` + "\n\n" + `{"seq":0,"proc":1,"kind":3}` + "\n"
+	_, h, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 1 || !h[0].IsCrash() {
+		t.Errorf("history = %v", h)
+	}
+}
+
+func TestEmptyHistoryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{N: 2}, model.History{}); err != nil {
+		t.Fatal(err)
+	}
+	_, h, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 0 {
+		t.Errorf("history = %v, want empty", h)
+	}
+}
