@@ -1,0 +1,152 @@
+// Command sfs-sweep runs a parallel scenario sweep: a declarative grid of
+// (n, t) cells × protocol variants × fault schedules × seeds, executed on a
+// worker pool, with every recorded history piped through the property
+// checker and aggregated into per-cell verdict tables.
+//
+// Usage:
+//
+//	sfs-sweep                                     # default adversarial grid
+//	sfs-sweep -grid 10:3,12:3,15:4 -seeds 250     # 1000+ scenarios
+//	sfs-sweep -schedules mixed -protocols sfs,cheap
+//	sfs-sweep -q-delta -1,0 -schedules park-ring  # quorum lower-bound probe
+//	sfs-sweep -list-schedules                     # built-in fault schedules
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"failstop/internal/core"
+	"failstop/internal/sweep"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("sfs-sweep", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		grid      = fs.String("grid", "10:3", "comma-separated n:t cells, e.g. 10:3,12:3,15:4")
+		seeds     = fs.Int("seeds", 25, "seeds per cell")
+		seedStart = fs.Int64("seed-start", 0, "first seed")
+		protocols = fs.String("protocols", "sfs", "comma-separated protocols: sfs, cheap, unilateral")
+		schedules = fs.String("schedules", "false-suspicion,crash,mutual", "comma-separated built-in fault schedules")
+		qDeltas   = fs.String("q-delta", "0", "comma-separated quorum-size offsets from the Theorem 7 minimum")
+		minDelay  = fs.Int64("min-delay", 0, "minimum uniform message delay (0: simulator default)")
+		maxDelay  = fs.Int64("max-delay", 0, "maximum uniform message delay (0: simulator default)")
+		maxTime   = fs.Int64("max-time", 0, "virtual-time horizon per run (0: run to quiescence)")
+		maxEvents = fs.Int("max-events", 0, "event cap per run (0: simulator default)")
+		workers   = fs.Int("workers", 0, "worker pool size (0: GOMAXPROCS, 1: serial)")
+		check     = fs.Bool("check", true, "check every quiescent history against the paper's properties")
+		list      = fs.Bool("list-schedules", false, "list built-in fault schedules and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, name := range sweep.BuiltinNames() {
+			fmt.Fprintln(out, name)
+		}
+		return 0
+	}
+
+	spec := sweep.Spec{
+		Seeds:     sweep.SeedRange{Start: *seedStart, Count: *seeds},
+		MinDelay:  *minDelay,
+		MaxDelay:  *maxDelay,
+		MaxTime:   *maxTime,
+		MaxEvents: *maxEvents,
+		Check:     *check,
+	}
+	var err error
+	if spec.Grid, err = parseGrid(*grid); err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	if spec.Protocols, err = parseProtocols(*protocols); err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	if spec.Schedules, err = parseSchedules(*schedules); err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	if spec.QuorumDeltas, err = parseInts(*qDeltas); err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+
+	rep, err := sweep.Run(spec, sweep.Options{Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	fmt.Fprintln(out, rep)
+	return 0
+}
+
+func parseGrid(s string) ([]sweep.NT, error) {
+	var out []sweep.NT
+	for _, cell := range strings.Split(s, ",") {
+		cell = strings.TrimSpace(cell)
+		n, t, ok := strings.Cut(cell, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad grid cell %q (want n:t)", cell)
+		}
+		ni, err1 := strconv.Atoi(n)
+		ti, err2 := strconv.Atoi(t)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad grid cell %q (want n:t)", cell)
+		}
+		out = append(out, sweep.NT{N: ni, T: ti})
+	}
+	return out, nil
+}
+
+func parseProtocols(s string) ([]core.Protocol, error) {
+	var out []core.Protocol
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(strings.ToLower(name)) {
+		case "sfs", "simulated-fail-stop":
+			out = append(out, core.SimulatedFailStop)
+		case "cheap":
+			out = append(out, core.Cheap)
+		case "unilateral":
+			out = append(out, core.Unilateral)
+		default:
+			return nil, fmt.Errorf("unknown protocol %q (have sfs, cheap, unilateral)", name)
+		}
+	}
+	return out, nil
+}
+
+func parseSchedules(s string) ([]sweep.Schedule, error) {
+	var out []sweep.Schedule
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		sched, ok := sweep.Builtin(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown schedule %q (have %s)", name, strings.Join(sweep.BuiltinNames(), ", "))
+		}
+		out = append(out, sched)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

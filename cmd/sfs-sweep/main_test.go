@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSweepDefaultGrid(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-seeds", "4"}, &out); code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"sweep: 12 runs over 3 cells", "n=10 t=3", "property verdicts", "sFS2d"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestSweepThousandScenarios is the acceptance-criteria grid: 250 seeds ×
+// 4 (n, t) cells = 1000 scenarios through the parallel engine, with an
+// aggregated verdict table.
+func TestSweepThousandScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-scenario sweep in -short mode")
+	}
+	var out bytes.Buffer
+	args := []string{
+		"-grid", "8:2,10:3,12:3,15:3",
+		"-seeds", "250",
+		"-schedules", "false-suspicion",
+	}
+	if code := run(args, &out); code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "sweep: 1000 runs over 4 cells") {
+		t.Errorf("output:\n%s", s)
+	}
+	if !strings.Contains(s, "property verdicts") {
+		t.Errorf("no aggregated verdict table:\n%s", s)
+	}
+}
+
+func TestSweepListSchedules(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-list-schedules"}, &out); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"quiet", "false-suspicion", "crash", "mutual", "mixed", "park-ring"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSweepBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-grid", "10x3"},
+		{"-protocols", "raft"},
+		{"-schedules", "nope"},
+		{"-q-delta", "a,b"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if code := run(args, &out); code != 2 {
+			t.Errorf("run(%v) = %d, want 2:\n%s", args, code, out.String())
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"failstop/internal/exampletest"
+)
+
+func TestElectionRuns(t *testing.T) {
+	out := exampletest.CaptureStdout(t, main)
+	// The sFS run hands leadership over cleanly and is indistinguishable
+	// from fail-stop; the unilateral run is not.
+	if !strings.Contains(out, "--- protocol sfs ---") ||
+		!strings.Contains(out, "--- protocol unilateral ---") {
+		t.Fatalf("missing a protocol section:\n%s", out)
+	}
+	if !strings.Contains(out, "indistinguishable from fail-stop:       yes (witness constructed)") {
+		t.Errorf("sFS run produced no fail-stop witness:\n%s", out)
+	}
+	if !strings.Contains(out, "indistinguishable from fail-stop:       NO") {
+		t.Errorf("unilateral run unexpectedly realizable:\n%s", out)
+	}
+}

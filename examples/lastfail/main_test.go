@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"failstop/internal/exampletest"
+)
+
+func TestLastFailRuns(t *testing.T) {
+	out := exampletest.CaptureStdout(t, main)
+	// The cheap-model run reproduces the §6 anomaly; the sFS run does not
+	// mislead recovery.
+	if !strings.Contains(out, "--- protocol cheap (n=2) ---") ||
+		!strings.Contains(out, "--- protocol sfs (n=5) ---") {
+		t.Fatalf("missing a protocol section:\n%s", out)
+	}
+	if !strings.Contains(out, "MISLEADING") {
+		t.Errorf("cheap-model anomaly did not reproduce:\n%s", out)
+	}
+}

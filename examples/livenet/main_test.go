@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"failstop/internal/exampletest"
+)
+
+func TestLivenetRuns(t *testing.T) {
+	out := exampletest.CaptureStdout(t, main)
+	if !strings.Contains(out, "validating") {
+		t.Fatalf("live run did not reach validation:\n%s", out)
+	}
+	if strings.Contains(out, "history INVALID") {
+		t.Errorf("live history failed validation:\n%s", out)
+	}
+	if strings.Contains(out, "VIOLATED") {
+		t.Errorf("an sFS safety property was violated on the live run:\n%s", out)
+	}
+	if !strings.Contains(out, "indistinguishability: isomorphic fail-stop run constructed and verified") {
+		t.Errorf("no fail-stop witness for the live run:\n%s", out)
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"failstop/internal/exampletest"
+)
+
+func TestQuickstartRuns(t *testing.T) {
+	out := exampletest.CaptureStdout(t, main)
+	for _, want := range []string{
+		"quiescent=true",
+		"Theorem 5 witness",
+		"simulated fail-stop",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "VIOLATED") {
+		t.Errorf("a property was violated:\n%s", out)
+	}
+}

@@ -1,0 +1,3 @@
+module failstop
+
+go 1.22

@@ -1,0 +1,32 @@
+// Package exampletest holds the one helper the examples' smoke tests
+// share: running a main-style function with os.Stdout captured.
+package exampletest
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// CaptureStdout runs fn with os.Stdout redirected to a pipe and returns
+// everything fn wrote. The previous stdout is restored before returning,
+// including on test failure via t.Cleanup.
+func CaptureStdout(t testing.TB, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	t.Cleanup(func() { os.Stdout = orig })
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	fn()
+	w.Close()
+	os.Stdout = orig
+	return <-done
+}

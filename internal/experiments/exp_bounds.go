@@ -13,6 +13,7 @@ import (
 	"failstop/internal/quorum"
 	"failstop/internal/sim"
 	"failstop/internal/stats"
+	"failstop/internal/sweep"
 )
 
 // E1 reproduces Theorem 1 operationally: no timeout implements the Perfect
@@ -147,17 +148,40 @@ func E6() Result {
 
 // E7 reproduces Theorem 7's tightness on a grid: at q = ⌊n(t-1)/t⌋ (one
 // below the bound) the cycle adversary wins; at q = ⌊n(t-1)/t⌋+1 it loses.
+// The (n, t) × {q-1, q} grid fans out through the sweep engine with a
+// custom runner wrapping the Appendix A.3 cycle adversary.
 func E7() Result {
-	grid := []struct{ n, t int }{
-		{4, 2}, {5, 2}, {6, 2}, {9, 2}, {10, 3}, {12, 3}, {15, 3}, {17, 4}, {20, 4}, {26, 5},
+	grid := []sweep.NT{
+		{N: 4, T: 2}, {N: 5, T: 2}, {N: 6, T: 2}, {N: 9, T: 2}, {N: 10, T: 3},
+		{N: 12, T: 3}, {N: 15, T: 3}, {N: 17, T: 4}, {N: 20, T: 4}, {N: 26, T: 5},
+	}
+	const schedName = "a3-ring"
+	rep, err := sweep.Run(sweep.Spec{
+		Grid:         grid,
+		QuorumDeltas: []int{-1, 0},
+		Schedules:    []sweep.Schedule{{Name: schedName}},
+		Seeds:        sweep.SeedRange{Start: 1, Count: 1},
+		Runner: func(cell sweep.Cell, seed int64) sweep.RunOutput {
+			q := quorum.MinSize(cell.NT.N, cell.NT.T) + cell.QuorumDelta
+			out := adversary.RunCycleScenario(cell.NT.N, cell.NT.T, q, seed)
+			return sweep.RunOutput{
+				Result:  out.Result,
+				Metrics: map[string]bool{"cycle": out.Cycle != nil},
+			}
+		},
+	}, sweep.Options{})
+	if err != nil {
+		return Result{ID: "E7", Title: "Theorem 7 quorum bound", OK: false, Notes: []string{err.Error()}}
 	}
 	tbl := stats.NewTable("n", "t", "min quorum ⌊n(t-1)/t⌋+1", "cycle at q-1", "cycle at q")
 	ok := true
 	for _, g := range grid {
-		q := quorum.MinSize(g.n, g.t)
-		below := adversary.RunCycleScenario(g.n, g.t, q-1, 1).Cycle != nil
-		at := adversary.RunCycleScenario(g.n, g.t, q, 1).Cycle != nil
-		tbl.Row(g.n, g.t, q, below, at)
+		cellAt := func(delta int) *sweep.CellResult {
+			return rep.Cell(sweep.Cell{NT: g, Protocol: core.SimulatedFailStop, QuorumDelta: delta, Schedule: schedName})
+		}
+		below := cellAt(-1).MetricAll("cycle")
+		at := !cellAt(0).MetricNone("cycle")
+		tbl.Row(g.N, g.T, quorum.MinSize(g.N, g.T), below, at)
 		if !below || at {
 			ok = false
 		}
@@ -172,35 +196,55 @@ func E7() Result {
 }
 
 // E8 reproduces Corollary 8: with minimum quorums, the protocol makes
-// progress (all live processes complete all detections) iff n > t².
+// progress (all live processes complete all detections) iff n > t². The
+// (n, t) grid fans out through the sweep engine: a declarative t-crash
+// schedule plus an Observe hook that reads detector state per run.
 func E8() Result {
-	grid := []struct{ n, t int }{
-		{3, 2}, {4, 2}, {5, 2}, {8, 2}, {9, 3}, {10, 3}, {14, 3}, {16, 4}, {17, 4}, {20, 4},
+	grid := []sweep.NT{
+		{N: 3, T: 2}, {N: 4, T: 2}, {N: 5, T: 2}, {N: 8, T: 2}, {N: 9, T: 3},
+		{N: 10, T: 3}, {N: 14, T: 3}, {N: 16, T: 4}, {N: 17, T: 4}, {N: 20, T: 4},
+	}
+	const schedName = "t-crashes"
+	rep, err := sweep.Run(sweep.Spec{
+		Grid: grid,
+		Schedules: []sweep.Schedule{{
+			Name: schedName,
+			// t genuine crashes, then a survivor suspects each victim.
+			Faults: func(nt sweep.NT, seed int64) []sweep.Fault {
+				var fs []sweep.Fault
+				for i := 0; i < nt.T; i++ {
+					victim := model.ProcID(nt.N - i)
+					fs = append(fs,
+						sweep.Fault{Kind: sweep.FaultCrash, At: int64(1 + i), Proc: victim},
+						sweep.Fault{Kind: sweep.FaultSuspect, At: int64(50 + i), Proc: 1, Target: victim})
+				}
+				return fs
+			},
+		}},
+		Seeds:    sweep.SeedRange{Start: 3, Count: 1},
+		MinDelay: 1, MaxDelay: 5,
+		Observe: func(cell sweep.Cell, seed int64, out sweep.RunOutput) map[string]bool {
+			progress := true
+			for p := 1; p <= cell.NT.N-cell.NT.T; p++ {
+				for i := 0; i < cell.NT.T; i++ {
+					if !out.Cluster.Detectors[p].Detected(model.ProcID(cell.NT.N - i)) {
+						progress = false
+					}
+				}
+			}
+			return map[string]bool{"progress": progress}
+		},
+	}, sweep.Options{})
+	if err != nil {
+		return Result{ID: "E8", Title: "Corollary 8 progress bound", OK: false, Notes: []string{err.Error()}}
 	}
 	tbl := stats.NewTable("n", "t", "n > t²", "progress (all detections complete)")
 	ok := true
 	for _, g := range grid {
-		c := cluster.New(cluster.Options{
-			Sim: sim.Config{N: g.n, Seed: 3, MinDelay: 1, MaxDelay: 5},
-			Det: core.Config{N: g.n, T: g.t},
-		})
-		// t genuine crashes, then a survivor suspects each victim.
-		for i := 0; i < g.t; i++ {
-			victim := model.ProcID(g.n - i)
-			c.CrashAt(int64(1+i), victim)
-			c.SuspectAt(int64(50+i), 1, victim)
-		}
-		c.Run()
-		progress := true
-		for p := 1; p <= g.n-g.t; p++ {
-			for i := 0; i < g.t; i++ {
-				if !c.Detectors[p].Detected(model.ProcID(g.n - i)) {
-					progress = false
-				}
-			}
-		}
-		predicted := g.n > g.t*g.t
-		tbl.Row(g.n, g.t, predicted, progress)
+		c := rep.Cell(sweep.Cell{NT: g, Protocol: core.SimulatedFailStop, Schedule: schedName})
+		progress := c.MetricAll("progress")
+		predicted := g.N > g.T*g.T
+		tbl.Row(g.N, g.T, predicted, progress)
 		if progress != predicted {
 			ok = false
 		}

@@ -8,10 +8,10 @@ import (
 	"failstop/internal/cluster"
 	"failstop/internal/core"
 	"failstop/internal/model"
-	"failstop/internal/node"
 	"failstop/internal/rewrite"
 	"failstop/internal/sim"
 	"failstop/internal/stats"
+	"failstop/internal/sweep"
 )
 
 // scenario is one adversarial setup: genuine crashes, (possibly false)
@@ -20,34 +20,42 @@ import (
 // surfaces FS2 violations: the false detection completes while its victim
 // is still alive.
 type scenario struct {
+	name     string
 	crashes  []model.ProcID
 	susp     [][2]model.ProcID
 	slowKill []model.ProcID
 }
 
-// protoRun executes one seeded scenario of the given protocol and returns
-// the full simulation result.
-func protoRun(proto core.Protocol, n, t int, seed int64, sc scenario) *sim.Result {
-	slow := make(map[model.ProcID]bool, len(sc.slowKill))
-	for _, p := range sc.slowKill {
-		slow[p] = true
-	}
-	// Deterministic pseudo-random base delay in [1, 15], seeded per message.
-	delay := func(from, to model.ProcID, p node.Payload, at int64) int64 {
-		if p.Tag == core.TagSusp && p.Subject == to && slow[to] {
-			return 150
-		}
-		return 1 + (at*7+int64(from)*13+int64(to)*5+seed)%15
-	}
-	c := cluster.New(cluster.Options{
-		Sim: sim.Config{N: n, Seed: seed, Delay: delay},
-		Det: core.Config{N: n, T: t, Protocol: proto},
-	})
+// faults converts the scenario into sweep faults: crashes at ticks 2, 3,
+// ..., then suspicions at ticks 20, 23, ... — the single source of the
+// injection times both protoRun and the E2 sweep schedules use.
+func (sc scenario) faults() []sweep.Fault {
+	var out []sweep.Fault
 	for i, p := range sc.crashes {
-		c.CrashAt(int64(2+i), p)
+		out = append(out, sweep.Fault{Kind: sweep.FaultCrash, At: int64(2 + i), Proc: p})
 	}
 	for i, s := range sc.susp {
-		c.SuspectAt(int64(20+3*i), s[0], s[1])
+		out = append(out, sweep.Fault{Kind: sweep.FaultSuspect, At: int64(20 + 3*i), Proc: s[0], Target: s[1]})
+	}
+	return out
+}
+
+// protoRun executes one seeded scenario of the given protocol and returns
+// the full simulation result. The delay distribution is the shared
+// slowed-kill adversary, so these runs are event-for-event identical to
+// the same scenario fanned out through the sweep engine.
+func protoRun(proto core.Protocol, n, t int, seed int64, sc scenario) *sim.Result {
+	c := cluster.New(cluster.Options{
+		Sim: sim.Config{N: n, Seed: seed, Delay: sweep.SlowKillDelay(seed, sc.slowKill...)},
+		Det: core.Config{N: n, T: t, Protocol: proto},
+	})
+	for _, f := range sc.faults() {
+		switch f.Kind {
+		case sweep.FaultCrash:
+			c.CrashAt(f.At, f.Proc)
+		case sweep.FaultSuspect:
+			c.SuspectAt(f.At, f.Proc, f.Target)
+		}
 	}
 	return c.Run()
 }
@@ -57,43 +65,49 @@ func protoRun(proto core.Protocol, n, t int, seed int64, sc scenario) *sim.Resul
 // genuine crashes, and concurrent mutual suspicion.
 func e2Scenarios() []scenario {
 	return []scenario{
-		{susp: [][2]model.ProcID{{2, 1}}, slowKill: []model.ProcID{1}},                                     // one false suspicion
-		{crashes: []model.ProcID{10}, susp: [][2]model.ProcID{{1, 10}}},                                    // one genuine crash
-		{susp: [][2]model.ProcID{{1, 2}, {2, 1}}},                                                          // mutual suspicion
-		{susp: [][2]model.ProcID{{4, 1}, {5, 2}, {6, 3}}, slowKill: []model.ProcID{1}},                     // three concurrent
-		{crashes: []model.ProcID{9}, susp: [][2]model.ProcID{{1, 9}, {2, 8}}, slowKill: []model.ProcID{8}}, // mixed
+		{name: "false", susp: [][2]model.ProcID{{2, 1}}, slowKill: []model.ProcID{1}},                                     // one false suspicion
+		{name: "genuine", crashes: []model.ProcID{10}, susp: [][2]model.ProcID{{1, 10}}},                                  // one genuine crash
+		{name: "mutual", susp: [][2]model.ProcID{{1, 2}, {2, 1}}},                                                         // mutual suspicion
+		{name: "concurrent", susp: [][2]model.ProcID{{4, 1}, {5, 2}, {6, 3}}, slowKill: []model.ProcID{1}},                // three concurrent
+		{name: "mixed", crashes: []model.ProcID{9}, susp: [][2]model.ProcID{{1, 9}, {2, 8}}, slowKill: []model.ProcID{8}}, // mixed
 	}
+}
+
+// e2Schedules converts the scenario mix into sweep fault schedules sharing
+// protoRun's injection times (scenario.faults) and delay distribution, so
+// the engine's runs are event-for-event identical to protoRun's.
+func e2Schedules() []sweep.Schedule {
+	var out []sweep.Schedule
+	for _, sc := range e2Scenarios() {
+		sc := sc
+		out = append(out, sweep.Schedule{
+			Name:   sc.name,
+			Faults: func(sweep.NT, int64) []sweep.Fault { return sc.faults() },
+			Delay: func(nt sweep.NT, seed int64) sim.DelayFn {
+				return sweep.SlowKillDelay(seed, sc.slowKill...)
+			},
+		})
+	}
+	return out
 }
 
 // E2 verifies Figure 1: across seeded adversarial runs of the §5 protocol,
 // every sFS condition (FS1, sFS2a–d) holds in 100% of runs, while FS2 —
 // the condition sFS deliberately weakens — fails whenever a false suspicion
-// completes before its victim dies.
+// completes before its victim dies. The runs fan out through the sweep
+// engine: one cell per scenario family, aggregated sweep-wide.
 func E2() Result {
 	const n, t, seeds = 10, 3, 15
-	counts := map[string]int{}
-	total := 0
-	for _, sc := range e2Scenarios() {
-		for seed := int64(0); seed < seeds; seed++ {
-			res := protoRun(core.SimulatedFailStop, n, t, seed, sc)
-			if !res.Quiescent() {
-				continue
-			}
-			total++
-			ab := res.History.DropTags(core.TagSusp)
-			for _, v := range checker.SFS(ab) {
-				if v.Holds {
-					counts[v.Property]++
-				}
-			}
-			if checker.FS2(ab).Holds {
-				counts["FS2"]++
-			}
-			if checker.WitnessProperty(res.History, core.TagSusp, t).Holds {
-				counts["W"]++
-			}
-		}
+	rep, err := sweep.Run(sweep.Spec{
+		Grid:      []sweep.NT{{N: n, T: t}},
+		Schedules: e2Schedules(),
+		Seeds:     sweep.SeedRange{Count: seeds},
+		Check:     true,
+	}, sweep.Options{})
+	if err != nil {
+		return Result{ID: "E2", Title: "Figure 1 condition check", OK: false, Notes: []string{err.Error()}}
 	}
+	counts, total := rep.TotalHolds()
 	tbl := stats.NewTable("property", "runs holding", "total runs", "pct")
 	ok := total > 0
 	for _, prop := range []string{"FS1", "sFS2a", "sFS2b", "sFS2c", "sFS2d", "W", "FS2"} {
@@ -113,7 +127,7 @@ func E2() Result {
 		Table: tbl.String(),
 		OK:    ok,
 		Notes: []string{
-			fmt.Sprintf("n=%d, t=%d, %d quiescent runs over 5 scenario families (false, genuine, mutual, concurrent, mixed)", n, t, total),
+			fmt.Sprintf("n=%d, t=%d, %d quiescent runs over 5 scenario families (false, genuine, mutual, concurrent, mixed), swept on %d workers", n, t, total, rep.Workers),
 		},
 	}
 }

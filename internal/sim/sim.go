@@ -109,13 +109,54 @@ func (h *occHeap) Pop() any {
 	return it
 }
 
+// StopReason states why a run ended. The zero value, StopDrained, means the
+// event queue emptied; the horizon reasons distinguish a run truncated by
+// the MaxTime clock from one truncated by the MaxEvents runaway-protocol
+// cap — aggregation over large scenario sweeps needs to tell a genuinely
+// bounded run from a runaway one.
+type StopReason int
+
+const (
+	// StopDrained: the event queue emptied (messages may still sit in
+	// gated or parked channels; see Result.Blocked and Result.Quiescent).
+	StopDrained StopReason = iota
+	// StopMaxTime: the next occurrence would have been later than
+	// Config.MaxTime.
+	StopMaxTime
+	// StopMaxEvents: the history reached Config.MaxEvents.
+	StopMaxEvents
+)
+
+// String renders the reason ("drained", "max-time", "max-events").
+func (r StopReason) String() string {
+	switch r {
+	case StopDrained:
+		return "drained"
+	case StopMaxTime:
+		return "max-time"
+	case StopMaxEvents:
+		return "max-events"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// Reasons for BlockedChannel.Reason.
+const (
+	// ReasonGated: the receiver's gate refused the channel head.
+	ReasonGated = "gated"
+	// ReasonParked: the adversary held the channel head forever.
+	ReasonParked = "parked"
+	// ReasonReceiverCrashed: the receiver crashed; leftovers are expected.
+	ReasonReceiverCrashed = "receiver-crashed"
+)
+
 // BlockedChannel describes a channel that still held undelivered messages
 // when the run ended, and why.
 type BlockedChannel struct {
 	From, To model.ProcID
 	Queued   int
-	// Reason is "gated" (receiver refused the head), "parked" (adversary
-	// held the head forever), or "receiver-crashed".
+	// Reason is ReasonGated, ReasonParked, or ReasonReceiverCrashed.
 	Reason string
 }
 
@@ -131,24 +172,30 @@ type Result struct {
 	// at the end of the run (gated or parked) plus channels into crashed
 	// processes. A run with gated entries did not reach protocol quiescence.
 	Blocked []BlockedChannel
-	// HitHorizon reports that the run stopped at MaxTime or MaxEvents rather
-	// than by draining the event queue.
-	HitHorizon bool
+	// Stop states why the run ended: drained, max-time, or max-events.
+	Stop StopReason
+}
+
+// HitHorizon reports that the run stopped at MaxTime or MaxEvents rather
+// than by draining the event queue.
+func (r *Result) HitHorizon() bool { return r.Stop != StopDrained }
+
+// BlockedLive reports whether the run ended with messages stuck in gated
+// or parked channels to live processes (messages to crashed processes are
+// expected leftovers and do not count).
+func (r *Result) BlockedLive() bool {
+	for _, b := range r.Blocked {
+		if b.Reason != ReasonReceiverCrashed {
+			return true
+		}
+	}
+	return false
 }
 
 // Quiescent reports whether the run drained completely: no horizon hit and
-// no messages stuck in gated or parked channels (messages to crashed
-// processes are expected leftovers and do not count).
+// nothing stuck in gated or parked channels.
 func (r *Result) Quiescent() bool {
-	if r.HitHorizon {
-		return false
-	}
-	for _, b := range r.Blocked {
-		if b.Reason != "receiver-crashed" {
-			return false
-		}
-	}
-	return true
+	return !r.HitHorizon() && !r.BlockedLive()
 }
 
 // Sim is a single-use simulator instance: configure, attach handlers,
@@ -250,12 +297,12 @@ func (s *Sim) Run() *Result {
 
 	for s.queue.Len() > 0 {
 		if len(s.history) >= s.cfg.MaxEvents {
-			res.HitHorizon = true
+			res.Stop = StopMaxEvents
 			break
 		}
 		o := heap.Pop(&s.queue).(*occurrence)
 		if s.cfg.MaxTime > 0 && o.time > s.cfg.MaxTime {
-			res.HitHorizon = true
+			res.Stop = StopMaxTime
 			break
 		}
 		if o.time > s.now {
@@ -298,12 +345,12 @@ func (s *Sim) blockedChannels() []BlockedChannel {
 	})
 	for _, k := range keys {
 		c := s.chans[k]
-		reason := "gated"
+		reason := ReasonGated
 		switch {
 		case s.crashed[k.to]:
-			reason = "receiver-crashed"
+			reason = ReasonReceiverCrashed
 		case c.queue[0].readyAt < 0:
-			reason = "parked"
+			reason = ReasonParked
 		}
 		out = append(out, BlockedChannel{From: k.from, To: k.to, Queued: len(c.queue), Reason: reason})
 	}

@@ -356,7 +356,7 @@ func TestMaxTimeHorizon(t *testing.T) {
 		},
 	})
 	res := s.Run()
-	if !res.HitHorizon {
+	if !res.HitHorizon() {
 		t.Error("expected horizon hit")
 	}
 	if ticks != 10 {
@@ -379,7 +379,7 @@ func TestMaxEventsCap(t *testing.T) {
 	})
 	s.SetHandler(2, &scriptHandler{onMsg: bounce})
 	res := s.Run()
-	if !res.HitHorizon {
+	if !res.HitHorizon() {
 		t.Error("expected MaxEvents horizon")
 	}
 	if len(res.History) > 51 {
@@ -498,6 +498,84 @@ func TestRandomTrafficYieldsValidHistories(t *testing.T) {
 		res := s.Run()
 		if err := res.History.Validate(); err != nil {
 			t.Fatalf("seed %d: %v\n%s", seed, err, res.History)
+		}
+	}
+}
+
+// pingForever builds a two-process simulation that bounces a message back
+// and forth without ever quiescing — the workload for the horizon tests.
+func pingForever(cfg Config) *Sim {
+	cfg.N = 2
+	s := New(cfg)
+	bounce := func(ctx node.Context, from model.ProcID, p node.Payload) {
+		ctx.Send(from, p)
+	}
+	s.SetHandler(1, &scriptHandler{
+		init:  func(ctx node.Context) { ctx.Send(2, node.Payload{Tag: "PING"}) },
+		onMsg: bounce,
+	})
+	s.SetHandler(2, &scriptHandler{onMsg: bounce})
+	return s
+}
+
+func TestStopReasonDrained(t *testing.T) {
+	s := New(Config{N: 2, Seed: 1})
+	s.SetHandler(1, &scriptHandler{
+		init: func(ctx node.Context) { ctx.Send(2, node.Payload{Tag: "M"}) },
+	})
+	s.SetHandler(2, idle())
+	res := s.Run()
+	if res.Stop != StopDrained {
+		t.Errorf("Stop = %v, want %v", res.Stop, StopDrained)
+	}
+	if res.HitHorizon() {
+		t.Error("HitHorizon = true on a drained run")
+	}
+	if !res.Quiescent() {
+		t.Errorf("run not quiescent: %+v", res.Blocked)
+	}
+}
+
+func TestStopReasonMaxTime(t *testing.T) {
+	res := pingForever(Config{Seed: 1, MaxTime: 200}).Run()
+	if res.Stop != StopMaxTime {
+		t.Errorf("Stop = %v, want %v", res.Stop, StopMaxTime)
+	}
+	if !res.HitHorizon() {
+		t.Error("HitHorizon = false after a max-time stop")
+	}
+	if res.Quiescent() {
+		t.Error("Quiescent() = true after a max-time stop")
+	}
+	if res.EndTime > 200 {
+		t.Errorf("EndTime = %d, beyond MaxTime", res.EndTime)
+	}
+}
+
+func TestStopReasonMaxEvents(t *testing.T) {
+	res := pingForever(Config{Seed: 1, MaxEvents: 64}).Run()
+	if res.Stop != StopMaxEvents {
+		t.Errorf("Stop = %v, want %v", res.Stop, StopMaxEvents)
+	}
+	if !res.HitHorizon() {
+		t.Error("HitHorizon = false after a max-events stop")
+	}
+	if res.Quiescent() {
+		t.Error("Quiescent() = true after a max-events stop")
+	}
+	// The cap is checked between occurrences, so the final occurrence may
+	// record a couple of events past it — but no further occurrence runs.
+	if len(res.History) < 64 || len(res.History) > 66 {
+		t.Errorf("history length = %d, want within one occurrence of MaxEvents (64)", len(res.History))
+	}
+}
+
+func TestStopReasonStrings(t *testing.T) {
+	for want, r := range map[string]StopReason{
+		"drained": StopDrained, "max-time": StopMaxTime, "max-events": StopMaxEvents,
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), got, want)
 		}
 	}
 }

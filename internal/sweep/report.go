@@ -1,0 +1,218 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"failstop/internal/sim"
+	"failstop/internal/stats"
+)
+
+// Properties lists the checker's properties in presentation order, as
+// produced by checker.All.
+var Properties = []string{
+	"FS1", "FS2",
+	"sFS2a", "sFS2b", "sFS2c", "sFS2d",
+	"Condition1", "Condition2", "Condition3",
+	"W",
+}
+
+// CellResult aggregates every run of one cell.
+type CellResult struct {
+	Cell Cell
+	// Runs is the number of runs executed for the cell.
+	Runs int
+	// Stops tallies runs by stop reason.
+	Stops map[sim.StopReason]int
+	// Quiescent counts fully drained runs (no horizon, nothing stuck in
+	// gated or parked channels).
+	Quiescent int
+	// BlockedRuns counts runs that ended with messages stuck in gated or
+	// parked channels (undelivered traffic to live processes).
+	BlockedRuns int
+	// Checked counts runs whose history went through the checker (the
+	// quiescent runs, when Spec.Check is set).
+	Checked int
+	// Holds counts, per property, the checked runs on which it held.
+	Holds map[string]int
+	// Metrics counts, per custom metric, the runs on which it was true.
+	Metrics map[string]int
+	// Events and EndTimes summarize run length in events and virtual time.
+	Events, EndTimes stats.Summary
+}
+
+// HoldsAll reports whether prop held on every checked run of the cell.
+func (c *CellResult) HoldsAll(prop string) bool {
+	return c.Checked > 0 && c.Holds[prop] == c.Checked
+}
+
+// MetricAll reports whether the named metric was true on every run.
+func (c *CellResult) MetricAll(name string) bool {
+	return c.Runs > 0 && c.Metrics[name] == c.Runs
+}
+
+// MetricNone reports whether the named metric was false on every run.
+func (c *CellResult) MetricNone(name string) bool {
+	return c.Runs > 0 && c.Metrics[name] == 0
+}
+
+// Report is the aggregated outcome of a sweep.
+type Report struct {
+	// Cells holds one aggregate per cell, in Spec.Cells order.
+	Cells []CellResult
+	// Runs is the total number of runs executed.
+	Runs int
+	// Workers is the worker-pool size that executed the sweep.
+	Workers int
+}
+
+// Cell returns the aggregate for the given cell identity, or nil.
+func (r *Report) Cell(c Cell) *CellResult {
+	for i := range r.Cells {
+		if r.Cells[i].Cell == c {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// TotalHolds sums per-property verdict counts and checked-run counts over
+// every cell — the sweep-wide Figure 1 style tally.
+func (r *Report) TotalHolds() (holds map[string]int, checked int) {
+	holds = map[string]int{}
+	for i := range r.Cells {
+		for p, n := range r.Cells[i].Holds {
+			holds[p] += n
+		}
+		checked += r.Cells[i].Checked
+	}
+	return holds, checked
+}
+
+// PropertyTable renders the sweep-wide verdict tally: one row per checked
+// property with the count and percentage of checked runs on which it held.
+func (r *Report) PropertyTable() string {
+	holds, checked := r.TotalHolds()
+	tbl := stats.NewTable("property", "runs holding", "checked runs", "pct")
+	for _, prop := range Properties {
+		n, present := holds[prop]
+		if !present && checked == 0 {
+			continue
+		}
+		pct := 0.0
+		if checked > 0 {
+			pct = 100 * float64(n) / float64(checked)
+		}
+		tbl.Row(prop, n, checked, pct)
+	}
+	return tbl.String()
+}
+
+// CellTable renders one row per cell: outcome tallies, event-count
+// percentiles, and any custom metrics.
+func (r *Report) CellTable() string {
+	var allMetrics []map[string]int
+	for i := range r.Cells {
+		allMetrics = append(allMetrics, r.Cells[i].Metrics)
+	}
+	names := metricNames(allMetrics...)
+	headers := []string{"cell", "runs", "quiescent", "blocked", "max-time", "max-events", "events p50", "events p95"}
+	headers = append(headers, names...)
+	tbl := stats.NewTable(headers...)
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		row := []any{
+			c.Cell.String(), c.Runs, c.Quiescent, c.BlockedRuns,
+			c.Stops[sim.StopMaxTime], c.Stops[sim.StopMaxEvents],
+			c.Events.Median, c.Events.P95,
+		}
+		for _, m := range names {
+			row = append(row, fmt.Sprintf("%d/%d", c.Metrics[m], c.Runs))
+		}
+		tbl.Row(row...)
+	}
+	return tbl.String()
+}
+
+// String renders the full report: header, per-cell table, and — when any
+// run was checked — the sweep-wide property tally.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d runs over %d cells (%d workers)\n", r.Runs, len(r.Cells), r.Workers)
+	b.WriteString(r.CellTable())
+	if _, checked := r.TotalHolds(); checked > 0 {
+		b.WriteString("\nproperty verdicts over quiescent runs:\n")
+		b.WriteString(r.PropertyTable())
+	}
+	return b.String()
+}
+
+// accumulator builds one CellResult incrementally.
+type accumulator struct {
+	cell    Cell
+	runs    int
+	stops   map[sim.StopReason]int
+	quiet   int
+	blocked int
+	checked int
+	holds   map[string]int
+	metrics map[string]int
+	events  []float64
+	ends    []float64
+}
+
+func newAccumulators(cells []cellSpec) []*accumulator {
+	out := make([]*accumulator, len(cells))
+	for i, cs := range cells {
+		out[i] = &accumulator{
+			cell:    cs.cell,
+			stops:   map[sim.StopReason]int{},
+			holds:   map[string]int{},
+			metrics: map[string]int{},
+		}
+	}
+	return out
+}
+
+func (a *accumulator) add(rec runRecord) {
+	a.runs++
+	a.stops[rec.stop]++
+	if rec.quiescent {
+		a.quiet++
+	}
+	if rec.blocked {
+		a.blocked++
+	}
+	if rec.verdicts != nil {
+		a.checked++
+		for _, v := range rec.verdicts {
+			if v.Holds {
+				a.holds[v.Property]++
+			}
+		}
+	}
+	for name, val := range rec.metrics {
+		if val {
+			a.metrics[name]++
+		} else {
+			a.metrics[name] += 0 // record the name so 0-counts render
+		}
+	}
+	a.events = append(a.events, rec.events)
+	a.ends = append(a.ends, rec.endTime)
+}
+
+func (a *accumulator) result() CellResult {
+	return CellResult{
+		Cell:        a.cell,
+		Runs:        a.runs,
+		Stops:       a.stops,
+		Quiescent:   a.quiet,
+		BlockedRuns: a.blocked,
+		Checked:     a.checked,
+		Holds:       a.holds,
+		Metrics:     a.metrics,
+		Events:      stats.Summarize(a.events),
+		EndTimes:    stats.Summarize(a.ends),
+	}
+}

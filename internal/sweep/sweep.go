@@ -1,0 +1,403 @@
+// Package sweep is a parallel scenario-sweep engine: it expands a
+// declarative grid of simulation scenarios — ranges over cluster size n,
+// failure bound t, protocol variant, quorum sizing, fault-injection
+// schedule, delay distribution, and seeds — into concrete deterministic
+// runs, executes them on a worker pool, pipes every recorded history
+// through the property checker, and aggregates per-cell results: verdict
+// counts per property (FS1/FS2, sFS2a–d, Conditions 1–3, the Witness
+// property), stop-reason and quiescence tallies, and run-length
+// percentiles.
+//
+// Each simulated run is deterministic and self-contained (its own
+// simulator, RNG, and handlers), so runs parallelize with no shared state;
+// aggregation is order-independent, making a sweep's results (Report.Cells
+// and Report.Runs — everything except the Workers bookkeeping field)
+// identical no matter how many workers execute it.
+//
+// The unit of aggregation is the Cell: every combination of grid axes
+// except the seed. A sweep of 4 (n,t) cells × 250 seeds is 1000 runs
+// aggregated into 4 cells.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"failstop/internal/checker"
+	"failstop/internal/cluster"
+	"failstop/internal/core"
+	"failstop/internal/model"
+	"failstop/internal/quorum"
+	"failstop/internal/sim"
+)
+
+// NT is one (cluster size, failure bound) grid point.
+type NT struct {
+	N, T int
+}
+
+func (nt NT) String() string { return fmt.Sprintf("n=%d t=%d", nt.N, nt.T) }
+
+// SeedRange is the seed axis: Count consecutive seeds starting at Start.
+type SeedRange struct {
+	Start int64
+	Count int
+}
+
+// FaultKind distinguishes the two injectable faults.
+type FaultKind int
+
+const (
+	// FaultCrash: Proc crashes genuinely at At.
+	FaultCrash FaultKind = iota + 1
+	// FaultSuspect: Proc begins the detection protocol for Target at At
+	// (a spontaneous — possibly erroneous — suspicion).
+	FaultSuspect
+)
+
+// Fault is one scripted injection.
+type Fault struct {
+	Kind   FaultKind
+	At     int64
+	Proc   model.ProcID
+	Target model.ProcID // FaultSuspect only
+}
+
+// Schedule is one named fault-injection schedule, instantiated per grid
+// cell and seed. Faults may be nil (a quiet run). Delay, when non-nil,
+// overrides the spec-level delay distribution — schedules that need an
+// adversarial delay coupled to their injections (parked kill paths, delay
+// spikes) supply it here.
+//
+// Faults and Delay (like RunnerFn and ObserveFn) are called concurrently
+// from worker goroutines and must be goroutine-safe: derive any randomness
+// from the passed seed (a fresh rand.Rand per call), never from shared
+// mutable state.
+type Schedule struct {
+	Name   string
+	Faults func(nt NT, seed int64) []Fault
+	Delay  func(nt NT, seed int64) sim.DelayFn
+}
+
+// Cell identifies one aggregation cell: every grid axis except the seed.
+type Cell struct {
+	NT       NT
+	Protocol core.Protocol
+	// QuorumDelta offsets the detector quorum size from the Theorem 7
+	// minimum quorum.MinSize(N, T); 0 is the protocol default.
+	QuorumDelta int
+	// Schedule is the fault schedule's name.
+	Schedule string
+}
+
+// String renders the cell identity compactly.
+func (c Cell) String() string {
+	s := fmt.Sprintf("%s proto=%v", c.NT, c.Protocol)
+	if c.QuorumDelta != 0 {
+		s += fmt.Sprintf(" q%+d", c.QuorumDelta)
+	}
+	if c.Schedule != "" {
+		s += " sched=" + c.Schedule
+	}
+	return s
+}
+
+// RunOutput is what one scenario run produced. Custom runners may leave
+// Cluster nil; Metrics carries named boolean outcomes to aggregate beyond
+// the checker's verdicts.
+type RunOutput struct {
+	Result  *sim.Result
+	Cluster *cluster.Cluster
+	Metrics map[string]bool
+}
+
+// RunnerFn executes one scenario, replacing the default cluster
+// construction entirely (for sweeps over pre-packaged adversaries).
+// Called concurrently from worker goroutines; must be goroutine-safe.
+type RunnerFn func(cell Cell, seed int64) RunOutput
+
+// ObserveFn inspects a finished run (including its Cluster, when the
+// default runner produced one) and returns named boolean outcomes to
+// aggregate into CellResult.Metrics. Called concurrently from worker
+// goroutines; must be goroutine-safe.
+type ObserveFn func(cell Cell, seed int64, out RunOutput) map[string]bool
+
+// Spec is the declarative scenario grid. Cells are the cross product
+// Grid × Protocols × QuorumDeltas × Schedules; each cell runs once per
+// seed in Seeds.
+type Spec struct {
+	// Grid lists the (n, t) points. Required.
+	Grid []NT
+	// Protocols lists the protocol variants. Default: SimulatedFailStop.
+	Protocols []core.Protocol
+	// QuorumDeltas lists offsets from the minimum quorum size. Default: {0}.
+	QuorumDeltas []int
+	// Schedules lists the fault schedules. Default: one quiet schedule.
+	Schedules []Schedule
+	// Seeds is the seed range. Default: {Start: 0, Count: 1}.
+	Seeds SeedRange
+
+	// MinDelay/MaxDelay bound the default uniform message delay, as in
+	// sim.Config. A Schedule.Delay overrides both.
+	MinDelay, MaxDelay int64
+	// MaxTime and MaxEvents bound each run, as in sim.Config.
+	MaxTime   int64
+	MaxEvents int
+
+	// Check pipes every quiescent run's history through checker.All and
+	// aggregates per-property verdict counts. Only quiescent runs are
+	// checked: the checker's liveness verdicts (FS1, sFS2a, Condition 1)
+	// are sound only at quiescence.
+	Check bool
+	// Runner replaces the default cluster construction when non-nil.
+	Runner RunnerFn
+	// Observe adds custom named outcomes to each run when non-nil.
+	Observe ObserveFn
+}
+
+// Options controls execution, not scenario content.
+type Options struct {
+	// Workers sizes the worker pool. 0 means GOMAXPROCS; 1 is the serial
+	// baseline.
+	Workers int
+}
+
+func (s Spec) withDefaults() Spec {
+	if len(s.Protocols) == 0 {
+		s.Protocols = []core.Protocol{core.SimulatedFailStop}
+	}
+	if len(s.QuorumDeltas) == 0 {
+		s.QuorumDeltas = []int{0}
+	}
+	if len(s.Schedules) == 0 {
+		s.Schedules = []Schedule{{Name: "quiet"}}
+	}
+	if s.Seeds.Count == 0 {
+		s.Seeds.Count = 1
+	}
+	return s
+}
+
+// Validate reports the first problem with the spec, or nil.
+func (s Spec) Validate() error {
+	if len(s.Grid) == 0 {
+		return fmt.Errorf("sweep: Spec.Grid is empty")
+	}
+	for _, nt := range s.Grid {
+		if nt.N < 2 || nt.T < 1 {
+			return fmt.Errorf("sweep: invalid grid point %v (need n >= 2, t >= 1)", nt)
+		}
+	}
+	if s.Seeds.Count < 0 {
+		return fmt.Errorf("sweep: negative seed count %d", s.Seeds.Count)
+	}
+	seen := map[string]bool{}
+	for _, sc := range s.Schedules {
+		if seen[sc.Name] {
+			return fmt.Errorf("sweep: duplicate schedule name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+	return nil
+}
+
+// cellSpec pairs a Cell with its resolved schedule.
+type cellSpec struct {
+	cell  Cell
+	sched Schedule
+}
+
+// Cells expands the grid axes (everything but the seed) in deterministic
+// order: grid point, then protocol, then quorum delta, then schedule.
+func (s Spec) Cells() []Cell {
+	var out []Cell
+	for _, cs := range s.withDefaults().cells() {
+		out = append(out, cs.cell)
+	}
+	return out
+}
+
+func (s Spec) cells() []cellSpec {
+	var out []cellSpec
+	for _, nt := range s.Grid {
+		for _, proto := range s.Protocols {
+			for _, qd := range s.QuorumDeltas {
+				for _, sched := range s.Schedules {
+					out = append(out, cellSpec{
+						cell:  Cell{NT: nt, Protocol: proto, QuorumDelta: qd, Schedule: sched.Name},
+						sched: sched,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Runs returns the total number of scenario runs the spec expands to.
+func (s Spec) Runs() int {
+	s = s.withDefaults()
+	return len(s.cells()) * s.Seeds.Count
+}
+
+// defaultRun builds and runs one scenario with the standard cluster stack.
+func defaultRun(spec Spec, cs cellSpec, seed int64) RunOutput {
+	cell := cs.cell
+	var delay sim.DelayFn
+	if cs.sched.Delay != nil {
+		delay = cs.sched.Delay(cell.NT, seed)
+	}
+	qsize := 0
+	if cell.QuorumDelta != 0 {
+		qsize = quorum.MinSize(cell.NT.N, cell.NT.T) + cell.QuorumDelta
+		if qsize < 1 {
+			qsize = 1
+		}
+	}
+	c := cluster.New(cluster.Options{
+		Sim: sim.Config{
+			N: cell.NT.N, Seed: seed,
+			MinDelay: spec.MinDelay, MaxDelay: spec.MaxDelay,
+			Delay:   delay,
+			MaxTime: spec.MaxTime, MaxEvents: spec.MaxEvents,
+		},
+		Det: core.Config{
+			N: cell.NT.N, T: cell.NT.T,
+			Protocol: cell.Protocol, QuorumSize: qsize,
+		},
+	})
+	if cs.sched.Faults != nil {
+		for _, f := range cs.sched.Faults(cell.NT, seed) {
+			switch f.Kind {
+			case FaultCrash:
+				c.CrashAt(f.At, f.Proc)
+			case FaultSuspect:
+				c.SuspectAt(f.At, f.Proc, f.Target)
+			}
+		}
+	}
+	return RunOutput{Result: c.Run(), Cluster: c}
+}
+
+// runRecord is one run's contribution to its cell's aggregate.
+type runRecord struct {
+	cellIdx   int
+	stop      sim.StopReason
+	quiescent bool
+	blocked   bool
+	events    float64
+	endTime   float64
+	verdicts  []checker.Verdict // nil when unchecked
+	metrics   map[string]bool
+}
+
+// Run expands the spec and executes every scenario on a pool of
+// opts.Workers workers, returning the aggregated report. The report is
+// independent of worker count and scheduling order.
+func Run(spec Spec, opts Options) (*Report, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cells := spec.cells()
+
+	type job struct {
+		cellIdx int
+		seed    int64
+	}
+	jobs := make(chan job, workers)
+	records := make(chan runRecord, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				records <- execute(spec, cells[j.cellIdx], j.cellIdx, j.seed)
+			}
+		}()
+	}
+	go func() {
+		for idx := range cells {
+			for i := 0; i < spec.Seeds.Count; i++ {
+				jobs <- job{cellIdx: idx, seed: spec.Seeds.Start + int64(i)}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(records)
+	}()
+
+	acc := newAccumulators(cells)
+	for rec := range records {
+		acc[rec.cellIdx].add(rec)
+	}
+	rep := &Report{Workers: workers}
+	for _, a := range acc {
+		rep.Cells = append(rep.Cells, a.result())
+		rep.Runs += a.runs
+	}
+	return rep, nil
+}
+
+// execute runs one scenario and reduces it to its aggregate contribution.
+func execute(spec Spec, cs cellSpec, cellIdx int, seed int64) runRecord {
+	var out RunOutput
+	if spec.Runner != nil {
+		out = spec.Runner(cs.cell, seed)
+	} else {
+		out = defaultRun(spec, cs, seed)
+	}
+	res := out.Result
+	rec := runRecord{
+		cellIdx:   cellIdx,
+		stop:      res.Stop,
+		quiescent: res.Quiescent(),
+		events:    float64(len(res.History)),
+		endTime:   float64(res.EndTime),
+		metrics:   out.Metrics,
+	}
+	rec.blocked = res.BlockedLive()
+	if spec.Check && rec.quiescent {
+		rec.verdicts = checker.All(res.History, core.TagSusp, cs.cell.NT.T)
+	}
+	if spec.Observe != nil {
+		extra := spec.Observe(cs.cell, seed, out)
+		if rec.metrics == nil {
+			rec.metrics = extra
+		} else {
+			merged := make(map[string]bool, len(rec.metrics)+len(extra))
+			for k, v := range rec.metrics {
+				merged[k] = v
+			}
+			for k, v := range extra {
+				merged[k] = v
+			}
+			rec.metrics = merged
+		}
+	}
+	return rec
+}
+
+// MetricNames returns the sorted union of metric names in ms.
+func metricNames(ms ...map[string]int) []string {
+	set := map[string]bool{}
+	for _, m := range ms {
+		for k := range m {
+			set[k] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

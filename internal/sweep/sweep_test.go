@@ -1,0 +1,273 @@
+package sweep
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"failstop/internal/core"
+	"failstop/internal/model"
+	"failstop/internal/node"
+	"failstop/internal/sim"
+)
+
+func TestSpecExpansion(t *testing.T) {
+	spec := Spec{
+		Grid:         []NT{{5, 2}, {10, 3}},
+		Protocols:    []core.Protocol{core.SimulatedFailStop, core.Cheap},
+		QuorumDeltas: []int{-1, 0},
+		Schedules:    []Schedule{{Name: "a"}, {Name: "b"}, {Name: "c"}},
+		Seeds:        SeedRange{Start: 7, Count: 4},
+	}
+	if got, want := len(spec.Cells()), 2*2*2*3; got != want {
+		t.Errorf("cells = %d, want %d", got, want)
+	}
+	if got, want := spec.Runs(), 2*2*2*3*4; got != want {
+		t.Errorf("runs = %d, want %d", got, want)
+	}
+	first := spec.Cells()[0]
+	want := Cell{NT: NT{5, 2}, Protocol: core.SimulatedFailStop, QuorumDelta: -1, Schedule: "a"}
+	if first != want {
+		t.Errorf("first cell = %+v, want %+v", first, want)
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	spec := Spec{Grid: []NT{{5, 2}}}
+	if got := len(spec.Cells()); got != 1 {
+		t.Fatalf("cells = %d, want 1", got)
+	}
+	if got := spec.Runs(); got != 1 {
+		t.Errorf("runs = %d, want 1", got)
+	}
+	c := spec.Cells()[0]
+	if c.Protocol != core.SimulatedFailStop || c.QuorumDelta != 0 || c.Schedule != "quiet" {
+		t.Errorf("default cell = %+v", c)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []Spec{
+		{},
+		{Grid: []NT{{1, 1}}},
+		{Grid: []NT{{5, 0}}},
+		{Grid: []NT{{5, 2}}, Schedules: []Schedule{{Name: "x"}, {Name: "x"}}},
+	}
+	for i, spec := range cases {
+		if err := spec.withDefaults().Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, spec)
+		}
+	}
+}
+
+// TestSweepChecksProperties runs a small adversarial grid and verifies the
+// aggregate matches the paper's Figure 1 shape: all sFS conditions hold on
+// every quiescent run, FS2 fails on the false-suspicion runs.
+func TestSweepChecksProperties(t *testing.T) {
+	falseSusp, _ := Builtin("false-suspicion")
+	spec := Spec{
+		Grid:      []NT{{10, 3}},
+		Schedules: []Schedule{falseSusp},
+		Seeds:     SeedRange{Count: 8},
+		Check:     true,
+	}
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 8 || len(rep.Cells) != 1 {
+		t.Fatalf("runs=%d cells=%d", rep.Runs, len(rep.Cells))
+	}
+	c := &rep.Cells[0]
+	if c.Checked == 0 {
+		t.Fatal("no run was checked (none quiescent?)")
+	}
+	for _, prop := range []string{"FS1", "sFS2a", "sFS2b", "sFS2c", "sFS2d", "W"} {
+		if !c.HoldsAll(prop) {
+			t.Errorf("%s held on %d/%d checked runs", prop, c.Holds[prop], c.Checked)
+		}
+	}
+	if c.Holds["FS2"] == c.Checked {
+		t.Error("FS2 held on every run despite false suspicions with slowed kill paths")
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts verifies the report is identical
+// no matter how many workers execute the sweep.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	mixed, _ := Builtin("mixed")
+	crash, _ := Builtin("crash")
+	spec := Spec{
+		Grid:      []NT{{5, 2}, {10, 3}},
+		Schedules: []Schedule{mixed, crash},
+		Seeds:     SeedRange{Count: 6},
+		Check:     true,
+	}
+	serial, err := Run(spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(spec, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.Workers, parallel.Workers = 0, 0
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("serial and parallel reports differ:\n--- serial\n%s\n--- parallel\n%s", serial, parallel)
+	}
+}
+
+// TestSweepStopReasons verifies horizon-truncated runs are tallied under
+// their distinct stop reasons.
+func TestSweepStopReasons(t *testing.T) {
+	crash, _ := Builtin("crash")
+	spec := Spec{
+		Grid:      []NT{{6, 2}},
+		Schedules: []Schedule{crash},
+		Seeds:     SeedRange{Count: 3},
+		MaxTime:   4, // cut every run off mid-protocol
+	}
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &rep.Cells[0]
+	if c.Stops[sim.StopMaxTime] != 3 {
+		t.Errorf("max-time stops = %d, want 3 (stops: %v)", c.Stops[sim.StopMaxTime], c.Stops)
+	}
+	if c.Quiescent != 0 {
+		t.Errorf("quiescent = %d, want 0", c.Quiescent)
+	}
+
+	spec.MaxTime = 0
+	spec.MaxEvents = 10
+	rep, err = Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = &rep.Cells[0]
+	if c.Stops[sim.StopMaxEvents] != 3 {
+		t.Errorf("max-events stops = %d, want 3 (stops: %v)", c.Stops[sim.StopMaxEvents], c.Stops)
+	}
+}
+
+// TestSweepCustomRunnerAndObserve exercises the Runner and Observe hooks.
+func TestSweepCustomRunnerAndObserve(t *testing.T) {
+	spec := Spec{
+		Grid:  []NT{{5, 2}},
+		Seeds: SeedRange{Count: 4},
+		Runner: func(cell Cell, seed int64) RunOutput {
+			s := sim.New(sim.Config{N: cell.NT.N, Seed: seed})
+			for p := 1; p <= cell.NT.N; p++ {
+				s.SetHandler(model.ProcID(p), nopHandler{})
+			}
+			return RunOutput{
+				Result:  s.Run(),
+				Metrics: map[string]bool{"even-seed": seed%2 == 0},
+			}
+		},
+		Observe: func(cell Cell, seed int64, out RunOutput) map[string]bool {
+			return map[string]bool{"observed": true}
+		},
+	}
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &rep.Cells[0]
+	if c.Metrics["even-seed"] != 2 {
+		t.Errorf("even-seed = %d, want 2", c.Metrics["even-seed"])
+	}
+	if !c.MetricAll("observed") {
+		t.Errorf("observed = %d/%d", c.Metrics["observed"], c.Runs)
+	}
+	if c.Quiescent != 4 {
+		t.Errorf("quiescent = %d, want 4", c.Quiescent)
+	}
+}
+
+func TestBuiltinSchedulesRunClean(t *testing.T) {
+	spec := Spec{
+		Grid:      []NT{{5, 2}, {10, 3}},
+		Schedules: Builtins(),
+		Seeds:     SeedRange{Count: 3},
+		MaxEvents: 1 << 16,
+		Check:     true,
+	}
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != spec.Runs() {
+		t.Errorf("runs = %d, want %d", rep.Runs, spec.Runs())
+	}
+	// sFS2c (no self-detection) is safety, checked on quiescent runs; no
+	// built-in schedule may violate it under the §5 protocol.
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		if c.Checked > 0 && !c.HoldsAll("sFS2c") {
+			t.Errorf("%v: sFS2c %d/%d", c.Cell, c.Holds["sFS2c"], c.Checked)
+		}
+	}
+	out := rep.String()
+	for _, want := range []string{"sweep:", "cell", "quiescent"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuiltinLookup(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		if _, ok := Builtin(name); !ok {
+			t.Errorf("Builtin(%q) not found", name)
+		}
+	}
+	if _, ok := Builtin("no-such-schedule"); ok {
+		t.Error("Builtin accepted an unknown name")
+	}
+}
+
+// nopHandler is an inert node handler for custom-runner tests.
+type nopHandler struct{}
+
+func (nopHandler) Init(node.Context)                                  {}
+func (nopHandler) OnMessage(node.Context, model.ProcID, node.Payload) {}
+func (nopHandler) OnTimer(node.Context, string)                       {}
+
+// TestMixedScheduleSmallClusters is a regression test: mixedFaults used to
+// draw a crash-noticing accuser from {1, 2, 3} regardless of n, which
+// panicked sweeps over 2- and 3-process grids.
+func TestMixedScheduleSmallClusters(t *testing.T) {
+	mixed, _ := Builtin("mixed")
+	spec := Spec{
+		Grid:      []NT{{2, 2}, {3, 2}, {3, 3}},
+		Schedules: []Schedule{mixed},
+		Seeds:     SeedRange{Count: 30},
+		MaxEvents: 1 << 16,
+	}
+	rep, err := Run(spec, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != spec.Runs() {
+		t.Errorf("runs = %d, want %d", rep.Runs, spec.Runs())
+	}
+	for _, sched := range Builtins() {
+		if sched.Faults == nil {
+			continue
+		}
+		for _, nt := range spec.Grid {
+			for seed := int64(0); seed < 30; seed++ {
+				for _, f := range sched.Faults(nt, seed) {
+					if int(f.Proc) < 1 || int(f.Proc) > nt.N {
+						t.Fatalf("%s(%v, %d): fault proc %d out of range", sched.Name, nt, seed, f.Proc)
+					}
+					if f.Kind == FaultSuspect && (int(f.Target) < 1 || int(f.Target) > nt.N) {
+						t.Fatalf("%s(%v, %d): fault target %d out of range", sched.Name, nt, seed, f.Target)
+					}
+				}
+			}
+		}
+	}
+}
