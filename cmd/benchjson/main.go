@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON array on stdout, for CI to archive and diff:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./internal/sweep | benchjson > BENCH_sweep.json
+//
+// Each benchmark line becomes one object:
+//
+//	{"name":"SweepSerial","procs":8,"package":"failstop/internal/sweep",
+//	 "iterations":1,"ns_per_op":12345678,"bytes_per_op":512,"allocs_per_op":3}
+//
+// bytes_per_op / allocs_per_op appear only when the benchmark reported them
+// (-benchmem or b.ReportAllocs). Non-benchmark lines are skipped, except
+// "pkg:"/"ok  " markers, which attribute subsequent benchmarks to their
+// package.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+var (
+	benchRe = regexp.MustCompile(`^Benchmark(\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+	pkgRe   = regexp.MustCompile(`^pkg:\s*(\S+)`)
+	okRe    = regexp.MustCompile(`^ok\s+(\S+)`)
+	memRe   = regexp.MustCompile(`(\d+) B/op\s+(\d+) allocs/op`)
+)
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(in io.Reader, out, errOut io.Writer) int {
+	results, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	return 0
+}
+
+// parse scans go-test output. Package attribution: "pkg:" headers (from
+// -v runs) name the package ahead of its benchmarks; "ok <pkg>" trailers
+// (the default) name it after, so trailing attribution back-fills any
+// benchmarks still unattributed.
+func parse(in io.Reader) ([]Result, error) {
+	results := []Result{}
+	pkg := ""
+	unattributed := 0
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		if m := pkgRe.FindStringSubmatch(line); m != nil {
+			pkg = m[1]
+			continue
+		}
+		if m := okRe.FindStringSubmatch(line); m != nil {
+			for i := len(results) - unattributed; i < len(results); i++ {
+				results[i].Package = m[1]
+			}
+			unattributed = 0
+			pkg = ""
+			continue
+		}
+		m := benchRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err1 := strconv.ParseInt(m[3], 10, 64)
+		ns, err2 := strconv.ParseFloat(m[4], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("benchjson: unparsable benchmark line: %q", line)
+		}
+		r := Result{Name: m[1], Package: pkg, Iterations: iters, NsPerOp: ns}
+		if m[2] != "" {
+			r.Procs, _ = strconv.Atoi(m[2])
+		}
+		if mm := memRe.FindStringSubmatch(m[5]); mm != nil {
+			b, _ := strconv.ParseInt(mm[1], 10, 64)
+			a, _ := strconv.ParseInt(mm[2], 10, 64)
+			r.BytesPerOp, r.AllocsPerOp = &b, &a
+		}
+		results = append(results, r)
+		if pkg == "" {
+			unattributed++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: reading input: %w", err)
+	}
+	return results, nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: failstop/internal/sweep
+BenchmarkSweepSerial-8   	       1	  12345678 ns/op
+BenchmarkSweepParallel-8 	       2	   6543210 ns/op	     512 B/op	       3 allocs/op
+PASS
+ok  	failstop/internal/sweep	1.234s
+BenchmarkDecideQuiet    	       1	        42.5 ns/op
+PASS
+ok  	failstop/internal/netadv	0.100s
+`
+
+func TestParseSample(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "SweepSerial" || r.Procs != 8 || r.Iterations != 1 || r.NsPerOp != 12345678 {
+		t.Errorf("first result = %+v", r)
+	}
+	if r.Package != "failstop/internal/sweep" {
+		t.Errorf("package = %q", r.Package)
+	}
+	if r.BytesPerOp != nil {
+		t.Error("first result has memory stats it never reported")
+	}
+	r = results[1]
+	if r.BytesPerOp == nil || *r.BytesPerOp != 512 || r.AllocsPerOp == nil || *r.AllocsPerOp != 3 {
+		t.Errorf("memory stats = %+v", r)
+	}
+	// The netadv benchmark had no pkg: header; the trailing "ok" line
+	// attributes it, and its no-procs-suffix name parses.
+	r = results[2]
+	if r.Name != "DecideQuiet" || r.Procs != 0 || r.NsPerOp != 42.5 {
+		t.Errorf("third result = %+v", r)
+	}
+	if r.Package != "failstop/internal/netadv" {
+		t.Errorf("third package = %q", r.Package)
+	}
+}
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(strings.NewReader(sample), &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errOut.String())
+	}
+	var results []Result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(results) != 3 {
+		t.Errorf("round-tripped %d results, want 3", len(results))
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(strings.NewReader("no benchmarks here\n"), &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("output = %q, want []", got)
+	}
+}

@@ -8,6 +8,7 @@
 //	sfs-sim -n 5 -t 2 -suspect 2:1@10 -o trace.json
 //	sfs-sim -n 10 -t 3 -protocol cheap -suspect 1:2@5 -suspect 2:1@5 -v
 //	sfs-sim -n 5 -t 2 -crash 1@5 -suspect 2:1@20 -heartbeat 0
+//	sfs-sim -n 5 -t 2 -suspect 4:1@20 -plan split-brain   # network adversary
 //
 // Injection syntax: -suspect i:j@t (process i suspects j at tick t),
 // -crash p@t (process p crashes at tick t); both repeatable.
@@ -50,6 +51,7 @@ func run(args []string, out io.Writer) int {
 		maxTime  = fs.Int64("maxtime", 0, "virtual-time horizon (0 = run to quiescence)")
 		hbEvery  = fs.Int64("heartbeat", 0, "heartbeat interval in ticks (0 = no fd layer)")
 		hbTo     = fs.Int64("timeout", 0, "suspicion timeout in ticks (with -heartbeat)")
+		planName = fs.String("plan", "", "built-in network fault plan (split-brain, isolated-minority, flaky-quorum, healing-partition)")
 		outPath  = fs.String("o", "", "write the recorded trace to this file (JSON lines)")
 		verbose  = fs.Bool("v", false, "print the full history")
 	)
@@ -77,10 +79,23 @@ func run(args []string, out io.Writer) int {
 	if *hbEvery > 0 && *maxTime == 0 {
 		*maxTime = 5000 // heartbeats re-arm forever; pick a horizon
 	}
-	c := failstop.NewCluster(failstop.Options{
+	opts := failstop.Options{
 		N: *n, T: *t, Protocol: proto, Seed: *seed, MaxTime: *maxTime,
 		HeartbeatEvery: *hbEvery, HeartbeatTimeout: *hbTo,
-	})
+	}
+	if *planName != "" {
+		plan, err := failstop.BuiltinFaultPlan(*planName, *n, *t)
+		if err != nil {
+			fmt.Fprintln(out, err)
+			return 2
+		}
+		opts.Faults = &plan
+	}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	c := failstop.NewCluster(opts)
 	for _, s := range suspects.vals {
 		var i, j int
 		var at int64
@@ -103,6 +118,9 @@ func run(args []string, out io.Writer) int {
 	rep := c.Run()
 	fmt.Fprintf(out, "run: n=%d t=%d protocol=%s seed=%d events=%d sent=%d delivered=%d quiescent=%v end=%d\n",
 		*n, *t, *protoStr, *seed, len(rep.History), rep.Sent, rep.Delivered, rep.Quiescent, rep.EndTime)
+	if *planName != "" {
+		fmt.Fprintf(out, "faults: plan=%s dropped=%d duplicated=%d\n", *planName, rep.Dropped, rep.Duplicated)
+	}
 	if *verbose {
 		fmt.Fprint(out, rep.History.String())
 	}
@@ -127,7 +145,19 @@ func run(args []string, out io.Writer) int {
 			return 1
 		}
 		defer f.Close()
-		hdr := trace.Header{N: *n, T: *t, Protocol: *protoStr, Seed: *seed}
+		// The injected fault script is the run's schedule: record it so the
+		// trace carries its full fault context.
+		var sched []string
+		for _, s := range crashes.vals {
+			sched = append(sched, "crash "+s)
+		}
+		for _, s := range suspects.vals {
+			sched = append(sched, "suspect "+s)
+		}
+		hdr := trace.Header{
+			N: *n, T: *t, Protocol: *protoStr, Seed: *seed,
+			Schedule: strings.Join(sched, "; "), Plan: *planName,
+		}
 		if err := trace.Write(f, hdr, rep.History); err != nil {
 			fmt.Fprintf(out, "writing trace: %v\n", err)
 			return 1

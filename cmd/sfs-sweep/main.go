@@ -9,7 +9,10 @@
 //	sfs-sweep -grid 10:3,12:3,15:4 -seeds 250     # 1000+ scenarios
 //	sfs-sweep -schedules mixed -protocols sfs,cheap
 //	sfs-sweep -q-delta -1,0 -schedules park-ring  # quorum lower-bound probe
+//	sfs-sweep --plan split-brain                  # network-adversary grid
+//	sfs-sweep --plan flaky-quorum,healing-partition -seeds 100
 //	sfs-sweep -list-schedules                     # built-in fault schedules
+//	sfs-sweep -list-plans                         # built-in fault plans
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"strings"
 
 	"failstop/internal/core"
+	"failstop/internal/netadv"
 	"failstop/internal/sweep"
 )
 
@@ -37,6 +41,7 @@ func run(args []string, out io.Writer) int {
 		seedStart = fs.Int64("seed-start", 0, "first seed")
 		protocols = fs.String("protocols", "sfs", "comma-separated protocols: sfs, cheap, unilateral")
 		schedules = fs.String("schedules", "false-suspicion,crash,mutual", "comma-separated built-in fault schedules")
+		plans     = fs.String("plan", "", "comma-separated built-in network fault plans (empty: fault-free network)")
 		qDeltas   = fs.String("q-delta", "0", "comma-separated quorum-size offsets from the Theorem 7 minimum")
 		minDelay  = fs.Int64("min-delay", 0, "minimum uniform message delay (0: simulator default)")
 		maxDelay  = fs.Int64("max-delay", 0, "maximum uniform message delay (0: simulator default)")
@@ -45,12 +50,19 @@ func run(args []string, out io.Writer) int {
 		workers   = fs.Int("workers", 0, "worker pool size (0: GOMAXPROCS, 1: serial)")
 		check     = fs.Bool("check", true, "check every quiescent history against the paper's properties")
 		list      = fs.Bool("list-schedules", false, "list built-in fault schedules and exit")
+		listPlans = fs.Bool("list-plans", false, "list built-in network fault plans and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *list {
 		for _, name := range sweep.BuiltinNames() {
+			fmt.Fprintln(out, name)
+		}
+		return 0
+	}
+	if *listPlans {
+		for _, name := range netadv.BuiltinNames() {
 			fmt.Fprintln(out, name)
 		}
 		return 0
@@ -74,6 +86,10 @@ func run(args []string, out io.Writer) int {
 		return 2
 	}
 	if spec.Schedules, err = parseSchedules(*schedules); err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	if spec.Plans, err = parsePlans(*plans); err != nil {
 		fmt.Fprintln(out, err)
 		return 2
 	}
@@ -135,6 +151,22 @@ func parseSchedules(s string) ([]sweep.Schedule, error) {
 			return nil, fmt.Errorf("unknown schedule %q (have %s)", name, strings.Join(sweep.BuiltinNames(), ", "))
 		}
 		out = append(out, sched)
+	}
+	return out, nil
+}
+
+func parsePlans(s string) ([]netadv.Generator, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []netadv.Generator
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		g, ok := netadv.Builtin(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown plan %q (have %s)", name, strings.Join(netadv.BuiltinNames(), ", "))
+		}
+		out = append(out, g)
 	}
 	return out, nil
 }

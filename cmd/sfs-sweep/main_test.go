@@ -56,11 +56,56 @@ func TestSweepListSchedules(t *testing.T) {
 	}
 }
 
+func TestSweepListPlans(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-list-plans"}, &out); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"split-brain", "isolated-minority", "flaky-quorum", "healing-partition"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestSweepPlanGridDeterministic is the acceptance criterion: every
+// built-in plan runs a partition grid, and the identical invocation
+// reproduces a byte-identical report — dropped/duplicated tallies and the
+// quorum-starvation diagnostic included.
+func TestSweepPlanGridDeterministic(t *testing.T) {
+	for _, plan := range []string{"split-brain", "isolated-minority", "flaky-quorum", "healing-partition"} {
+		args := []string{
+			"-grid", "5:2,10:3",
+			"-seeds", "5",
+			"-plan", plan,
+			"-max-time", "3000",
+			"-workers", "4",
+		}
+		var a, b bytes.Buffer
+		if code := run(args, &a); code != 0 {
+			t.Fatalf("%s: exit = %d:\n%s", plan, code, a.String())
+		}
+		if code := run(args, &b); code != 0 {
+			t.Fatalf("%s: rerun exit = %d:\n%s", plan, code, b.String())
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s: identical invocations produced different reports:\n--- first\n%s\n--- second\n%s",
+				plan, a.String(), b.String())
+		}
+		for _, want := range []string{"plan=" + plan, "dropped", "duplicated", "quorum-starved"} {
+			if !strings.Contains(a.String(), want) {
+				t.Errorf("%s: report missing %q:\n%s", plan, want, a.String())
+			}
+		}
+	}
+}
+
 func TestSweepBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-grid", "10x3"},
 		{"-protocols", "raft"},
 		{"-schedules", "nope"},
+		{"-plan", "nope"},
 		{"-q-delta", "a,b"},
 	}
 	for _, args := range cases {

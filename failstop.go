@@ -26,6 +26,7 @@
 package failstop
 
 import (
+	"fmt"
 	"time"
 
 	"failstop/internal/checker"
@@ -33,6 +34,7 @@ import (
 	"failstop/internal/core"
 	"failstop/internal/fd"
 	"failstop/internal/model"
+	"failstop/internal/netadv"
 	"failstop/internal/node"
 	"failstop/internal/quorum"
 	"failstop/internal/rewrite"
@@ -59,6 +61,16 @@ type (
 	Context = node.Context
 	// Protocol selects the detection protocol.
 	Protocol = core.Protocol
+	// FaultPlan is a declarative, seed-deterministic network fault timeline:
+	// partitions with scheduled heals, per-link loss, duplication, reorder
+	// jitter, and message-class targeting (see internal/netadv).
+	FaultPlan = netadv.Plan
+	// FaultRule is one entry of a FaultPlan's timeline.
+	FaultRule = netadv.Rule
+	// LinkSet selects the directed links a FaultRule applies to.
+	LinkSet = netadv.LinkSet
+	// Link is one directed channel between two processes.
+	Link = netadv.Link
 )
 
 // Protocol choices.
@@ -94,8 +106,33 @@ type Options struct {
 	// HeartbeatTimeout is the suspicion timeout; 0 with heartbeats enabled
 	// means "never suspect" (useful to demonstrate FS1 violations).
 	HeartbeatTimeout int64
+	// Faults, when non-nil, subjects the cluster's network to the given
+	// fault plan (instantiated with Seed): partitions, loss, duplication,
+	// reorder. Use BuiltinFaultPlan for the named built-ins.
+	Faults *FaultPlan
 	// NewApp, when non-nil, builds the application for each process.
 	NewApp func(p ProcID) App
+}
+
+// Validate reports the first problem with the options, or nil:
+// N must be at least 2; heartbeats re-arm forever, so HeartbeatEvery > 0
+// requires a MaxTime horizon; a fault plan must be well-formed for N.
+func (o Options) Validate() error {
+	if o.N < 2 {
+		return fmt.Errorf("failstop: Options.N = %d; need at least 2 processes", o.N)
+	}
+	if o.T < 0 {
+		return fmt.Errorf("failstop: Options.T = %d; the failure bound cannot be negative", o.T)
+	}
+	if o.HeartbeatEvery > 0 && o.MaxTime <= 0 {
+		return fmt.Errorf("failstop: Options.HeartbeatEvery = %d requires MaxTime > 0 (heartbeats re-arm forever, so the run would never drain)", o.HeartbeatEvery)
+	}
+	if o.Faults != nil {
+		if err := o.Faults.Validate(o.N); err != nil {
+			return fmt.Errorf("failstop: Options.Faults: %w", err)
+		}
+	}
+	return nil
 }
 
 // Cluster is a deterministic simulated cluster.
@@ -104,7 +141,9 @@ type Cluster struct {
 	opts  Options
 }
 
-// NewCluster builds a simulated cluster per opts.
+// NewCluster builds a simulated cluster per opts. It panics with the
+// Options.Validate error when the options are invalid — call Validate first
+// to reject untrusted configuration gracefully.
 func NewCluster(opts Options) *Cluster {
 	if opts.T == 0 {
 		opts.T = 1
@@ -112,11 +151,19 @@ func NewCluster(opts Options) *Cluster {
 	if opts.Protocol == 0 {
 		opts.Protocol = SFS
 	}
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	var link node.LinkFn
+	if opts.Faults != nil {
+		link = netadv.NewPlane(*opts.Faults, opts.N, opts.Seed).Decide
+	}
 	co := cluster.Options{
 		Sim: sim.Config{
 			N: opts.N, Seed: opts.Seed,
 			MinDelay: opts.MinDelay, MaxDelay: opts.MaxDelay,
 			MaxTime: opts.MaxTime,
+			Link:    link,
 		},
 		Det: core.Config{N: opts.N, T: opts.T, Protocol: opts.Protocol},
 		App: opts.NewApp,
@@ -154,6 +201,9 @@ type Report struct {
 	Quiescent bool
 	// Sent and Delivered count message events in the full history.
 	Sent, Delivered int
+	// Dropped and Duplicated count the messages the fault plan discarded
+	// and the extra copies it delivered (0 without Options.Faults).
+	Dropped, Duplicated int
 	// EndTime is the virtual time at which the run ended.
 	EndTime int64
 }
@@ -166,13 +216,15 @@ func (c *Cluster) Run() Report {
 	verdicts = append(verdicts, checker.FS2(ab))
 	verdicts = append(verdicts, checker.WitnessProperty(res.History, core.TagSusp, c.opts.T))
 	return Report{
-		History:   res.History,
-		Abstract:  ab,
-		Verdicts:  verdicts,
-		Quiescent: res.Quiescent(),
-		Sent:      res.Sent,
-		Delivered: res.Delivered,
-		EndTime:   res.EndTime,
+		History:    res.History,
+		Abstract:   ab,
+		Verdicts:   verdicts,
+		Quiescent:  res.Quiescent(),
+		Sent:       res.Sent,
+		Delivered:  res.Delivered,
+		Dropped:    res.Dropped,
+		Duplicated: res.Duplicated,
+		EndTime:    res.EndTime,
 	}
 }
 
@@ -220,6 +272,20 @@ func MinQuorum(n, t int) int { return quorum.MinSize(n, t) }
 // makes progress with n processes: the largest t with n > t² (Corollary 8).
 func MaxTolerable(n int) int { return quorum.MaxTolerable(n) }
 
+// FaultPlanNames lists the built-in network fault plans: "split-brain",
+// "isolated-minority", "flaky-quorum", "healing-partition".
+func FaultPlanNames() []string { return netadv.BuiltinNames() }
+
+// BuiltinFaultPlan instantiates the named built-in fault plan for a
+// cluster of n processes with failure bound t.
+func BuiltinFaultPlan(name string, n, t int) (FaultPlan, error) {
+	g, ok := netadv.Builtin(name)
+	if !ok {
+		return FaultPlan{}, fmt.Errorf("failstop: unknown fault plan %q (have %v)", name, netadv.BuiltinNames())
+	}
+	return g.Make(n, t), nil
+}
+
 // LiveOptions configures a live (goroutine) cluster.
 type LiveOptions struct {
 	// N is the number of processes; T the failure bound. As for Options.
@@ -231,6 +297,14 @@ type LiveOptions struct {
 	// MinDelay/MaxDelay bound real message delays.
 	// Defaults: 100µs and 2ms.
 	MinDelay, MaxDelay time.Duration
+	// Tick is the duration of one virtual tick (fault-plan times and timers
+	// are expressed in ticks). Default: 1ms.
+	Tick time.Duration
+	// Faults, when non-nil, subjects the live network to the given fault
+	// plan — the identical plan semantics the simulator applies, so a
+	// scenario validated deterministically in NewCluster can be replayed
+	// against real goroutines.
+	Faults *FaultPlan
 	// NewApp, when non-nil, builds the application for each process.
 	NewApp func(p ProcID) App
 }
@@ -243,6 +317,7 @@ type LiveCluster struct {
 
 // NewLiveCluster builds a live cluster. Call Start, drive it with Suspect
 // and Crash, then Stop; History returns the recorded run at any point.
+// Like NewCluster, it panics on invalid options (N < 2, ill-formed plan).
 func NewLiveCluster(opts LiveOptions) *LiveCluster {
 	if opts.T == 0 {
 		opts.T = 1
@@ -250,9 +325,21 @@ func NewLiveCluster(opts LiveOptions) *LiveCluster {
 	if opts.Protocol == 0 {
 		opts.Protocol = SFS
 	}
+	if opts.N < 2 {
+		panic(fmt.Errorf("failstop: LiveOptions.N = %d; need at least 2 processes", opts.N))
+	}
+	var link node.LinkFn
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(opts.N); err != nil {
+			panic(fmt.Errorf("failstop: LiveOptions.Faults: %w", err))
+		}
+		link = netadv.NewPlane(*opts.Faults, opts.N, opts.Seed).Decide
+	}
 	net := runtime.New(runtime.Config{
 		N: opts.N, Seed: opts.Seed,
 		MinDelay: opts.MinDelay, MaxDelay: opts.MaxDelay,
+		Tick: opts.Tick,
+		Link: link,
 	})
 	lc := &LiveCluster{net: net, dets: make([]*core.Detector, opts.N+1)}
 	for p := 1; p <= opts.N; p++ {
@@ -286,3 +373,7 @@ func (lc *LiveCluster) Crash(p ProcID) {
 
 // History returns a snapshot of the recorded history.
 func (lc *LiveCluster) History() History { return lc.net.History() }
+
+// Stats returns the fault-plan counters: messages dropped and extra copies
+// delivered so far.
+func (lc *LiveCluster) Stats() (dropped, duplicated int) { return lc.net.Stats() }

@@ -1,0 +1,183 @@
+package failstop_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"failstop"
+	"failstop/internal/model"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts failstop.Options
+		want string // substring of the error; "" means valid
+	}{
+		{"too few processes", failstop.Options{N: 1}, "at least 2"},
+		{"zero processes", failstop.Options{N: 0}, "at least 2"},
+		{"negative t", failstop.Options{N: 5, T: -1}, "cannot be negative"},
+		{"heartbeats without horizon", failstop.Options{N: 5, HeartbeatEvery: 10}, "MaxTime"},
+		{"bad fault plan", failstop.Options{N: 5, Faults: &failstop.FaultPlan{
+			Rules: []failstop.FaultRule{{Drop: 2}},
+		}}, "outside [0,1]"},
+		{"plan names unknown process", failstop.Options{N: 5, Faults: &failstop.FaultPlan{
+			Rules: []failstop.FaultRule{{Cut: true, Links: failstop.LinkSet{
+				Groups: [][]failstop.ProcID{{1, 9}},
+			}}},
+		}}, "outside 1..5"},
+		{"valid minimal", failstop.Options{N: 2}, ""},
+		{"valid heartbeats", failstop.Options{N: 5, HeartbeatEvery: 10, MaxTime: 1000}, ""},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.opts.Validate()
+			if tt.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestNewClusterPanicsOnInvalidOptions(t *testing.T) {
+	for name, opts := range map[string]failstop.Options{
+		"n too small":        {N: 1},
+		"heartbeats forever": {N: 5, HeartbeatEvery: 7},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("NewCluster accepted invalid options")
+				}
+			}()
+			failstop.NewCluster(opts)
+		})
+	}
+}
+
+func TestNewLiveClusterPanicsOnTooFewProcesses(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLiveCluster accepted N=1")
+		}
+	}()
+	failstop.NewLiveCluster(failstop.LiveOptions{N: 1})
+}
+
+func TestBuiltinFaultPlans(t *testing.T) {
+	names := failstop.FaultPlanNames()
+	if len(names) != 4 {
+		t.Fatalf("FaultPlanNames() = %v", names)
+	}
+	for _, name := range names {
+		plan, err := failstop.BuiltinFaultPlan(name, 10, 3)
+		if err != nil {
+			t.Fatalf("BuiltinFaultPlan(%s): %v", name, err)
+		}
+		if plan.Name != name || plan.Empty() {
+			t.Errorf("plan %s: name=%q rules=%d", name, plan.Name, len(plan.Rules))
+		}
+	}
+	if _, err := failstop.BuiltinFaultPlan("nope", 5, 2); err == nil {
+		t.Error("unknown plan accepted")
+	}
+}
+
+// splitBrainNow is a partition active from tick 0: majority {1,2,3} vs
+// minority {4,5}. Immediate activation keeps sim and live semantics
+// comparable without racing injection timing against the cut.
+func splitBrainNow() *failstop.FaultPlan {
+	return &failstop.FaultPlan{
+		Name: "split-brain-now",
+		Rules: []failstop.FaultRule{{
+			Cut: true,
+			Links: failstop.LinkSet{Groups: [][]failstop.ProcID{
+				{1, 2, 3}, {4, 5},
+			}},
+		}},
+	}
+}
+
+// checkSplitBrainSemantics asserts the plan semantics both backends must
+// agree on for n=5, t=2 (minimum quorum 3): the majority-side detection of
+// a minority member completes, the minority-side detection starves, and no
+// message ever crosses the partition.
+func checkSplitBrainSemantics(t *testing.T, backend string, h failstop.History, dropped int) {
+	t.Helper()
+	if h.FailedIndex(1, 4) < 0 {
+		t.Errorf("%s: majority-side detection failed_1(4) never completed", backend)
+	}
+	if idx := h.FailedIndex(4, 1); idx >= 0 {
+		t.Errorf("%s: minority-side detection failed_4(1) completed at %d despite quorum 3 > half size 2", backend, idx)
+	}
+	minority := map[failstop.ProcID]bool{4: true, 5: true}
+	for _, e := range h {
+		if e.Kind == model.KindRecv && minority[e.Proc] != minority[e.Peer] {
+			t.Errorf("%s: message crossed the partition: %s", backend, e)
+		}
+	}
+	if dropped == 0 {
+		t.Errorf("%s: no messages dropped despite cross-partition broadcasts", backend)
+	}
+}
+
+// TestFaultPlanCrossBackend is the acceptance criterion: the deterministic
+// simulator and the live goroutine runtime agree on fault-plan semantics.
+func TestFaultPlanCrossBackend(t *testing.T) {
+	// Simulated backend.
+	c := failstop.NewCluster(failstop.Options{
+		N: 5, T: 2, Seed: 3, Faults: splitBrainNow(),
+	})
+	c.SuspectAt(20, 1, 4)
+	c.SuspectAt(25, 4, 1)
+	rep := c.Run()
+	checkSplitBrainSemantics(t, "sim", rep.History, rep.Dropped)
+
+	// Live backend, same plan.
+	lc := failstop.NewLiveCluster(failstop.LiveOptions{
+		N: 5, T: 2, Seed: 3, Faults: splitBrainNow(),
+		MinDelay: 50 * time.Microsecond, MaxDelay: 500 * time.Microsecond,
+		Tick: 100 * time.Microsecond,
+	})
+	lc.Start()
+	lc.Suspect(1, 4)
+	lc.Suspect(4, 1)
+	deadline := time.Now().Add(2 * time.Second)
+	for lc.History().FailedIndex(1, 4) < 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	lc.Stop()
+	dropped, _ := lc.Stats()
+	checkSplitBrainSemantics(t, "live", lc.History(), dropped)
+}
+
+// TestFaultPlanDeterministicRuns: identical options including a
+// probabilistic plan reproduce byte-identical histories.
+func TestFaultPlanDeterministicRuns(t *testing.T) {
+	flaky, err := failstop.BuiltinFaultPlan("flaky-quorum", 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() failstop.Report {
+		c := failstop.NewCluster(failstop.Options{N: 10, T: 3, Seed: 11, Faults: &flaky})
+		c.SuspectAt(10, 2, 1)
+		return c.Run()
+	}
+	a, b := run(), run()
+	if !a.History.IsomorphicTo(b.History) || len(a.History) != len(b.History) {
+		t.Error("identical seeds produced different histories under flaky-quorum")
+	}
+	if a.Dropped != b.Dropped || a.Duplicated != b.Duplicated {
+		t.Errorf("fault counters diverged: (%d,%d) vs (%d,%d)", a.Dropped, a.Duplicated, b.Dropped, b.Duplicated)
+	}
+	if a.Dropped == 0 {
+		t.Error("flaky-quorum dropped nothing")
+	}
+}

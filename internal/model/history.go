@@ -212,7 +212,10 @@ func violation(idx int, rule, format string, args ...any) error {
 //     the same channel (recv_i(j,m) requires an earlier send_j(i,m)), and
 //     the payload tag and subject agree;
 //   - channels are FIFO: receives on channel C_{j,i} occur in the order of
-//     their matching sends;
+//     their matching sends. Sent-but-never-received messages are permitted
+//     (the receiver may have crashed, or a network adversary may have
+//     dropped the message — loss does not leave the model); receiving a
+//     message the channel cursor has already passed does (reorder);
 //   - crash is final: a crashed process executes no further events, and
 //     crash_p occurs at most once;
 //   - detection is stable and single-shot: failed_i(j) occurs at most once
@@ -275,10 +278,20 @@ func (h History) Validate() error {
 			k := chanKey{from: e.Peer, to: e.Proc}
 			cur := recvCursor[k]
 			order := sendOrder[k]
-			if cur >= len(order) || order[cur] != e.Msg {
+			// Scan forward from the cursor: sends skipped over are lost
+			// messages (allowed); a message behind the cursor was overtaken
+			// by a later one — a FIFO violation.
+			pos := -1
+			for i := cur; i < len(order); i++ {
+				if order[i] == e.Msg {
+					pos = i
+					break
+				}
+			}
+			if pos < 0 {
 				return violation(idx, "fifo", "message m%d received out of FIFO order on C_{%d,%d}", e.Msg, e.Peer, e.Proc)
 			}
-			recvCursor[k] = cur + 1
+			recvCursor[k] = pos + 1
 			recvSeen[e.Msg] = true
 		case KindCrash:
 			crashed[e.Proc] = true

@@ -31,6 +31,13 @@ func TestValidateAcceptsValidHistories(t *testing.T) {
 			Recv(2, 1, 2, "b", None),
 		}},
 		{"unreceived send", History{Send(1, 2, 1, "a", None)}},
+		{"lost message skipped in FIFO order", History{
+			Send(1, 2, 1, "a", None),
+			Send(1, 2, 2, "b", None),
+			Send(1, 2, 3, "c", None),
+			Recv(2, 1, 2, "b", None), // m1 lost; later sends still in order
+			Recv(2, 1, 3, "c", None),
+		}},
 		{"interleaved channels", History{
 			Send(1, 2, 1, "a", None),
 			Send(2, 1, 2, "b", None),
@@ -84,6 +91,7 @@ func TestValidateRejectsInvalidHistories(t *testing.T) {
 			Send(1, 2, 1, "a", None),
 			Send(1, 2, 2, "b", None),
 			Recv(2, 1, 2, "b", None),
+			Recv(2, 1, 1, "a", None), // m1 overtaken by m2: reorder
 		}, "fifo"},
 		{"event after crash", History{
 			Crash(1),

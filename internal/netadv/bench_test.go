@@ -1,0 +1,33 @@
+package netadv
+
+import (
+	"testing"
+
+	"failstop/internal/node"
+)
+
+// BenchmarkDecideQuiet measures the fast path: no rule active or matching.
+func BenchmarkDecideQuiet(b *testing.B) {
+	pl := NewPlane(Plan{Rules: []Rule{
+		{From: 1 << 40, Cut: true}, // never active within the benchmark
+	}}, 10, 1)
+	p := node.Payload{Tag: "APP"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pl.Decide(1, 2, p, int64(i))
+	}
+}
+
+// BenchmarkDecideFaulty measures the full decision path with a
+// probabilistic multi-rule plan.
+func BenchmarkDecideFaulty(b *testing.B) {
+	pl := NewPlane(Plan{Rules: []Rule{
+		{Drop: 0.1, JitterMax: 5},
+		{Duplicate: 0.05, Reorder: 0.02},
+	}}, 10, 1)
+	p := node.Payload{Tag: "APP"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pl.Decide(1, 2, p, int64(i))
+	}
+}

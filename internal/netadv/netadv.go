@@ -1,0 +1,326 @@
+// Package netadv is a composable network-adversary plane: it owns per-link
+// fault state over virtual time and decides, per send, whether a message is
+// delivered, dropped, duplicated, delayed, or reordered.
+//
+// The paper's §5 quorum protocol assumes reliable FIFO channels; netadv
+// makes the network itself a first-class, scriptable adversary so that the
+// scenario families a delay distribution cannot reach — split-brain
+// partitions, isolated minorities, flaky links, healing partitions — become
+// expressible. A Plan is a declarative, seed-deterministic timeline of
+// Rules; a Plane instantiates a plan for a concrete cluster and implements
+// node.LinkFn, so the same plan drives both the deterministic simulator
+// (internal/sim) and the live goroutine runtime (internal/runtime) with
+// identical semantics.
+//
+// Determinism. All randomness derives from (plan seed, link, per-link
+// message index) via a splitmix64 stream: the k-th message on a directed
+// link receives the same fate in every run with the same seed, regardless
+// of host scheduling. In the simulator this makes whole runs byte-identical
+// per seed; in the live runtime it makes fates a deterministic function of
+// each link's message sequence even though that sequence interleaves
+// nondeterministically across links.
+package netadv
+
+import (
+	"fmt"
+	"sync"
+
+	"failstop/internal/model"
+	"failstop/internal/node"
+)
+
+// Link is one directed channel from one process to another.
+type Link struct {
+	From, To model.ProcID
+}
+
+// LinkSet selects directed links. The zero value selects every link.
+type LinkSet struct {
+	// Groups partitions the processes: a link matches when its endpoints
+	// lie in different groups. Processes not listed in any group form one
+	// implicit residual group (so a single group isolates its members from
+	// everyone else while leaving the rest fully connected).
+	Groups [][]model.ProcID
+	// Pairs lists explicit directed links that match regardless of Groups.
+	Pairs []Link
+}
+
+// Empty reports whether the set is the zero value (match everything).
+func (ls LinkSet) Empty() bool {
+	return len(ls.Groups) == 0 && len(ls.Pairs) == 0
+}
+
+// Rule applies network faults to matching messages while active. Fault
+// effects compose: a rule may simultaneously drop with probability Drop,
+// duplicate with probability Duplicate, and jitter delays; multiple active
+// rules all apply to the same message.
+type Rule struct {
+	// From and Until bound the active window in ticks: the rule applies to
+	// sends at time at with From <= at, and (when Until > 0) at < Until.
+	// Until 0 means the rule never expires; a partition with Until set is a
+	// partition with a scheduled heal.
+	From, Until int64
+	// Links selects the directed links the rule applies to. The zero value
+	// applies to every link.
+	Links LinkSet
+	// Tags restricts the rule to messages with these payload tags (e.g.
+	// only the quorum protocol's "j failed" traffic). Empty = all messages.
+	Tags []string
+	// Cut drops every matching message: the lossy-partition primitive.
+	// Nothing is retransmitted after a heal — a protocol that broadcasts
+	// once (like §5) permanently loses what it sent into the cut.
+	Cut bool
+	// Hold delays every matching message until the rule expires (requires
+	// Until > 0): the buffering-partition primitive, modeling links that
+	// retransmit until connectivity returns. Messages sent into the
+	// partition arrive just after the heal instead of being lost.
+	Hold bool
+	// Drop is the probability a matching message is discarded.
+	Drop float64
+	// Duplicate is the probability the network delivers one extra copy.
+	Duplicate float64
+	// Reorder is the probability the message overtakes the message queued
+	// immediately ahead of it on the same link (a pairwise FIFO violation).
+	Reorder float64
+	// JitterMax adds a uniform extra delay in [0, JitterMax] ticks to every
+	// delivered copy of a matching message.
+	JitterMax int64
+}
+
+// Plan is a declarative, seed-deterministic fault timeline for a cluster's
+// network. Plans are pure data: instantiate one per run with NewPlane.
+type Plan struct {
+	// Name identifies the plan in reports and trace headers.
+	Name string
+	// Rules is the fault timeline. Rules are evaluated in order on every
+	// send; all active matching rules apply.
+	Rules []Rule
+}
+
+// Empty reports whether the plan imposes no faults.
+func (p Plan) Empty() bool { return len(p.Rules) == 0 }
+
+// Validate reports the first problem with the plan for a cluster of n
+// processes, or nil.
+func (p Plan) Validate(n int) error {
+	for i, r := range p.Rules {
+		if r.From < 0 {
+			return fmt.Errorf("netadv: rule %d of plan %q: negative From %d", i, p.Name, r.From)
+		}
+		if r.Until != 0 && r.Until <= r.From {
+			return fmt.Errorf("netadv: rule %d of plan %q: Until %d not after From %d", i, p.Name, r.Until, r.From)
+		}
+		for _, pr := range [...]struct {
+			name string
+			v    float64
+		}{{"Drop", r.Drop}, {"Duplicate", r.Duplicate}, {"Reorder", r.Reorder}} {
+			if pr.v < 0 || pr.v > 1 {
+				return fmt.Errorf("netadv: rule %d of plan %q: %s=%v outside [0,1]", i, p.Name, pr.name, pr.v)
+			}
+		}
+		if r.JitterMax < 0 {
+			return fmt.Errorf("netadv: rule %d of plan %q: negative JitterMax %d", i, p.Name, r.JitterMax)
+		}
+		if r.Hold && r.Until == 0 {
+			return fmt.Errorf("netadv: rule %d of plan %q: Hold requires a heal time (Until > 0)", i, p.Name)
+		}
+		for _, g := range r.Links.Groups {
+			for _, proc := range g {
+				if proc < 1 || int(proc) > n {
+					return fmt.Errorf("netadv: rule %d of plan %q: process %d outside 1..%d", i, p.Name, proc, n)
+				}
+			}
+		}
+		for _, l := range r.Links.Pairs {
+			if l.From < 1 || int(l.From) > n || l.To < 1 || int(l.To) > n {
+				return fmt.Errorf("netadv: rule %d of plan %q: link %d->%d outside 1..%d", i, p.Name, l.From, l.To, n)
+			}
+		}
+	}
+	return nil
+}
+
+// compiledRule is a Rule with its link and tag selectors resolved into
+// constant-time lookups.
+type compiledRule struct {
+	Rule
+	groupOf map[model.ProcID]int // proc -> group index; absent = residual
+	pairs   map[Link]bool
+	tags    map[string]bool
+}
+
+func (cr *compiledRule) activeAt(at int64) bool {
+	return at >= cr.From && (cr.Until == 0 || at < cr.Until)
+}
+
+func (cr *compiledRule) matches(from, to model.ProcID, tag string) bool {
+	if len(cr.tags) > 0 && !cr.tags[tag] {
+		return false
+	}
+	if cr.Links.Empty() {
+		return true
+	}
+	if cr.pairs[Link{From: from, To: to}] {
+		return true
+	}
+	if len(cr.groupOf) > 0 {
+		// Unlisted processes share the residual group (index -1).
+		gf, okf := cr.groupOf[from]
+		gt, okt := cr.groupOf[to]
+		if !okf {
+			gf = -1
+		}
+		if !okt {
+			gt = -1
+		}
+		if gf != gt {
+			return true
+		}
+	}
+	return false
+}
+
+// Plane is a Plan instantiated for one run of a concrete cluster: it tracks
+// per-link message indices and derives every probabilistic fate from them
+// and the seed. A Plane is goroutine-safe and implements node.LinkFn via
+// its Decide method.
+type Plane struct {
+	plan  Plan
+	n     int
+	seed  int64
+	rules []compiledRule
+
+	mu  sync.Mutex
+	seq map[Link]uint64
+}
+
+// NewPlane instantiates plan for a cluster of n processes, deriving all
+// randomness from seed. It panics if the plan does not validate — plans are
+// authored, not computed, so an invalid one is a programming error.
+func NewPlane(plan Plan, n int, seed int64) *Plane {
+	if err := plan.Validate(n); err != nil {
+		panic(err)
+	}
+	pl := &Plane{plan: plan, n: n, seed: seed, seq: make(map[Link]uint64)}
+	for _, r := range plan.Rules {
+		cr := compiledRule{Rule: r}
+		if len(r.Links.Groups) > 0 {
+			cr.groupOf = make(map[model.ProcID]int)
+			for gi, g := range r.Links.Groups {
+				for _, proc := range g {
+					cr.groupOf[proc] = gi
+				}
+			}
+		}
+		if len(r.Links.Pairs) > 0 {
+			cr.pairs = make(map[Link]bool, len(r.Links.Pairs))
+			for _, l := range r.Links.Pairs {
+				cr.pairs[l] = true
+			}
+		}
+		if len(r.Tags) > 0 {
+			cr.tags = make(map[string]bool, len(r.Tags))
+			for _, t := range r.Tags {
+				cr.tags[t] = true
+			}
+		}
+		pl.rules = append(pl.rules, cr)
+	}
+	return pl
+}
+
+// Plan returns the plan the plane was built from.
+func (pl *Plane) Plan() Plan { return pl.plan }
+
+// Decide implements node.LinkFn: the fate of the message currently being
+// sent from from to to at time at.
+func (pl *Plane) Decide(from, to model.ProcID, p node.Payload, at int64) node.LinkDecision {
+	var dec node.LinkDecision
+	// Consume the link's sequence index unconditionally — even for messages
+	// no rule touches — so that a message's stream depends only on its
+	// position in the link's send sequence, never on how rule windows
+	// happened to line up with (wall-clock-derived) send times. This is
+	// what keeps fates reproducible on the live runtime.
+	link := Link{From: from, To: to}
+	pl.mu.Lock()
+	idx := pl.seq[link]
+	pl.seq[link] = idx + 1
+	pl.mu.Unlock()
+
+	// Fast path: no rule is active and matching.
+	anyMatch := false
+	for i := range pl.rules {
+		if pl.rules[i].activeAt(at) && pl.rules[i].matches(from, to, p.Tag) {
+			anyMatch = true
+			break
+		}
+	}
+	if !anyMatch {
+		return dec
+	}
+
+	rng := newStream(pl.seed, link, idx)
+	for i := range pl.rules {
+		cr := &pl.rules[i]
+		// Consume the stream identically whether or not the rule is active,
+		// so a rule expiring does not shift the fates other rules assign to
+		// later messages on the link.
+		drop := rng.float64()
+		dup := rng.float64()
+		reord := rng.float64()
+		jit := rng.uint64()
+		if !cr.activeAt(at) || !cr.matches(from, to, p.Tag) {
+			continue
+		}
+		if cr.Cut || drop < cr.Drop {
+			dec.Drop = true
+		}
+		if cr.Hold {
+			// Deliver no earlier than the heal: the base delay is >= 0, so
+			// pushing the extra delay to (Until - at) suffices.
+			if hold := cr.Until - at; hold > dec.ExtraDelay {
+				dec.ExtraDelay = hold
+			}
+		}
+		if dup < cr.Duplicate {
+			dec.Duplicates++
+		}
+		if reord < cr.Reorder {
+			dec.Reorder = true
+		}
+		if cr.JitterMax > 0 {
+			dec.ExtraDelay += int64(jit % uint64(cr.JitterMax+1))
+		}
+	}
+	return dec
+}
+
+// stream is a tiny deterministic PRNG (splitmix64) seeded from the plane
+// seed, the link, and the per-link message index. It is allocation-free and
+// platform-independent, unlike math/rand, so fates are stable everywhere.
+type stream struct{ x uint64 }
+
+func newStream(seed int64, l Link, idx uint64) stream {
+	x := uint64(seed)
+	x = mix(x ^ uint64(l.From)*0x9e3779b97f4a7c15)
+	x = mix(x ^ uint64(l.To)*0xbf58476d1ce4e5b9)
+	x = mix(x ^ idx*0x94d049bb133111eb)
+	return stream{x: x}
+}
+
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *stream) uint64() uint64 {
+	s.x = mix(s.x)
+	return s.x
+}
+
+// float64 returns a uniform value in [0, 1).
+func (s *stream) float64() float64 {
+	return float64(s.uint64()>>11) / (1 << 53)
+}

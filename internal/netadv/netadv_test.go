@@ -1,0 +1,243 @@
+package netadv
+
+import (
+	"reflect"
+	"testing"
+
+	"failstop/internal/core"
+	"failstop/internal/model"
+	"failstop/internal/node"
+)
+
+func TestLinkSetMatching(t *testing.T) {
+	pl := NewPlane(Plan{Name: "x", Rules: []Rule{
+		{Cut: true, Links: LinkSet{Groups: [][]model.ProcID{{1, 2}, {3, 4}}}},
+	}}, 5, 0)
+	cases := []struct {
+		from, to model.ProcID
+		cut      bool
+	}{
+		{1, 2, false}, // same group
+		{3, 4, false}, // same group
+		{1, 3, true},  // across groups
+		{4, 2, true},  // across groups, other direction
+		{1, 5, true},  // listed vs residual
+		{5, 5, false}, // residual vs residual (degenerate, same group)
+	}
+	for _, c := range cases {
+		dec := pl.Decide(c.from, c.to, node.Payload{Tag: "APP"}, 0)
+		if dec.Drop != c.cut {
+			t.Errorf("link %d->%d: Drop=%v, want %v", c.from, c.to, dec.Drop, c.cut)
+		}
+	}
+}
+
+func TestPairsMatchRegardlessOfGroups(t *testing.T) {
+	pl := NewPlane(Plan{Rules: []Rule{
+		{Cut: true, Links: LinkSet{Pairs: []Link{{From: 1, To: 2}}}},
+	}}, 3, 0)
+	if !pl.Decide(1, 2, node.Payload{}, 0).Drop {
+		t.Error("explicit pair 1->2 not cut")
+	}
+	if pl.Decide(2, 1, node.Payload{}, 0).Drop {
+		t.Error("reverse direction 2->1 cut; pairs are directed")
+	}
+}
+
+func TestRuleWindow(t *testing.T) {
+	pl := NewPlane(Plan{Rules: []Rule{
+		{From: 10, Until: 20, Cut: true},
+	}}, 3, 0)
+	for _, c := range []struct {
+		at  int64
+		cut bool
+	}{{0, false}, {9, false}, {10, true}, {19, true}, {20, false}, {100, false}} {
+		if got := pl.Decide(1, 2, node.Payload{}, c.at).Drop; got != c.cut {
+			t.Errorf("at=%d: Drop=%v, want %v", c.at, got, c.cut)
+		}
+	}
+}
+
+func TestTagTargeting(t *testing.T) {
+	pl := NewPlane(Plan{Rules: []Rule{
+		{Cut: true, Tags: []string{core.TagSusp}},
+	}}, 3, 0)
+	if !pl.Decide(1, 2, node.Payload{Tag: core.TagSusp}, 0).Drop {
+		t.Error("SUSP message not cut")
+	}
+	if pl.Decide(1, 2, node.Payload{Tag: core.TagApp}, 0).Drop {
+		t.Error("APP message cut despite tag targeting")
+	}
+}
+
+// TestDecisionDeterminism verifies fates are a pure function of (seed,
+// link, per-link message index): two planes with the same seed agree
+// message for message, and a different seed diverges somewhere.
+func TestDecisionDeterminism(t *testing.T) {
+	plan := Plan{Rules: []Rule{{Drop: 0.3, Duplicate: 0.2, Reorder: 0.1, JitterMax: 7}}}
+	a := NewPlane(plan, 4, 42)
+	b := NewPlane(plan, 4, 42)
+	c := NewPlane(plan, 4, 43)
+	var diverged bool
+	for i := 0; i < 200; i++ {
+		da := a.Decide(1, 2, node.Payload{Tag: "APP"}, int64(i))
+		db := b.Decide(1, 2, node.Payload{Tag: "APP"}, int64(i))
+		dc := c.Decide(1, 2, node.Payload{Tag: "APP"}, int64(i))
+		if !reflect.DeepEqual(da, db) {
+			t.Fatalf("message %d: same seed diverged: %+v vs %+v", i, da, db)
+		}
+		if !reflect.DeepEqual(da, dc) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("seeds 42 and 43 produced identical fates for 200 messages")
+	}
+}
+
+// TestDecisionIndependentOfOtherLinks verifies one link's fates do not
+// depend on traffic interleaved on other links — the property that makes
+// plan semantics portable to the nondeterministic live runtime.
+func TestDecisionIndependentOfOtherLinks(t *testing.T) {
+	plan := Plan{Rules: []Rule{{Drop: 0.5}}}
+	solo := NewPlane(plan, 4, 7)
+	mixed := NewPlane(plan, 4, 7)
+	var want []node.LinkDecision
+	for i := 0; i < 50; i++ {
+		want = append(want, solo.Decide(1, 2, node.Payload{}, int64(i)))
+	}
+	var got []node.LinkDecision
+	for i := 0; i < 50; i++ {
+		mixed.Decide(3, 4, node.Payload{}, int64(i)) // interleaved traffic
+		got = append(got, mixed.Decide(1, 2, node.Payload{}, int64(i)))
+		mixed.Decide(2, 3, node.Payload{}, int64(i))
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("fates on link 1->2 changed when other links carried traffic")
+	}
+}
+
+func TestDropRateRoughlyHonored(t *testing.T) {
+	pl := NewPlane(Plan{Rules: []Rule{{Drop: 0.3}}}, 2, 1)
+	dropped := 0
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if pl.Decide(1, 2, node.Payload{}, int64(i)).Drop {
+			dropped++
+		}
+	}
+	if rate := float64(dropped) / total; rate < 0.25 || rate > 0.35 {
+		t.Errorf("drop rate %.3f far from configured 0.3", rate)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{Rules: []Rule{{From: -1}}},
+		{Rules: []Rule{{From: 10, Until: 10}}},
+		{Rules: []Rule{{Drop: 1.5}}},
+		{Rules: []Rule{{Duplicate: -0.1}}},
+		{Rules: []Rule{{JitterMax: -1}}},
+		{Rules: []Rule{{Links: LinkSet{Groups: [][]model.ProcID{{0}}}}}},
+		{Rules: []Rule{{Links: LinkSet{Groups: [][]model.ProcID{{6}}}}}},
+		{Rules: []Rule{{Links: LinkSet{Pairs: []Link{{From: 1, To: 9}}}}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(5); err == nil {
+			t.Errorf("plan %d validated despite being invalid: %+v", i, p)
+		}
+	}
+	ok := Plan{Rules: []Rule{
+		{From: 10, Until: 200, Cut: true, Links: LinkSet{Groups: [][]model.ProcID{{1, 2}, {3}}}},
+		{Drop: 0.5, Duplicate: 1, Reorder: 0.25, JitterMax: 10, Tags: []string{"APP"}},
+	}}
+	if err := ok.Validate(5); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestNewPlanePanicsOnInvalidPlan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPlane accepted an invalid plan")
+		}
+	}()
+	NewPlane(Plan{Rules: []Rule{{Drop: 2}}}, 3, 0)
+}
+
+func TestBuiltinsValidateAcrossGrid(t *testing.T) {
+	for _, g := range Builtins() {
+		for _, nt := range [][2]int{{2, 1}, {5, 2}, {10, 3}, {15, 4}} {
+			plan := g.Make(nt[0], nt[1])
+			if plan.Name != g.Name {
+				t.Errorf("%s: plan named %q", g.Name, plan.Name)
+			}
+			if err := plan.Validate(nt[0]); err != nil {
+				t.Errorf("%s at n=%d t=%d: %v", g.Name, nt[0], nt[1], err)
+			}
+			if plan.Empty() {
+				t.Errorf("%s at n=%d t=%d: empty plan", g.Name, nt[0], nt[1])
+			}
+		}
+	}
+}
+
+func TestBuiltinLookup(t *testing.T) {
+	names := BuiltinNames()
+	want := []string{"flaky-quorum", "healing-partition", "isolated-minority", "split-brain"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("BuiltinNames() = %v, want %v", names, want)
+	}
+	for _, name := range names {
+		if _, ok := Builtin(name); !ok {
+			t.Errorf("Builtin(%q) not found", name)
+		}
+	}
+	if _, ok := Builtin("nope"); ok {
+		t.Error("Builtin(nope) found")
+	}
+}
+
+// TestSplitBrainSemantics spot-checks the built-in: before tick 10 all
+// links deliver; after, only links within a half do.
+func TestSplitBrainSemantics(t *testing.T) {
+	g, _ := Builtin("split-brain")
+	pl := NewPlane(g.Make(5, 2), 5, 0) // halves {1,2,3} and {4,5}
+	if pl.Decide(1, 4, node.Payload{}, 5).Drop {
+		t.Error("cut before tick 10")
+	}
+	if !pl.Decide(1, 4, node.Payload{}, 10).Drop {
+		t.Error("cross-half link 1->4 not cut at tick 10")
+	}
+	if pl.Decide(1, 3, node.Payload{}, 10).Drop {
+		t.Error("intra-half link 1->3 cut")
+	}
+	if pl.Decide(4, 5, node.Payload{}, 50).Drop {
+		t.Error("intra-minority link 4->5 cut")
+	}
+}
+
+// TestHealingPartitionHeals verifies the scheduled heal: during [10, 200)
+// cross-half messages are held (delayed past the heal, not dropped), and
+// after the heal they flow normally.
+func TestHealingPartitionHeals(t *testing.T) {
+	g, _ := Builtin("healing-partition")
+	pl := NewPlane(g.Make(6, 2), 6, 0)
+	dec := pl.Decide(1, 6, node.Payload{}, 100)
+	if dec.Drop {
+		t.Error("healing partition drops instead of holding")
+	}
+	if dec.ExtraDelay < 100 {
+		t.Errorf("ExtraDelay = %d at tick 100; want >= 100 so delivery lands after the tick-200 heal", dec.ExtraDelay)
+	}
+	after := pl.Decide(1, 6, node.Payload{}, 200)
+	if after.Drop || after.ExtraDelay != 0 {
+		t.Errorf("link still faulted after the heal: %+v", after)
+	}
+}
+
+func TestHoldRequiresUntil(t *testing.T) {
+	if err := (Plan{Rules: []Rule{{Hold: true}}}).Validate(3); err == nil {
+		t.Error("Hold without Until accepted")
+	}
+}

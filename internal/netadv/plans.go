@@ -1,0 +1,108 @@
+package netadv
+
+import (
+	"sort"
+
+	"failstop/internal/core"
+	"failstop/internal/model"
+)
+
+// Generator is a named built-in plan family: Make instantiates the plan for
+// a concrete cluster size n and failure bound t (group membership and fault
+// intensity scale with both).
+type Generator struct {
+	Name string
+	// Make builds the plan. A nil Make (the zero Generator) means no plan.
+	Make func(n, t int) Plan
+}
+
+// Builtin returns the named built-in plan generator.
+func Builtin(name string) (Generator, bool) {
+	for _, g := range Builtins() {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return Generator{}, false
+}
+
+// BuiltinNames lists the built-in plan names, sorted.
+func BuiltinNames() []string {
+	var out []string
+	for _, g := range Builtins() {
+		out = append(out, g.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Builtins returns every built-in plan generator:
+//
+//   - "split-brain": from tick 10 the cluster splits into two halves that
+//     never heal. The majority half can still assemble minimum quorums; the
+//     minority half starves: its detections begin but cannot complete.
+//   - "isolated-minority": from tick 10 the t highest-numbered processes
+//     are cut off from everyone else (and remain connected to each other).
+//   - "flaky-quorum": every link drops 35% of the quorum protocol's "j
+//     failed" messages for the whole run, and adds up to 5 ticks of jitter —
+//     detection liveness now depends on which SUSP copies survive.
+//   - "healing-partition": the split-brain split, but buffering instead of
+//     lossy, with a scheduled heal at tick 200: cross-half messages are
+//     held and delivered after the heal, so detections blocked by the
+//     partition complete once it lifts.
+func Builtins() []Generator {
+	return []Generator{
+		{Name: "split-brain", Make: func(n, t int) Plan {
+			return Plan{Name: "split-brain", Rules: []Rule{
+				{From: 10, Cut: true, Links: LinkSet{Groups: halves(n)}},
+			}}
+		}},
+		{Name: "isolated-minority", Make: func(n, t int) Plan {
+			return Plan{Name: "isolated-minority", Rules: []Rule{
+				{From: 10, Cut: true, Links: LinkSet{Groups: [][]model.ProcID{minority(n, t)}}},
+			}}
+		}},
+		{Name: "flaky-quorum", Make: func(n, t int) Plan {
+			return Plan{Name: "flaky-quorum", Rules: []Rule{
+				{Tags: []string{core.TagSusp}, Drop: 0.35, JitterMax: 5},
+			}}
+		}},
+		{Name: "healing-partition", Make: func(n, t int) Plan {
+			return Plan{Name: "healing-partition", Rules: []Rule{
+				{From: 10, Until: 200, Hold: true, Links: LinkSet{Groups: halves(n)}},
+			}}
+		}},
+	}
+}
+
+// halves splits 1..n into a majority half [1..ceil(n/2)] and the rest.
+func halves(n int) [][]model.ProcID {
+	maj := (n + 1) / 2
+	a := make([]model.ProcID, 0, maj)
+	b := make([]model.ProcID, 0, n-maj)
+	for p := 1; p <= n; p++ {
+		if p <= maj {
+			a = append(a, model.ProcID(p))
+		} else {
+			b = append(b, model.ProcID(p))
+		}
+	}
+	return [][]model.ProcID{a, b}
+}
+
+// minority returns the t highest-numbered processes (at least one, at most
+// n-1, so somebody is always left on the majority side).
+func minority(n, t int) []model.ProcID {
+	k := t
+	if k < 1 {
+		k = 1
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	out := make([]model.ProcID, 0, k)
+	for p := n - k + 1; p <= n; p++ {
+		out = append(out, model.ProcID(p))
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package node
+
+import "failstop/internal/model"
+
+// LinkDecision is the fate a (possibly adversarial) network assigns to one
+// message at send time. The zero value means normal delivery: one copy,
+// host-chosen delay, FIFO position at the channel tail.
+//
+// LinkDecision generalizes a bare delay choice: the network may discard the
+// message, hold it forever, deliver extra copies, or let it overtake the
+// message queued immediately ahead of it. Hosts record the send event
+// unconditionally — the sender executed it — and then apply the decision to
+// what the channel actually carries.
+type LinkDecision struct {
+	// Drop discards the message: the send event is recorded, but no copy is
+	// ever delivered.
+	Drop bool
+	// Park holds every delivered copy at the head of its channel forever
+	// (and, channels being FIFO, everything queued behind it).
+	Park bool
+	// ExtraDelay adds this many ticks on top of the host's base delay for
+	// every delivered copy.
+	ExtraDelay int64
+	// Duplicates is the number of additional copies the network delivers
+	// beyond the original (0 = no duplication). Each copy is enqueued
+	// independently with its own host-chosen base delay.
+	Duplicates int
+	// Reorder enqueues the message (and its copies) immediately before the
+	// current channel tail instead of after it — a pairwise FIFO violation.
+	// It has no effect when the channel holds at most one message.
+	Reorder bool
+}
+
+// Copies returns how many copies of the message the network delivers:
+// 0 when dropped, otherwise 1 plus the duplicate count.
+func (d LinkDecision) Copies() int {
+	if d.Drop {
+		return 0
+	}
+	return 1 + d.Duplicates
+}
+
+// LinkFn decides the fate of each message at send time: it is consulted by
+// the host (the deterministic simulator or the live runtime) once per send,
+// with the sender, destination, payload, and current time in ticks.
+// Implementations must be goroutine-safe for live hosts and must derive any
+// randomness deterministically from their own seed and the call inputs, so
+// that equal seeds reproduce equal fates.
+type LinkFn func(from, to model.ProcID, p Payload, at int64) LinkDecision

@@ -1,0 +1,98 @@
+package node
+
+import (
+	"testing"
+
+	"failstop/internal/model"
+)
+
+func TestLinkDecisionCopies(t *testing.T) {
+	cases := []struct {
+		name string
+		dec  LinkDecision
+		want int
+	}{
+		{"zero value delivers once", LinkDecision{}, 1},
+		{"drop delivers nothing", LinkDecision{Drop: true}, 0},
+		{"drop wins over duplicates", LinkDecision{Drop: true, Duplicates: 3}, 0},
+		{"one duplicate is two copies", LinkDecision{Duplicates: 1}, 2},
+		{"park still counts its copies", LinkDecision{Park: true, Duplicates: 2}, 3},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.dec.Copies(); got != tt.want {
+				t.Errorf("Copies() = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestZeroLinkDecisionIsNormalDelivery(t *testing.T) {
+	var dec LinkDecision
+	if dec.Drop || dec.Park || dec.Reorder || dec.ExtraDelay != 0 || dec.Duplicates != 0 {
+		t.Errorf("zero LinkDecision carries faults: %+v", dec)
+	}
+}
+
+// fakeHandler exercises the full optional-interface surface a host may
+// probe for: Handler, Gate, and CrashListener.
+type fakeHandler struct {
+	inits, msgs, timers, crashes int
+	accepts                      bool
+}
+
+func (f *fakeHandler) Init(Context) { f.inits++ }
+func (f *fakeHandler) OnMessage(ctx Context, from model.ProcID, p Payload) {
+	f.msgs++
+}
+func (f *fakeHandler) OnTimer(ctx Context, name string) { f.timers++ }
+func (f *fakeHandler) Accepts(from model.ProcID, p Payload) bool {
+	return f.accepts
+}
+func (f *fakeHandler) OnCrash(Context) { f.crashes++ }
+
+// TestOptionalInterfaceDiscovery pins down the contract hosts rely on:
+// Gate and CrashListener are discovered by type assertion on a Handler.
+func TestOptionalInterfaceDiscovery(t *testing.T) {
+	var h Handler = &fakeHandler{accepts: true}
+	g, ok := h.(Gate)
+	if !ok {
+		t.Fatal("fakeHandler does not expose Gate via type assertion")
+	}
+	if !g.Accepts(1, Payload{Tag: "APP"}) {
+		t.Error("gate answer lost through the interface")
+	}
+	if _, ok := h.(CrashListener); !ok {
+		t.Error("fakeHandler does not expose CrashListener via type assertion")
+	}
+	// A bare handler without the optional interfaces must not match them.
+	var bare Handler = bareHandler{}
+	if _, ok := bare.(Gate); ok {
+		t.Error("bare handler unexpectedly matches Gate")
+	}
+	if _, ok := bare.(CrashListener); ok {
+		t.Error("bare handler unexpectedly matches CrashListener")
+	}
+}
+
+type bareHandler struct{}
+
+func (bareHandler) Init(Context)                             {}
+func (bareHandler) OnMessage(Context, model.ProcID, Payload) {}
+func (bareHandler) OnTimer(Context, string)                  {}
+
+func TestPayloadValueSemantics(t *testing.T) {
+	data := []byte{1, 2, 3}
+	p := Payload{Tag: "APP", Subject: 4, Data: data}
+	q := p // payloads are copied by value between host layers...
+	q.Tag = "OTHER"
+	q.Subject = 5
+	if p.Tag != "APP" || p.Subject != 4 {
+		t.Errorf("payload copy mutated the original: %+v", p)
+	}
+	// ...but Data is a shared slice: hosts must not mutate it in place.
+	q.Data[0] = 9
+	if p.Data[0] != 9 {
+		t.Error("Data is expected to alias (documented sharing); copy-on-write happened")
+	}
+}

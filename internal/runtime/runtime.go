@@ -41,6 +41,12 @@ type Config struct {
 	// Tick is the duration of one virtual tick for node.Context.Now and
 	// SetTimer. Default: 1ms.
 	Tick time.Duration
+	// Link, when non-nil, is consulted once per send and may drop, park,
+	// delay, duplicate, or reorder the message (see node.LinkDecision) —
+	// the same transport hook the deterministic simulator honors, so one
+	// fault plan drives both backends with identical semantics. Decision
+	// times are in ticks; ExtraDelay is converted via Tick.
+	Link node.LinkFn
 }
 
 // Net is a live network of processes. Attach handlers, Start, then Stop.
@@ -53,6 +59,8 @@ type Net struct {
 	recMu   sync.Mutex
 	history model.History
 	nextMsg model.MsgID
+	dropped int
+	dupes   int
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -182,11 +190,20 @@ func (n *Net) delay() time.Duration {
 	return n.cfg.MinDelay + time.Duration(n.rng.Int63n(span+1))
 }
 
+// Stats returns the network-fault counters: messages dropped by Config.Link
+// and extra copies it injected.
+func (n *Net) Stats() (dropped, duplicated int) {
+	n.recMu.Lock()
+	defer n.recMu.Unlock()
+	return n.dropped, n.dupes
+}
+
 // liveMsg is a queued message on a live channel.
 type liveMsg struct {
 	id      model.MsgID
 	payload node.Payload
 	readyAt time.Time
+	parked  bool // held forever; blocks the channel behind it
 }
 
 // proc is the per-process worker state.
@@ -303,7 +320,7 @@ func (p *proc) step() bool {
 	sort.Slice(senders, func(a, b int) bool { return senders[a] < senders[b] })
 	for _, from := range senders {
 		head := p.queues[from][0]
-		if head.readyAt.After(now) {
+		if head.parked || head.readyAt.After(now) {
 			continue
 		}
 		if gate != nil && !gate.Accepts(from, head.payload) {
@@ -354,19 +371,52 @@ func (c *liveCtx) Send(to model.ProcID, pl node.Payload) {
 	net.history = append(net.history, e)
 	net.recMu.Unlock()
 
-	d := net.delay()
+	var dec node.LinkDecision
+	if net.cfg.Link != nil {
+		dec = net.cfg.Link(p.self, to, pl, net.nowTicks())
+	}
+	if dec.Drop {
+		net.recMu.Lock()
+		net.dropped++
+		net.recMu.Unlock()
+		return
+	}
+	if dec.Duplicates > 0 {
+		net.recMu.Lock()
+		net.dupes += dec.Duplicates
+		net.recMu.Unlock()
+	}
+
 	dst := net.procs[to]
+	var maxDelay time.Duration
 	dst.mu.Lock()
-	dst.queues[p.self] = append(dst.queues[p.self], liveMsg{
-		id:      id,
-		payload: pl,
-		readyAt: time.Now().Add(d),
-	})
+	for c := 0; c < dec.Copies(); c++ {
+		d := net.delay() + time.Duration(dec.ExtraDelay)*net.cfg.Tick
+		if d > maxDelay {
+			maxDelay = d
+		}
+		msg := liveMsg{
+			id:      id,
+			payload: pl,
+			readyAt: time.Now().Add(d),
+			parked:  dec.Park,
+		}
+		q := dst.queues[p.self]
+		if dec.Reorder && len(q) > 1 {
+			// Overtake the current tail: a pairwise FIFO violation.
+			tail := len(q) - 1
+			q = append(q, q[tail])
+			q[tail] = msg
+		} else {
+			q = append(q, msg)
+		}
+		dst.queues[p.self] = q
+	}
 	dst.mu.Unlock()
 	dst.wake()
 	// Ensure a re-check once the delay elapses even if nothing else wakes
 	// the destination.
-	time.AfterFunc(d, dst.wake)
+	time.AfterFunc(maxDelay, dst.wake)
 }
 
 func (c *liveCtx) SetTimer(name string, delayTicks int64) {

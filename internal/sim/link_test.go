@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"failstop/internal/model"
+	"failstop/internal/node"
+)
+
+// sender returns a handler that sends the given payloads to `to` at Init.
+func sender(to model.ProcID, tags ...string) node.Handler {
+	return &scriptHandler{init: func(ctx node.Context) {
+		for _, tag := range tags {
+			ctx.Send(to, node.Payload{Tag: tag})
+		}
+	}}
+}
+
+// linkAll applies one decision to every send.
+func linkAll(dec node.LinkDecision) node.LinkFn {
+	return func(model.ProcID, model.ProcID, node.Payload, int64) node.LinkDecision {
+		return dec
+	}
+}
+
+func TestLinkDropSuppressesDelivery(t *testing.T) {
+	s := New(Config{N: 2, Seed: 1, Link: linkAll(node.LinkDecision{Drop: true})})
+	s.SetHandler(1, sender(2, "A", "B", "C"))
+	rcv := &echoHandler{}
+	s.SetHandler(2, rcv)
+	res := s.Run()
+	if len(rcv.got) != 0 {
+		t.Errorf("receiver got %v across a dropping link", rcv.got)
+	}
+	if res.Sent != 3 || res.Delivered != 0 || res.Dropped != 3 {
+		t.Errorf("sent=%d delivered=%d dropped=%d, want 3/0/3", res.Sent, res.Delivered, res.Dropped)
+	}
+	// Lost messages keep the history model-valid: sent but never received.
+	if err := res.History.Validate(); err != nil {
+		t.Errorf("lossy history invalid: %v", err)
+	}
+	if res.BlockedLive() {
+		t.Error("dropped messages left a blocked channel")
+	}
+}
+
+func TestLinkSelectiveDropKeepsFIFOValid(t *testing.T) {
+	// Drop only "B": the receiver sees A then C, in send order.
+	link := func(from, to model.ProcID, p node.Payload, at int64) node.LinkDecision {
+		return node.LinkDecision{Drop: p.Tag == "B"}
+	}
+	s := New(Config{N: 2, Seed: 1, Link: link})
+	s.SetHandler(1, sender(2, "A", "B", "C"))
+	rcv := &echoHandler{}
+	s.SetHandler(2, rcv)
+	res := s.Run()
+	if want := []string{"A", "C"}; len(rcv.got) != 2 || rcv.got[0] != "A" || rcv.got[1] != "C" {
+		t.Errorf("receiver got %v, want %v", rcv.got, want)
+	}
+	if res.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", res.Dropped)
+	}
+	if err := res.History.Validate(); err != nil {
+		t.Errorf("history with one lost message invalid: %v", err)
+	}
+}
+
+func TestLinkDuplicateDeliversCopies(t *testing.T) {
+	s := New(Config{N: 2, Seed: 1, Link: linkAll(node.LinkDecision{Duplicates: 1})})
+	s.SetHandler(1, sender(2, "A", "B"))
+	rcv := &echoHandler{}
+	s.SetHandler(2, rcv)
+	res := s.Run()
+	if len(rcv.got) != 4 {
+		t.Errorf("receiver got %d deliveries, want 4 (2 messages × 2 copies)", len(rcv.got))
+	}
+	if res.Duplicated != 2 || res.Delivered != 4 {
+		t.Errorf("duplicated=%d delivered=%d, want 2/4", res.Duplicated, res.Delivered)
+	}
+	// Duplicate delivery leaves the reliable-channel model; Validate says so.
+	if err := res.History.Validate(); !errors.Is(err, model.ErrInvalidHistory) {
+		t.Errorf("duplicated history validated: %v", err)
+	}
+}
+
+func TestLinkParkBlocksChannel(t *testing.T) {
+	s := New(Config{N: 2, Seed: 1, Link: linkAll(node.LinkDecision{Park: true})})
+	s.SetHandler(1, sender(2, "A", "B"))
+	s.SetHandler(2, idle())
+	res := s.Run()
+	if res.Delivered != 0 {
+		t.Errorf("delivered = %d through a parked channel", res.Delivered)
+	}
+	if len(res.Blocked) != 1 || res.Blocked[0].Reason != ReasonParked || res.Blocked[0].Queued != 2 {
+		t.Errorf("blocked = %+v, want one parked channel with 2 queued", res.Blocked)
+	}
+	if res.Quiescent() {
+		t.Error("run with parked messages reported quiescent")
+	}
+}
+
+func TestLinkExtraDelayShiftsDelivery(t *testing.T) {
+	run := func(extra int64) int64 {
+		s := New(Config{N: 2, Seed: 1, MinDelay: 1, MaxDelay: 1,
+			Link: linkAll(node.LinkDecision{ExtraDelay: extra})})
+		s.SetHandler(1, sender(2, "A"))
+		s.SetHandler(2, idle())
+		return s.Run().EndTime
+	}
+	if base, delayed := run(0), run(50); delayed != base+50 {
+		t.Errorf("EndTime base=%d extra50=%d, want +50", base, delayed)
+	}
+}
+
+func TestLinkReorderOvertakesTail(t *testing.T) {
+	// Only the third message reorders: with everything else FIFO it lands
+	// ahead of "B", so the receiver sees A, C, B.
+	link := func(from, to model.ProcID, p node.Payload, at int64) node.LinkDecision {
+		return node.LinkDecision{Reorder: p.Tag == "C"}
+	}
+	s := New(Config{N: 2, Seed: 1, MinDelay: 5, MaxDelay: 5, Link: link})
+	s.SetHandler(1, sender(2, "A", "B", "C"))
+	rcv := &echoHandler{}
+	s.SetHandler(2, rcv)
+	res := s.Run()
+	if len(rcv.got) != 3 || rcv.got[0] != "A" || rcv.got[1] != "C" || rcv.got[2] != "B" {
+		t.Errorf("receiver got %v, want [A C B]", rcv.got)
+	}
+	// Reorder is a genuine FIFO violation; Validate flags it.
+	if err := res.History.Validate(); !errors.Is(err, model.ErrInvalidHistory) {
+		t.Errorf("reordered history validated: %v", err)
+	}
+}
+
+// TestLinkDeterminism: the link path preserves the simulator's determinism
+// guarantee — identical configs produce identical histories.
+func TestLinkDeterminism(t *testing.T) {
+	run := func() model.History {
+		link := func(from, to model.ProcID, p node.Payload, at int64) node.LinkDecision {
+			// A deterministic mix of fates keyed on time parity.
+			return node.LinkDecision{
+				Drop:       at%3 == 2,
+				Duplicates: int(at % 2),
+				ExtraDelay: at % 5,
+			}
+		}
+		s := New(Config{N: 3, Seed: 9, Link: link})
+		s.SetHandler(1, sender(2, "A", "B"))
+		s.SetHandler(2, &scriptHandler{onMsg: func(ctx node.Context, from model.ProcID, p node.Payload) {
+			ctx.Send(3, node.Payload{Tag: "FWD"})
+		}})
+		s.SetHandler(3, idle())
+		return s.Run().History
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("history lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Same(b[i]) || a[i].Time != b[i].Time {
+			t.Fatalf("event %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

@@ -13,6 +13,16 @@
 // rest of the run; this is how the Theorem 6 / Appendix A.3 schedules
 // "delay messages indefinitely".
 //
+// Network faults: Config.Link generalizes the delay choice into a full
+// link decision (node.LinkDecision): each send may additionally be dropped,
+// duplicated, parked, or reordered past the channel tail. Send events are
+// recorded unconditionally; dropped messages are simply never received, and
+// each delivered copy records its own receive event. Histories from runs
+// with loss remain model-valid (lost messages are sent-but-unreceived);
+// duplication and reorder genuinely leave the reliable-FIFO-channel model
+// and are flagged by model.History.Validate — which is the point of the
+// lossy-links experiment family.
+//
 // Receive gating: handlers implementing node.Gate can refuse the message at
 // the head of a channel; the channel blocks until a later event of the
 // receiver changes the gate's answer. This is the mechanism by which the
@@ -47,6 +57,11 @@ type Config struct {
 	MinDelay, MaxDelay int64
 	// Delay overrides the default delay distribution when non-nil.
 	Delay DelayFn
+	// Link, when non-nil, is consulted once per send and may drop, park,
+	// delay, duplicate, or reorder the message (see node.LinkDecision).
+	// Delay (or the default distribution) still chooses the base delay of
+	// each delivered copy.
+	Link node.LinkFn
 	// MaxTime stops the simulation once the next occurrence would be later
 	// than this horizon. 0 means no horizon (run to quiescence).
 	MaxTime int64
@@ -168,6 +183,9 @@ type Result struct {
 	EndTime int64
 	// Sent and Delivered count send and receive events.
 	Sent, Delivered int
+	// Dropped counts messages discarded by Config.Link; Duplicated counts
+	// extra copies it injected.
+	Dropped, Duplicated int
 	// Blocked lists channels holding undelivered messages to live processes
 	// at the end of the run (gated or parked) plus channels into crashed
 	// processes. A run with gated entries did not reach protocol quiescence.
@@ -216,6 +234,8 @@ type Sim struct {
 	timerGen map[string]int64 // key: "proc/name"
 	sent     int
 	deliv    int
+	dropped  int
+	dupes    int
 	ran      bool
 }
 
@@ -325,6 +345,8 @@ func (s *Sim) Run() *Result {
 	res.EndTime = s.now
 	res.Sent = s.sent
 	res.Delivered = s.deliv
+	res.Dropped = s.dropped
+	res.Duplicated = s.dupes
 	res.Blocked = s.blockedChannels()
 	return res
 }
@@ -368,6 +390,17 @@ func (s *Sim) deliver(k chanKey) {
 		return
 	}
 	head := c.queue[0]
+	// A reordered enqueue can put a not-yet-ready (or parked) message in
+	// front of the one this occurrence was scheduled for: re-anchor on the
+	// current head's ready time instead of delivering early.
+	if head.readyAt < 0 {
+		return // parked head; channel blocks
+	}
+	if head.readyAt > s.now {
+		c.scheduled = true
+		s.push(&occurrence{time: head.readyAt, kind: occDeliver, ch: k})
+		return
+	}
 	h := s.handlers[k.to]
 	if g, ok := h.(node.Gate); ok && !g.Accepts(k.from, head.payload) {
 		c.gated = true
@@ -479,24 +512,48 @@ func (c *procCtx) Send(to model.ProcID, p node.Payload) {
 	s.record(model.Send(c.p, to, id, p.Tag, p.Subject))
 	s.sent++
 
-	var delay int64
-	if s.cfg.Delay != nil {
-		delay = s.cfg.Delay(c.p, to, p, s.now)
-	} else {
-		delay = s.cfg.MinDelay + s.rng.Int63n(s.cfg.MaxDelay-s.cfg.MinDelay+1)
+	var dec node.LinkDecision
+	if s.cfg.Link != nil {
+		dec = s.cfg.Link(c.p, to, p, s.now)
 	}
-	ready := int64(-1)
-	if delay >= 0 {
-		ready = s.now + delay
+	if dec.Drop {
+		s.dropped++
+		return
 	}
+	s.dupes += dec.Duplicates
+
 	k := chanKey{from: c.p, to: to}
 	ch := s.chans[k]
 	if ch == nil {
 		ch = &channel{}
 		s.chans[k] = ch
 	}
-	ch.queue = append(ch.queue, pendingMsg{id: id, payload: p, readyAt: ready})
-	if len(ch.queue) == 1 {
+	headChanged := false
+	for n := 0; n < dec.Copies(); n++ {
+		var delay int64
+		if s.cfg.Delay != nil {
+			delay = s.cfg.Delay(c.p, to, p, s.now)
+		} else {
+			delay = s.cfg.MinDelay + s.rng.Int63n(s.cfg.MaxDelay-s.cfg.MinDelay+1)
+		}
+		ready := int64(-1)
+		if delay >= 0 && !dec.Park {
+			ready = s.now + delay + dec.ExtraDelay
+		}
+		msg := pendingMsg{id: id, payload: p, readyAt: ready}
+		if dec.Reorder && len(ch.queue) > 1 {
+			// Overtake the current tail: a pairwise FIFO violation.
+			tail := len(ch.queue) - 1
+			ch.queue = append(ch.queue, ch.queue[tail])
+			ch.queue[tail] = msg
+		} else {
+			ch.queue = append(ch.queue, msg)
+			if len(ch.queue) == 1 {
+				headChanged = true
+			}
+		}
+	}
+	if headChanged {
 		s.scheduleHead(k)
 	}
 }

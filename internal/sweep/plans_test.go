@@ -1,0 +1,184 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"failstop/internal/netadv"
+)
+
+func plansByName(t *testing.T, names ...string) []netadv.Generator {
+	t.Helper()
+	var out []netadv.Generator
+	for _, name := range names {
+		g, ok := netadv.Builtin(name)
+		if !ok {
+			t.Fatalf("no built-in plan %q", name)
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func TestPlansAxisExpansion(t *testing.T) {
+	spec := Spec{
+		Grid:      []NT{{5, 2}},
+		Schedules: []Schedule{{Name: "a"}, {Name: "b"}},
+		Plans:     plansByName(t, "split-brain", "flaky-quorum"),
+	}
+	cells := spec.Cells()
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cells))
+	}
+	want := Cell{NT: NT{5, 2}, Protocol: 1, QuorumDelta: 0, Schedule: "a", Plan: "split-brain"}
+	if cells[0] != want {
+		t.Errorf("first cell = %+v, want %+v", cells[0], want)
+	}
+	if got := cells[0].String(); got != "n=5 t=2 proto=sfs sched=a plan=split-brain" {
+		t.Errorf("cell string = %q", got)
+	}
+}
+
+func TestValidateRejectsDuplicatePlans(t *testing.T) {
+	spec := Spec{
+		Grid:  []NT{{5, 2}},
+		Plans: plansByName(t, "split-brain", "split-brain"),
+	}
+	if err := spec.withDefaults().Validate(); err == nil {
+		t.Error("duplicate plan names accepted")
+	}
+	spec = Spec{
+		Grid:  []NT{{5, 2}},
+		Plans: []netadv.Generator{{Name: "half-built"}},
+	}
+	if err := spec.withDefaults().Validate(); err == nil {
+		t.Error("named plan without Make accepted")
+	}
+	spec = Spec{
+		Grid:  []NT{{5, 2}},
+		Plans: []netadv.Generator{{Make: func(n, t int) netadv.Plan { return netadv.Plan{} }}},
+	}
+	if err := spec.withDefaults().Validate(); err == nil {
+		t.Error("anonymous plan with Make accepted; its faults would run invisibly")
+	}
+}
+
+// TestSplitBrainStarvesMinorityQuorum runs the acceptance scenario: under a
+// permanent split-brain partition, a suspicion raised on the minority side
+// cannot assemble its quorum — the runs are flagged quorum-starved and the
+// cut traffic shows up in the dropped tally.
+func TestSplitBrainStarvesMinorityQuorum(t *testing.T) {
+	spec := Spec{
+		Grid: []NT{{5, 2}},
+		Schedules: []Schedule{{
+			Name: "minority-suspects",
+			Faults: func(nt NT, seed int64) []Fault {
+				// Process n (minority half) suspects process 1 after the cut.
+				return []Fault{{Kind: FaultSuspect, At: 20, Proc: 5, Target: 1}}
+			},
+		}},
+		Plans:   plansByName(t, "split-brain"),
+		Seeds:   SeedRange{Count: 5},
+		MaxTime: 2000,
+	}
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &rep.Cells[0]
+	if !c.MetricAll("quorum-starved") {
+		t.Errorf("quorum-starved on %d/%d runs, want all: minimum quorum is 3 but the minority half has 2",
+			c.Metrics["quorum-starved"], c.Runs)
+	}
+	if c.Dropped == 0 {
+		t.Error("no dropped messages despite a permanent partition")
+	}
+	if c.Duplicated != 0 {
+		t.Errorf("split-brain duplicated %d messages", c.Duplicated)
+	}
+}
+
+// TestHealingPartitionUnstarves is the counterpart: the same suspicion
+// under the healing partition completes once the cut lifts.
+func TestHealingPartitionUnstarves(t *testing.T) {
+	spec := Spec{
+		Grid: []NT{{5, 2}},
+		Schedules: []Schedule{{
+			Name: "minority-suspects",
+			Faults: func(nt NT, seed int64) []Fault {
+				return []Fault{{Kind: FaultSuspect, At: 20, Proc: 5, Target: 1}}
+			},
+		}},
+		Plans:   plansByName(t, "healing-partition"),
+		Seeds:   SeedRange{Count: 5},
+		MaxTime: 2000,
+	}
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &rep.Cells[0]
+	if !c.MetricNone("quorum-starved") {
+		t.Errorf("quorum-starved on %d/%d runs after the heal, want none",
+			c.Metrics["quorum-starved"], c.Runs)
+	}
+}
+
+// TestFlakyQuorumDropsAndStillCounts verifies probabilistic loss shows up
+// in the dropped tally.
+func TestFlakyQuorumDropsAndStillCounts(t *testing.T) {
+	falseSusp, _ := Builtin("false-suspicion")
+	spec := Spec{
+		Grid:      []NT{{10, 3}},
+		Schedules: []Schedule{falseSusp},
+		Plans:     plansByName(t, "flaky-quorum"),
+		Seeds:     SeedRange{Count: 6},
+		MaxTime:   5000,
+	}
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &rep.Cells[0]
+	if c.Dropped == 0 {
+		t.Error("flaky-quorum dropped nothing")
+	}
+	if _, ok := c.Metrics["quorum-starved"]; !ok {
+		t.Error("quorum-starved diagnostic missing from a plan cell")
+	}
+}
+
+// TestPlanSweepDeterministic verifies the acceptance requirement: identical
+// seeds produce identical reports — including dropped/duplicated counts and
+// the starvation diagnostic — independent of worker count.
+func TestPlanSweepDeterministic(t *testing.T) {
+	crash, _ := Builtin("crash")
+	mutual, _ := Builtin("mutual")
+	spec := Spec{
+		Grid:      []NT{{5, 2}, {10, 3}},
+		Schedules: []Schedule{crash, mutual},
+		Plans:     plansByName(t, "split-brain", "flaky-quorum", "healing-partition", "isolated-minority"),
+		Seeds:     SeedRange{Count: 4},
+		MaxTime:   2000,
+		Check:     true,
+	}
+	serial, err := Run(spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(spec, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.Workers, parallel.Workers = 0, 0
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("plan sweeps diverged across worker counts:\n--- serial\n%s\n--- parallel\n%s", serial, parallel)
+	}
+	if serial.Runs != 2*2*4*4 {
+		t.Errorf("runs = %d, want %d", serial.Runs, 2*2*4*4)
+	}
+	// The rendered report (what sfs-sweep prints) must also be byte-stable.
+	if a, b := serial.String(), parallel.String(); a != b {
+		t.Error("rendered reports differ")
+	}
+}

@@ -33,6 +33,9 @@ type CellResult struct {
 	// Checked counts runs whose history went through the checker (the
 	// quiescent runs, when Spec.Check is set).
 	Checked int
+	// Dropped and Duplicated total the messages the network fault plan
+	// discarded and the extra copies it injected, over all runs of the cell.
+	Dropped, Duplicated int
 	// Holds counts, per property, the checked runs on which it held.
 	Holds map[string]int
 	// Metrics counts, per custom metric, the runs on which it was true.
@@ -109,14 +112,22 @@ func (r *Report) PropertyTable() string {
 }
 
 // CellTable renders one row per cell: outcome tallies, event-count
-// percentiles, and any custom metrics.
+// percentiles, network-fault tallies (when any cell ran under a fault
+// plan), and any custom metrics.
 func (r *Report) CellTable() string {
 	var allMetrics []map[string]int
+	faulty := false
 	for i := range r.Cells {
 		allMetrics = append(allMetrics, r.Cells[i].Metrics)
+		if r.Cells[i].Cell.Plan != "" {
+			faulty = true
+		}
 	}
 	names := metricNames(allMetrics...)
 	headers := []string{"cell", "runs", "quiescent", "blocked", "max-time", "max-events", "events p50", "events p95"}
+	if faulty {
+		headers = append(headers, "dropped", "duplicated")
+	}
 	headers = append(headers, names...)
 	tbl := stats.NewTable(headers...)
 	for i := range r.Cells {
@@ -125,6 +136,9 @@ func (r *Report) CellTable() string {
 			c.Cell.String(), c.Runs, c.Quiescent, c.BlockedRuns,
 			c.Stops[sim.StopMaxTime], c.Stops[sim.StopMaxEvents],
 			c.Events.Median, c.Events.P95,
+		}
+		if faulty {
+			row = append(row, c.Dropped, c.Duplicated)
 		}
 		for _, m := range names {
 			row = append(row, fmt.Sprintf("%d/%d", c.Metrics[m], c.Runs))
@@ -149,16 +163,18 @@ func (r *Report) String() string {
 
 // accumulator builds one CellResult incrementally.
 type accumulator struct {
-	cell    Cell
-	runs    int
-	stops   map[sim.StopReason]int
-	quiet   int
-	blocked int
-	checked int
-	holds   map[string]int
-	metrics map[string]int
-	events  []float64
-	ends    []float64
+	cell       Cell
+	runs       int
+	stops      map[sim.StopReason]int
+	quiet      int
+	blocked    int
+	checked    int
+	dropped    int
+	duplicated int
+	holds      map[string]int
+	metrics    map[string]int
+	events     []float64
+	ends       []float64
 }
 
 func newAccumulators(cells []cellSpec) []*accumulator {
@@ -183,6 +199,8 @@ func (a *accumulator) add(rec runRecord) {
 	if rec.blocked {
 		a.blocked++
 	}
+	a.dropped += rec.dropped
+	a.duplicated += rec.duplicated
 	if rec.verdicts != nil {
 		a.checked++
 		for _, v := range rec.verdicts {
@@ -210,6 +228,8 @@ func (a *accumulator) result() CellResult {
 		Quiescent:   a.quiet,
 		BlockedRuns: a.blocked,
 		Checked:     a.checked,
+		Dropped:     a.dropped,
+		Duplicated:  a.duplicated,
 		Holds:       a.holds,
 		Metrics:     a.metrics,
 		Events:      stats.Summarize(a.events),

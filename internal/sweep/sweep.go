@@ -1,11 +1,12 @@
 // Package sweep is a parallel scenario-sweep engine: it expands a
 // declarative grid of simulation scenarios — ranges over cluster size n,
 // failure bound t, protocol variant, quorum sizing, fault-injection
-// schedule, delay distribution, and seeds — into concrete deterministic
-// runs, executes them on a worker pool, pipes every recorded history
-// through the property checker, and aggregates per-cell results: verdict
-// counts per property (FS1/FS2, sFS2a–d, Conditions 1–3, the Witness
-// property), stop-reason and quiescence tallies, and run-length
+// schedule, network fault plan, delay distribution, and seeds — into
+// concrete deterministic runs, executes them on a worker pool, pipes every
+// recorded history through the property checker, and aggregates per-cell
+// results: verdict counts per property (FS1/FS2, sFS2a–d, Conditions 1–3,
+// the Witness property), stop-reason and quiescence tallies, network-fault
+// tallies (dropped/duplicated messages, quorum starvation), and run-length
 // percentiles.
 //
 // Each simulated run is deterministic and self-contained (its own
@@ -29,6 +30,8 @@ import (
 	"failstop/internal/cluster"
 	"failstop/internal/core"
 	"failstop/internal/model"
+	"failstop/internal/netadv"
+	"failstop/internal/node"
 	"failstop/internal/quorum"
 	"failstop/internal/sim"
 )
@@ -90,6 +93,8 @@ type Cell struct {
 	QuorumDelta int
 	// Schedule is the fault schedule's name.
 	Schedule string
+	// Plan is the network fault plan's name; "" means a fault-free network.
+	Plan string
 }
 
 // String renders the cell identity compactly.
@@ -100,6 +105,9 @@ func (c Cell) String() string {
 	}
 	if c.Schedule != "" {
 		s += " sched=" + c.Schedule
+	}
+	if c.Plan != "" {
+		s += " plan=" + c.Plan
 	}
 	return s
 }
@@ -136,6 +144,12 @@ type Spec struct {
 	QuorumDeltas []int
 	// Schedules lists the fault schedules. Default: one quiet schedule.
 	Schedules []Schedule
+	// Plans lists the network fault plans (netadv generators, instantiated
+	// per grid cell and seed). Default: one fault-free network. Runs with a
+	// non-empty plan additionally aggregate dropped/duplicated counts and a
+	// quorum-starvation diagnostic (a live process left with a detection it
+	// began but could not complete).
+	Plans []netadv.Generator
 	// Seeds is the seed range. Default: {Start: 0, Count: 1}.
 	Seeds SeedRange
 
@@ -174,6 +188,9 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Schedules) == 0 {
 		s.Schedules = []Schedule{{Name: "quiet"}}
 	}
+	if len(s.Plans) == 0 {
+		s.Plans = []netadv.Generator{{}}
+	}
 	if s.Seeds.Count == 0 {
 		s.Seeds.Count = 1
 	}
@@ -200,13 +217,29 @@ func (s Spec) Validate() error {
 		}
 		seen[sc.Name] = true
 	}
+	seenPlan := map[string]bool{}
+	for _, pg := range s.Plans {
+		if seenPlan[pg.Name] {
+			return fmt.Errorf("sweep: duplicate plan name %q", pg.Name)
+		}
+		seenPlan[pg.Name] = true
+		if pg.Name != "" && pg.Make == nil {
+			return fmt.Errorf("sweep: plan %q has no Make function", pg.Name)
+		}
+		if pg.Name == "" && pg.Make != nil {
+			// Plan names key cell identity and the report's fault columns;
+			// an anonymous plan would run its faults invisibly.
+			return fmt.Errorf("sweep: plan with a Make function needs a name")
+		}
+	}
 	return nil
 }
 
-// cellSpec pairs a Cell with its resolved schedule.
+// cellSpec pairs a Cell with its resolved schedule and plan generator.
 type cellSpec struct {
 	cell  Cell
 	sched Schedule
+	plan  netadv.Generator
 }
 
 // Cells expands the grid axes (everything but the seed) in deterministic
@@ -225,10 +258,13 @@ func (s Spec) cells() []cellSpec {
 		for _, proto := range s.Protocols {
 			for _, qd := range s.QuorumDeltas {
 				for _, sched := range s.Schedules {
-					out = append(out, cellSpec{
-						cell:  Cell{NT: nt, Protocol: proto, QuorumDelta: qd, Schedule: sched.Name},
-						sched: sched,
-					})
+					for _, pg := range s.Plans {
+						out = append(out, cellSpec{
+							cell:  Cell{NT: nt, Protocol: proto, QuorumDelta: qd, Schedule: sched.Name, Plan: pg.Name},
+							sched: sched,
+							plan:  pg,
+						})
+					}
 				}
 			}
 		}
@@ -249,6 +285,11 @@ func defaultRun(spec Spec, cs cellSpec, seed int64) RunOutput {
 	if cs.sched.Delay != nil {
 		delay = cs.sched.Delay(cell.NT, seed)
 	}
+	var link node.LinkFn
+	if cs.plan.Make != nil {
+		plane := netadv.NewPlane(cs.plan.Make(cell.NT.N, cell.NT.T), cell.NT.N, seed)
+		link = plane.Decide
+	}
 	qsize := 0
 	if cell.QuorumDelta != 0 {
 		qsize = quorum.MinSize(cell.NT.N, cell.NT.T) + cell.QuorumDelta
@@ -260,7 +301,7 @@ func defaultRun(spec Spec, cs cellSpec, seed int64) RunOutput {
 		Sim: sim.Config{
 			N: cell.NT.N, Seed: seed,
 			MinDelay: spec.MinDelay, MaxDelay: spec.MaxDelay,
-			Delay:   delay,
+			Delay: delay, Link: link,
 			MaxTime: spec.MaxTime, MaxEvents: spec.MaxEvents,
 		},
 		Det: core.Config{
@@ -278,19 +319,46 @@ func defaultRun(spec Spec, cs cellSpec, seed int64) RunOutput {
 			}
 		}
 	}
-	return RunOutput{Result: c.Run(), Cluster: c}
+	out := RunOutput{Result: c.Run(), Cluster: c}
+	if cs.plan.Make != nil {
+		// Quorum-starvation diagnostic: a live process began a detection the
+		// (faulty) network never let it complete — the liveness failure mode
+		// partitions and lossy links induce in the §5 protocol.
+		out.Metrics = map[string]bool{"quorum-starved": quorumStarved(c)}
+	}
+	return out
+}
+
+// quorumStarved reports whether any live process of the finished cluster is
+// stuck mid-detection: it suspected some target (broadcast sent) but the
+// quorum condition never let failed_i(j) execute.
+func quorumStarved(c *cluster.Cluster) bool {
+	for p := 1; p <= c.N(); p++ {
+		d := c.Detectors[p]
+		if d.Crashed() {
+			continue
+		}
+		for j := model.ProcID(1); int(j) <= c.N(); j++ {
+			if d.Suspects(j) && !d.Detected(j) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // runRecord is one run's contribution to its cell's aggregate.
 type runRecord struct {
-	cellIdx   int
-	stop      sim.StopReason
-	quiescent bool
-	blocked   bool
-	events    float64
-	endTime   float64
-	verdicts  []checker.Verdict // nil when unchecked
-	metrics   map[string]bool
+	cellIdx    int
+	stop       sim.StopReason
+	quiescent  bool
+	blocked    bool
+	dropped    int
+	duplicated int
+	events     float64
+	endTime    float64
+	verdicts   []checker.Verdict // nil when unchecked
+	metrics    map[string]bool
 }
 
 // Run expands the spec and executes every scenario on a pool of
@@ -357,12 +425,14 @@ func execute(spec Spec, cs cellSpec, cellIdx int, seed int64) runRecord {
 	}
 	res := out.Result
 	rec := runRecord{
-		cellIdx:   cellIdx,
-		stop:      res.Stop,
-		quiescent: res.Quiescent(),
-		events:    float64(len(res.History)),
-		endTime:   float64(res.EndTime),
-		metrics:   out.Metrics,
+		cellIdx:    cellIdx,
+		stop:       res.Stop,
+		quiescent:  res.Quiescent(),
+		dropped:    res.Dropped,
+		duplicated: res.Duplicated,
+		events:     float64(len(res.History)),
+		endTime:    float64(res.EndTime),
+		metrics:    out.Metrics,
 	}
 	rec.blocked = res.BlockedLive()
 	if spec.Check && rec.quiescent {

@@ -29,12 +29,23 @@ type Header struct {
 	Protocol string `json:"protocol,omitempty"`
 	// Seed is the simulation seed.
 	Seed int64 `json:"seed,omitempty"`
+	// Schedule names the fault-injection schedule the run used, if any
+	// (format version 2).
+	Schedule string `json:"schedule,omitempty"`
+	// Plan names the network fault plan the run used, if any (format
+	// version 2). A trace with a plan may legitimately fail strict model
+	// validation: loss, duplication, and reorder leave the reliable-channel
+	// model, and this field records that context.
+	Plan string `json:"plan,omitempty"`
 	// Note is free-form commentary.
 	Note string `json:"note,omitempty"`
 }
 
-// FormatVersion is the current trace format version.
-const FormatVersion = 1
+// FormatVersion is the current trace format version: version 2 adds the
+// Schedule and Plan metadata. Readers accept every version up to and
+// including the current one; version-1 traces simply carry no fault
+// context.
+const FormatVersion = 2
 
 // Write streams a header and history to w.
 func Write(w io.Writer, hdr Header, h model.History) error {
@@ -77,8 +88,8 @@ func Read(r io.Reader) (Header, model.History, error) {
 	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
 		return hdr, nil, fmt.Errorf("%w: header: %w", ErrBadTrace, err)
 	}
-	if hdr.Version != FormatVersion {
-		return hdr, nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, hdr.Version)
+	if hdr.Version < 1 || hdr.Version > FormatVersion {
+		return hdr, nil, fmt.Errorf("%w: unsupported version %d (this reader handles 1..%d)", ErrBadTrace, hdr.Version, FormatVersion)
 	}
 	var h model.History
 	line := 1

@@ -22,7 +22,7 @@ func sample() model.History {
 func TestRoundTrip(t *testing.T) {
 	h := sample()
 	var buf bytes.Buffer
-	hdr := Header{N: 3, T: 1, Protocol: "sfs", Seed: 42, Note: "unit"}
+	hdr := Header{N: 3, T: 1, Protocol: "sfs", Seed: 42, Schedule: "mutual", Plan: "split-brain", Note: "unit"}
 	if err := Write(&buf, hdr, h); err != nil {
 		t.Fatal(err)
 	}
@@ -32,6 +32,9 @@ func TestRoundTrip(t *testing.T) {
 	}
 	if got.N != 3 || got.T != 1 || got.Protocol != "sfs" || got.Seed != 42 || got.Version != FormatVersion {
 		t.Errorf("header = %+v", got)
+	}
+	if got.Schedule != "mutual" || got.Plan != "split-brain" {
+		t.Errorf("fault metadata lost: schedule=%q plan=%q", got.Schedule, got.Plan)
 	}
 	if len(gh) != len(h) {
 		t.Fatalf("history length %d, want %d", len(gh), len(h))
@@ -71,6 +74,26 @@ func TestReadErrors(t *testing.T) {
 				t.Errorf("err = %v, want ErrBadTrace", err)
 			}
 		})
+	}
+}
+
+// TestReadVersion1 verifies backward compatibility: a version-1 trace (no
+// schedule/plan metadata) still reads cleanly under the version-2 reader.
+func TestReadVersion1(t *testing.T) {
+	in := `{"version":1,"n":2,"t":1,"protocol":"sfs","seed":7}` + "\n" +
+		`{"seq":0,"proc":1,"kind":3}` + "\n"
+	hdr, h, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Version != 1 || hdr.N != 2 || hdr.Protocol != "sfs" || hdr.Seed != 7 {
+		t.Errorf("header = %+v", hdr)
+	}
+	if hdr.Schedule != "" || hdr.Plan != "" {
+		t.Errorf("version-1 trace sprouted fault metadata: %+v", hdr)
+	}
+	if len(h) != 1 || !h[0].IsCrash() {
+		t.Errorf("history = %v", h)
 	}
 }
 
