@@ -1,5 +1,5 @@
 // Benchmarks regenerating every paper artifact (see DESIGN.md §4 and
-// EXPERIMENTS.md): one testing.B target per experiment E1..E12, plus
+// EXPERIMENTS.md): one testing.B target per experiment E1..E13, plus
 // micro-benchmarks for the protocol's hot paths (detection rounds, history
 // checking, and the Theorem 5 rewriters).
 //
@@ -73,6 +73,10 @@ func BenchmarkE11LastToFail(b *testing.B) { benchExperiment(b, "E11") }
 // BenchmarkE12CheapModelTradeoff — §6: latency/cycle-rate trade-off between
 // sFS and the cheap model.
 func BenchmarkE12CheapModelTradeoff(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13ReliableChannels — Figure 1 properties under lossy links,
+// with and without the ack/retransmit layer.
+func BenchmarkE13ReliableChannels(b *testing.B) { benchExperiment(b, "E13") }
 
 // --- micro-benchmarks -----------------------------------------------------
 

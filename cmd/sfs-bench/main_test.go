@@ -32,9 +32,24 @@ func TestBenchList(t *testing.T) {
 	if code := run([]string{"-list"}, &out); code != 0 {
 		t.Fatalf("exit = %d", code)
 	}
-	for _, id := range []string{"E1", "E12"} {
+	for _, id := range []string{"E1", "E12", "E13"} {
 		if !strings.Contains(out.String(), id) {
 			t.Errorf("list missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+// TestBenchE13Smoke keeps the reliable-channels experiment in the smoke
+// run: the table must reproduce and carry its overhead column.
+func TestBenchE13Smoke(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-run", "E13"}, &out); code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"E13", "REPRODUCED", "reliable", "overhead"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
 		}
 	}
 }

@@ -84,6 +84,7 @@ func run(args []string, out io.Writer) int {
 			}
 			defer wf.Close()
 			whdr := trace.Header{N: hdr.N, T: hdr.T, Protocol: hdr.Protocol, Seed: hdr.Seed,
+				Schedule: hdr.Schedule, Plan: hdr.Plan, FaultPlan: hdr.FaultPlan,
 				Note: "Theorem 5 fail-stop witness of " + *inPath}
 			if err := trace.Write(wf, whdr, fsRun); err != nil {
 				fmt.Fprintf(out, "writing witness: %v\n", err)

@@ -9,6 +9,7 @@
 //	sfs-sim -n 10 -t 3 -protocol cheap -suspect 1:2@5 -suspect 2:1@5 -v
 //	sfs-sim -n 5 -t 2 -crash 1@5 -suspect 2:1@20 -heartbeat 0
 //	sfs-sim -n 5 -t 2 -suspect 4:1@20 -plan split-brain   # network adversary
+//	sfs-sim -n 5 -t 2 -crash 1@15 -suspect 5:1@20 -plan healing-partition -reliable
 //
 // Injection syntax: -suspect i:j@t (process i suspects j at tick t),
 // -crash p@t (process p crashes at tick t); both repeatable.
@@ -51,7 +52,10 @@ func run(args []string, out io.Writer) int {
 		maxTime  = fs.Int64("maxtime", 0, "virtual-time horizon (0 = run to quiescence)")
 		hbEvery  = fs.Int64("heartbeat", 0, "heartbeat interval in ticks (0 = no fd layer)")
 		hbTo     = fs.Int64("timeout", 0, "suspicion timeout in ticks (with -heartbeat)")
-		planName = fs.String("plan", "", "built-in network fault plan (split-brain, isolated-minority, flaky-quorum, healing-partition)")
+		planName = fs.String("plan", "", "built-in network fault plan ("+strings.Join(failstop.FaultPlanNames(), ", ")+")")
+		reliable = fs.Bool("reliable", false, "interpose the reliable-delivery layer (acks, retransmission, dedup, in-order release) under every process")
+		retryInt = fs.Int64("retry-interval", 0, "initial retransmit interval in ticks with -reliable (0: layer default)")
+		maxRetry = fs.Int("max-retries", 0, "retransmissions per frame before the link gives up with -reliable (0: retry forever)")
 		outPath  = fs.String("o", "", "write the recorded trace to this file (JSON lines)")
 		verbose  = fs.Bool("v", false, "print the full history")
 	)
@@ -76,12 +80,17 @@ func run(args []string, out io.Writer) int {
 		return 2
 	}
 
-	if *hbEvery > 0 && *maxTime == 0 {
-		*maxTime = 5000 // heartbeats re-arm forever; pick a horizon
+	if *maxTime == 0 && (*hbEvery > 0 || (*reliable && *maxRetry == 0)) {
+		// Heartbeats and unbounded stubborn links re-arm forever; pick a
+		// horizon so the run terminates.
+		*maxTime = 5000
 	}
 	opts := failstop.Options{
 		N: *n, T: *t, Protocol: proto, Seed: *seed, MaxTime: *maxTime,
 		HeartbeatEvery: *hbEvery, HeartbeatTimeout: *hbTo,
+		Reliable: failstop.ReliableOptions{
+			Enabled: *reliable, RetryInterval: *retryInt, MaxRetries: *maxRetry,
+		},
 	}
 	if *planName != "" {
 		plan, err := failstop.BuiltinFaultPlan(*planName, *n, *t)
@@ -121,6 +130,9 @@ func run(args []string, out io.Writer) int {
 	if *planName != "" {
 		fmt.Fprintf(out, "faults: plan=%s dropped=%d duplicated=%d\n", *planName, rep.Dropped, rep.Duplicated)
 	}
+	if *reliable {
+		fmt.Fprintf(out, "reliable: retransmits=%d acked-duplicates=%d\n", rep.Retransmits, rep.AckedDuplicates)
+	}
 	if *verbose {
 		fmt.Fprint(out, rep.History.String())
 	}
@@ -157,6 +169,9 @@ func run(args []string, out io.Writer) int {
 		hdr := trace.Header{
 			N: *n, T: *t, Protocol: *protoStr, Seed: *seed,
 			Schedule: strings.Join(sched, "; "), Plan: *planName,
+			// The fully serialized plan, not just its name, so the trace
+			// replays without access to the builtin registry.
+			FaultPlan: opts.Faults,
 		}
 		if err := trace.Write(f, hdr, rep.History); err != nil {
 			fmt.Fprintf(out, "writing trace: %v\n", err)

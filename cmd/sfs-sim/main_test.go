@@ -138,3 +138,44 @@ func TestRunUnilateralFailsVerdicts(t *testing.T) {
 		t.Errorf("expected sFS2a violation:\n%s", out.String())
 	}
 }
+
+// TestRunReliableHealingPartition: the -reliable flag recovers the
+// minority-side detection across the heal (exit 0, FS1 ok), reports the
+// layer's counters, and records the fully serialized fault plan in the
+// trace header.
+func TestRunReliableHealingPartition(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	args := []string{"-n", "5", "-t", "2",
+		"-crash", "1@15", "-suspect", "5:1@20",
+		"-plan", "healing-partition", "-reliable", "-o", path}
+	var out bytes.Buffer
+	if code := run(args, &out); code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"reliable: retransmits=", "FS1: ok"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	hdr, _, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.FaultPlan == nil || hdr.FaultPlan.Name != "healing-partition" || len(hdr.FaultPlan.Rules) == 0 {
+		t.Errorf("trace header does not carry the serialized plan: %+v", hdr.FaultPlan)
+	}
+
+	// The identical scenario without -reliable starves: FS1 is violated.
+	var bare bytes.Buffer
+	code := run([]string{"-n", "5", "-t", "2", "-maxtime", "5000",
+		"-crash", "1@15", "-suspect", "5:1@20", "-plan", "healing-partition"}, &bare)
+	if code != 1 || !strings.Contains(bare.String(), "FS1: VIOLATED") {
+		t.Errorf("exit = %d without -reliable, want 1 with FS1 VIOLATED:\n%s", code, bare.String())
+	}
+}

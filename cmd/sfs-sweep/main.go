@@ -11,6 +11,8 @@
 //	sfs-sweep -q-delta -1,0 -schedules park-ring  # quorum lower-bound probe
 //	sfs-sweep --plan split-brain                  # network-adversary grid
 //	sfs-sweep --plan flaky-quorum,healing-partition -seeds 100
+//	sfs-sweep --plan healing-partition -reliable both -max-time 3000
+//	sfs-sweep --plan flaky-quorum -heartbeat 25 -hb-timeout 80 -max-time 5000
 //	sfs-sweep -list-schedules                     # built-in fault schedules
 //	sfs-sweep -list-plans                         # built-in fault plans
 package main
@@ -25,6 +27,7 @@ import (
 
 	"failstop/internal/core"
 	"failstop/internal/netadv"
+	"failstop/internal/reliable"
 	"failstop/internal/sweep"
 )
 
@@ -42,6 +45,10 @@ func run(args []string, out io.Writer) int {
 		protocols = fs.String("protocols", "sfs", "comma-separated protocols: sfs, cheap, unilateral")
 		schedules = fs.String("schedules", "false-suspicion,crash,mutual", "comma-separated built-in fault schedules")
 		plans     = fs.String("plan", "", "comma-separated built-in network fault plans (empty: fault-free network)")
+		reliab    = fs.String("reliable", "off", "reliable-delivery axis: off, on, or both (grid every cell with and without the layer)")
+		maxRetry  = fs.Int("max-retries", 0, "retransmissions per frame before a reliable link gives up (0: retry forever, needs -max-time)")
+		hbEvery   = fs.Int64("heartbeat", 0, "heartbeat interval in ticks (0: no fd layer); adds a false-suspicion column, needs -max-time")
+		hbTimeout = fs.Int64("hb-timeout", 0, "heartbeat suspicion timeout in ticks (with -heartbeat)")
 		qDeltas   = fs.String("q-delta", "0", "comma-separated quorum-size offsets from the Theorem 7 minimum")
 		minDelay  = fs.Int64("min-delay", 0, "minimum uniform message delay (0: simulator default)")
 		maxDelay  = fs.Int64("max-delay", 0, "maximum uniform message delay (0: simulator default)")
@@ -69,14 +76,20 @@ func run(args []string, out io.Writer) int {
 	}
 
 	spec := sweep.Spec{
-		Seeds:     sweep.SeedRange{Start: *seedStart, Count: *seeds},
-		MinDelay:  *minDelay,
-		MaxDelay:  *maxDelay,
-		MaxTime:   *maxTime,
-		MaxEvents: *maxEvents,
-		Check:     *check,
+		Seeds:            sweep.SeedRange{Start: *seedStart, Count: *seeds},
+		MinDelay:         *minDelay,
+		MaxDelay:         *maxDelay,
+		MaxTime:          *maxTime,
+		MaxEvents:        *maxEvents,
+		Check:            *check,
+		HeartbeatEvery:   *hbEvery,
+		HeartbeatTimeout: *hbTimeout,
 	}
 	var err error
+	if spec.Reliable, err = parseReliable(*reliab, *maxRetry); err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
 	if spec.Grid, err = parseGrid(*grid); err != nil {
 		fmt.Fprintln(out, err)
 		return 2
@@ -169,6 +182,19 @@ func parsePlans(s string) ([]netadv.Generator, error) {
 		out = append(out, g)
 	}
 	return out, nil
+}
+
+func parseReliable(mode string, maxRetries int) ([]reliable.Options, error) {
+	on := reliable.Options{Enabled: true, MaxRetries: maxRetries}
+	switch strings.TrimSpace(strings.ToLower(mode)) {
+	case "off", "":
+		return nil, nil
+	case "on":
+		return []reliable.Options{on}, nil
+	case "both":
+		return []reliable.Options{{}, on}, nil
+	}
+	return nil, fmt.Errorf("bad -reliable %q (want off, on, or both)", mode)
 }
 
 func parseInts(s string) ([]int, error) {

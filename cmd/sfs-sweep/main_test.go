@@ -115,3 +115,53 @@ func TestSweepBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepReliableAxis: -reliable both grids every cell with and without
+// the layer and surfaces the retransmit columns.
+func TestSweepReliableAxis(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-grid", "5:2", "-seeds", "3", "-schedules", "crash",
+		"-plan", "healing-partition", "-reliable", "both", "-max-time", "3000"}
+	if code := run(args, &out); code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"sweep: 6 runs over 2 cells", " rel", "retransmits", "quorum-starved"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestSweepHeartbeatFalseSuspicionColumn: heartbeat grids aggregate the
+// false-suspicion diagnostic, charting the Theorem 1 timeout dilemma under
+// real loss — the healing partition silences cross-half heartbeats past
+// the timeout, so every run accuses a process that never crashed.
+func TestSweepHeartbeatFalseSuspicionColumn(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-grid", "5:2", "-seeds", "3", "-schedules", "quiet",
+		"-plan", "healing-partition", "-heartbeat", "25", "-hb-timeout", "60", "-max-time", "2000"}
+	if code := run(args, &out); code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "false-suspicion") {
+		t.Errorf("heartbeat grid missing the false-suspicion column:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "3/3") {
+		t.Errorf("partition-silenced heartbeats should accuse the living on every run:\n%s", out.String())
+	}
+}
+
+func TestSweepReliableBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-reliable", "sometimes"},
+		{"-reliable", "on", "-schedules", "crash"}, // retries forever without -max-time
+		{"-heartbeat", "25"},                       // heartbeats forever without -max-time
+		{"-heartbeat", "25", "-max-time", "2000"},  // no -hb-timeout: the detector would never suspect
+	} {
+		var out bytes.Buffer
+		if code := run(args, &out); code != 2 {
+			t.Errorf("run(%v) = %d, want 2:\n%s", args, code, out.String())
+		}
+	}
+}

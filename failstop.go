@@ -37,6 +37,7 @@ import (
 	"failstop/internal/netadv"
 	"failstop/internal/node"
 	"failstop/internal/quorum"
+	"failstop/internal/reliable"
 	"failstop/internal/rewrite"
 	"failstop/internal/runtime"
 	"failstop/internal/sim"
@@ -71,6 +72,11 @@ type (
 	LinkSet = netadv.LinkSet
 	// Link is one directed channel between two processes.
 	Link = netadv.Link
+	// ReliableOptions configures the optional reliable-delivery layer
+	// (sequence numbers, cumulative acks, timed retransmission with
+	// backoff, receiver dedup and in-order release) interposed between the
+	// protocol and the — possibly faulty — network (see internal/reliable).
+	ReliableOptions = reliable.Options
 )
 
 // Protocol choices.
@@ -110,6 +116,13 @@ type Options struct {
 	// fault plan (instantiated with Seed): partitions, loss, duplication,
 	// reorder. Use BuiltinFaultPlan for the named built-ins.
 	Faults *FaultPlan
+	// Reliable, when Enabled, masks the fault plan's loss, duplication, and
+	// reorder with per-link acks, retransmission, dedup, and in-order
+	// release — healed partitions then recover in-flight detections that
+	// the once-only §5 broadcast would lose. Retransmission to a crashed
+	// process re-arms forever unless MaxRetries bounds it, so Enabled with
+	// MaxRetries 0 requires a MaxTime horizon.
+	Reliable ReliableOptions
 	// NewApp, when non-nil, builds the application for each process.
 	NewApp func(p ProcID) App
 }
@@ -131,6 +144,12 @@ func (o Options) Validate() error {
 		if err := o.Faults.Validate(o.N); err != nil {
 			return fmt.Errorf("failstop: Options.Faults: %w", err)
 		}
+	}
+	if err := o.Reliable.Validate(); err != nil {
+		return fmt.Errorf("failstop: Options.Reliable: %w", err)
+	}
+	if o.Reliable.Enabled && o.Reliable.MaxRetries == 0 && o.MaxTime <= 0 {
+		return fmt.Errorf("failstop: Options.Reliable retries forever (MaxRetries = 0); set MaxTime so runs with crashed peers terminate")
 	}
 	return nil
 }
@@ -165,8 +184,9 @@ func NewCluster(opts Options) *Cluster {
 			MaxTime: opts.MaxTime,
 			Link:    link,
 		},
-		Det: core.Config{N: opts.N, T: opts.T, Protocol: opts.Protocol},
-		App: opts.NewApp,
+		Det:      core.Config{N: opts.N, T: opts.T, Protocol: opts.Protocol},
+		App:      opts.NewApp,
+		Reliable: opts.Reliable,
 	}
 	if opts.HeartbeatEvery > 0 {
 		co.FD = func(ProcID) core.Component {
@@ -204,6 +224,10 @@ type Report struct {
 	// Dropped and Duplicated count the messages the fault plan discarded
 	// and the extra copies it delivered (0 without Options.Faults).
 	Dropped, Duplicated int
+	// Retransmits and AckedDuplicates count the reliable-delivery layer's
+	// work: frames resent on timer, and received duplicates suppressed
+	// after re-acking (both 0 unless Options.Reliable is enabled).
+	Retransmits, AckedDuplicates int
 	// EndTime is the virtual time at which the run ended.
 	EndTime int64
 }
@@ -211,20 +235,22 @@ type Report struct {
 // Run executes the simulation and checks the paper's properties.
 func (c *Cluster) Run() Report {
 	res := c.inner.Run()
-	ab := res.History.DropTags(core.TagSusp, fd.TagHeartbeat)
+	ab := res.History.DropTags(core.TagSusp, fd.TagHeartbeat, reliable.TagAck)
 	verdicts := checker.SFS(ab)
 	verdicts = append(verdicts, checker.FS2(ab))
 	verdicts = append(verdicts, checker.WitnessProperty(res.History, core.TagSusp, c.opts.T))
 	return Report{
-		History:    res.History,
-		Abstract:   ab,
-		Verdicts:   verdicts,
-		Quiescent:  res.Quiescent(),
-		Sent:       res.Sent,
-		Delivered:  res.Delivered,
-		Dropped:    res.Dropped,
-		Duplicated: res.Duplicated,
-		EndTime:    res.EndTime,
+		History:         res.History,
+		Abstract:        ab,
+		Verdicts:        verdicts,
+		Quiescent:       res.Quiescent(),
+		Sent:            res.Sent,
+		Delivered:       res.Delivered,
+		Dropped:         res.Dropped,
+		Duplicated:      res.Duplicated,
+		Retransmits:     res.Retransmits,
+		AckedDuplicates: res.AckedDuplicates,
+		EndTime:         res.EndTime,
 	}
 }
 
@@ -273,7 +299,8 @@ func MinQuorum(n, t int) int { return quorum.MinSize(n, t) }
 func MaxTolerable(n int) int { return quorum.MaxTolerable(n) }
 
 // FaultPlanNames lists the built-in network fault plans: "split-brain",
-// "isolated-minority", "flaky-quorum", "healing-partition".
+// "isolated-minority", "one-way-cut", "flaky-quorum", "healing-partition",
+// "buffering-partition".
 func FaultPlanNames() []string { return netadv.BuiltinNames() }
 
 // BuiltinFaultPlan instantiates the named built-in fault plan for a
@@ -305,6 +332,11 @@ type LiveOptions struct {
 	// scenario validated deterministically in NewCluster can be replayed
 	// against real goroutines.
 	Faults *FaultPlan
+	// Reliable, when Enabled, interposes the reliable-delivery layer under
+	// every process — identical semantics to the simulated backend, with
+	// retransmit timers running on real clocks (intervals are in ticks,
+	// converted via Tick).
+	Reliable ReliableOptions
 	// NewApp, when non-nil, builds the application for each process.
 	NewApp func(p ProcID) App
 }
@@ -313,6 +345,7 @@ type LiveOptions struct {
 type LiveCluster struct {
 	net  *runtime.Net
 	dets []*core.Detector
+	eps  []*reliable.Endpoint // nil entries when the layer is off
 }
 
 // NewLiveCluster builds a live cluster. Call Start, drive it with Suspect
@@ -335,13 +368,20 @@ func NewLiveCluster(opts LiveOptions) *LiveCluster {
 		}
 		link = netadv.NewPlane(*opts.Faults, opts.N, opts.Seed).Decide
 	}
+	if err := opts.Reliable.Validate(); err != nil {
+		panic(fmt.Errorf("failstop: LiveOptions.Reliable: %w", err))
+	}
 	net := runtime.New(runtime.Config{
 		N: opts.N, Seed: opts.Seed,
 		MinDelay: opts.MinDelay, MaxDelay: opts.MaxDelay,
 		Tick: opts.Tick,
 		Link: link,
 	})
-	lc := &LiveCluster{net: net, dets: make([]*core.Detector, opts.N+1)}
+	lc := &LiveCluster{
+		net:  net,
+		dets: make([]*core.Detector, opts.N+1),
+		eps:  make([]*reliable.Endpoint, opts.N+1),
+	}
 	for p := 1; p <= opts.N; p++ {
 		var app App
 		if opts.NewApp != nil {
@@ -349,7 +389,13 @@ func NewLiveCluster(opts LiveOptions) *LiveCluster {
 		}
 		d := core.NewDetector(core.Config{N: opts.N, T: opts.T, Protocol: opts.Protocol}, nil, app)
 		lc.dets[p] = d
-		net.SetHandler(ProcID(p), d)
+		var h node.Handler = d
+		if opts.Reliable.Enabled {
+			ep := reliable.Wrap(d, opts.Reliable)
+			lc.eps[p] = ep
+			h = ep
+		}
+		net.SetHandler(ProcID(p), h)
 	}
 	return lc
 }
@@ -361,9 +407,17 @@ func (lc *LiveCluster) Start() { lc.net.Start() }
 func (lc *LiveCluster) Stop() { lc.net.Stop() }
 
 // Suspect makes process i suspect j (serialized with i's other events).
+// The injected broadcast flows through i's reliable-delivery endpoint when
+// the layer is enabled.
 func (lc *LiveCluster) Suspect(i, j ProcID) {
 	d := lc.dets[i]
-	lc.net.Do(i, func(ctx node.Context) { d.Suspect(ctx, j) })
+	ep := lc.eps[i]
+	lc.net.Do(i, func(ctx node.Context) {
+		if ep != nil {
+			ctx = ep.Context(ctx)
+		}
+		d.Suspect(ctx, j)
+	})
 }
 
 // Crash crashes process p.
@@ -377,3 +431,10 @@ func (lc *LiveCluster) History() History { return lc.net.History() }
 // Stats returns the fault-plan counters: messages dropped and extra copies
 // delivered so far.
 func (lc *LiveCluster) Stats() (dropped, duplicated int) { return lc.net.Stats() }
+
+// ReliableStats returns the reliable-delivery counters so far: frames
+// retransmitted and received duplicates suppressed (both 0 unless
+// LiveOptions.Reliable is enabled).
+func (lc *LiveCluster) ReliableStats() (retransmits, ackedDuplicates int) {
+	return lc.net.ReliableStats()
+}

@@ -73,7 +73,7 @@ func TestNewLiveClusterPanicsOnTooFewProcesses(t *testing.T) {
 
 func TestBuiltinFaultPlans(t *testing.T) {
 	names := failstop.FaultPlanNames()
-	if len(names) != 4 {
+	if len(names) != 6 {
 		t.Fatalf("FaultPlanNames() = %v", names)
 	}
 	for _, name := range names {
@@ -180,4 +180,153 @@ func TestFaultPlanDeterministicRuns(t *testing.T) {
 	if a.Dropped == 0 {
 		t.Error("flaky-quorum dropped nothing")
 	}
+}
+
+// healingPlan instantiates the healing-partition built-in for n=5, t=2:
+// halves {1,2,3} | {4,5}, lossy cut from tick 10, heal at tick 200.
+func healingPlan(t *testing.T) *failstop.FaultPlan {
+	t.Helper()
+	plan, err := failstop.BuiltinFaultPlan("healing-partition", 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &plan
+}
+
+// TestReliableHealingPartitionCrossBackend is the PR's acceptance
+// criterion: under the lossy healing partition, a crash scheduled before
+// the heal — suspected from the minority side, which cannot assemble the
+// quorum of 3 on its own — is eventually detected by every correct process
+// on both backends once the reliable-delivery layer retransmits the
+// broadcast across the heal. The same scenario with the layer disabled
+// starves (asserted deterministically on the simulated backend).
+func TestReliableHealingPartitionCrossBackend(t *testing.T) {
+	// Simulated backend, layer disabled: the once-only broadcast from 5 is
+	// dropped at the cut, so no correct process ever detects the crash.
+	bare := failstop.NewCluster(failstop.Options{
+		N: 5, T: 2, Seed: 7, MaxTime: 3000, Faults: healingPlan(t),
+	})
+	bare.CrashAt(15, 1)
+	bare.SuspectAt(20, 5, 1)
+	bareRep := bare.Run()
+	for p := failstop.ProcID(2); p <= 5; p++ {
+		if idx := bareRep.History.FailedIndex(p, 1); idx >= 0 {
+			t.Errorf("sim without reliable delivery: failed_%d(1) completed at %d despite the lossy cut", p, idx)
+		}
+	}
+	if bareRep.Retransmits != 0 || bareRep.AckedDuplicates != 0 {
+		t.Errorf("disabled layer reported work: retransmits=%d ackedDups=%d",
+			bareRep.Retransmits, bareRep.AckedDuplicates)
+	}
+
+	// Simulated backend, layer enabled: retransmission carries the
+	// suspicion across the heal and every correct process detects.
+	rel := failstop.NewCluster(failstop.Options{
+		N: 5, T: 2, Seed: 7, MaxTime: 3000, Faults: healingPlan(t),
+		Reliable: failstop.ReliableOptions{Enabled: true},
+	})
+	rel.CrashAt(15, 1)
+	rel.SuspectAt(20, 5, 1)
+	relRep := rel.Run()
+	for p := failstop.ProcID(2); p <= 5; p++ {
+		if relRep.History.FailedIndex(p, 1) < 0 {
+			t.Errorf("sim with reliable delivery: failed_%d(1) never completed after the heal", p)
+		}
+	}
+	if relRep.Retransmits == 0 {
+		t.Error("sim with reliable delivery recovered the detection without retransmitting")
+	}
+
+	// Live backend, layer enabled, same plan: ticks are 1ms, so the cut is
+	// active [10ms, 200ms) — inject well inside it and wait for every
+	// correct process to detect.
+	lc := failstop.NewLiveCluster(failstop.LiveOptions{
+		N: 5, T: 2, Seed: 7, Faults: healingPlan(t),
+		Reliable: failstop.ReliableOptions{Enabled: true},
+		MinDelay: 1 * time.Millisecond, MaxDelay: 3 * time.Millisecond,
+		Tick: 1 * time.Millisecond,
+	})
+	lc.Start()
+	time.Sleep(25 * time.Millisecond) // inside the cut window
+	lc.Crash(1)
+	lc.Suspect(5, 1)
+	deadline := time.Now().Add(5 * time.Second)
+	allDetected := func(h failstop.History) bool {
+		for p := failstop.ProcID(2); p <= 5; p++ {
+			if h.FailedIndex(p, 1) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for !allDetected(lc.History()) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	lc.Stop()
+	h := lc.History()
+	for p := failstop.ProcID(2); p <= 5; p++ {
+		if h.FailedIndex(p, 1) < 0 {
+			t.Errorf("live with reliable delivery: failed_%d(1) never completed", p)
+		}
+	}
+	if retr, _ := lc.ReliableStats(); retr == 0 {
+		t.Error("live backend detected across the heal without retransmitting")
+	}
+}
+
+// checkOneWayCutSemantics asserts what both backends must agree on under
+// the one-way-cut plan for n=5, t=2: process 5's outbound links are cut
+// from tick 10 while inbound delivery keeps working, so a majority-side
+// suspicion of 5 completes everywhere — with no message from 5 ever
+// delivered, even though 5 keeps receiving the protocol's broadcasts.
+func checkOneWayCutSemantics(t *testing.T, backend string, h failstop.History) {
+	t.Helper()
+	for p := failstop.ProcID(1); p <= 4; p++ {
+		if h.FailedIndex(p, 5) < 0 {
+			t.Errorf("%s: failed_%d(5) never completed despite a full quorum among 1..4", backend, p)
+		}
+	}
+	gotInbound := false
+	for _, e := range h {
+		if e.Kind != model.KindRecv {
+			continue
+		}
+		if e.Peer == 5 && e.Proc != 5 {
+			t.Errorf("%s: message from the mute process delivered: %s", backend, e)
+		}
+		if e.Proc == 5 && e.Peer != 5 {
+			gotInbound = true
+		}
+	}
+	if !gotInbound {
+		t.Errorf("%s: mute process received nothing; the cut must be one-directional", backend)
+	}
+}
+
+// TestOneWayCutCrossBackend: the simulator and the live runtime agree on
+// the asymmetric (directed Pairs) cut semantics.
+func TestOneWayCutCrossBackend(t *testing.T) {
+	plan, err := failstop.BuiltinFaultPlan("one-way-cut", 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := failstop.NewCluster(failstop.Options{N: 5, T: 2, Seed: 4, Faults: &plan})
+	c.SuspectAt(20, 1, 5)
+	rep := c.Run()
+	checkOneWayCutSemantics(t, "sim", rep.History)
+
+	lc := failstop.NewLiveCluster(failstop.LiveOptions{
+		N: 5, T: 2, Seed: 4, Faults: &plan,
+		MinDelay: 50 * time.Microsecond, MaxDelay: 500 * time.Microsecond,
+		Tick: 100 * time.Microsecond,
+	})
+	lc.Start()
+	time.Sleep(5 * time.Millisecond) // past tick 10: the cut is standing
+	lc.Suspect(1, 5)
+	deadline := time.Now().Add(2 * time.Second)
+	for lc.History().FailedIndex(1, 5) < 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	lc.Stop()
+	checkOneWayCutSemantics(t, "live", lc.History())
 }

@@ -8,6 +8,7 @@ import (
 	"failstop/internal/core"
 	"failstop/internal/model"
 	"failstop/internal/node"
+	"failstop/internal/reliable"
 	"failstop/internal/sim"
 )
 
@@ -21,6 +22,10 @@ type Options struct {
 	FD func(p model.ProcID) core.Component
 	// App, when non-nil, constructs the application for each process.
 	App func(p model.ProcID) core.App
+	// Reliable, when Enabled, interposes a reliable-delivery endpoint
+	// (ack + timed retransmission, dedup, in-order release) between every
+	// detector and the simulator's faulty network.
+	Reliable reliable.Options
 }
 
 // Cluster is a wired simulation ready to run.
@@ -29,6 +34,7 @@ type Cluster struct {
 	Sim *sim.Sim
 	// Detectors holds the per-process detectors, indexed 1..N (index 0 nil).
 	Detectors []*core.Detector
+	endpoints []*reliable.Endpoint // nil entries when the layer is off
 	n         int
 }
 
@@ -39,7 +45,12 @@ func New(opts Options) *Cluster {
 		opts.Sim.N = n
 	}
 	s := sim.New(opts.Sim)
-	c := &Cluster{Sim: s, Detectors: make([]*core.Detector, n+1), n: n}
+	c := &Cluster{
+		Sim:       s,
+		Detectors: make([]*core.Detector, n+1),
+		endpoints: make([]*reliable.Endpoint, n+1),
+		n:         n,
+	}
 	for p := model.ProcID(1); int(p) <= n; p++ {
 		var fd core.Component
 		if opts.FD != nil {
@@ -51,7 +62,13 @@ func New(opts Options) *Cluster {
 		}
 		d := core.NewDetector(opts.Det, fd, app)
 		c.Detectors[p] = d
-		s.SetHandler(p, d)
+		var h node.Handler = d
+		if opts.Reliable.Enabled {
+			ep := reliable.Wrap(d, opts.Reliable)
+			c.endpoints[p] = ep
+			h = ep
+		}
+		s.SetHandler(p, h)
 	}
 	return c
 }
@@ -61,10 +78,17 @@ func (c *Cluster) N() int { return c.n }
 
 // SuspectAt injects a spontaneous suspicion: at virtual time t, process i
 // begins the detection protocol for j (the paper's "i suspects the failure
-// of j, e.g. due to a timeout").
+// of j, e.g. due to a timeout"). The injected broadcast flows through i's
+// reliable-delivery endpoint when the layer is enabled.
 func (c *Cluster) SuspectAt(t int64, i, j model.ProcID) {
 	d := c.Detectors[i]
-	c.Sim.At(t, i, func(ctx node.Context) { d.Suspect(ctx, j) })
+	ep := c.endpoints[i]
+	c.Sim.At(t, i, func(ctx node.Context) {
+		if ep != nil {
+			ctx = ep.Context(ctx)
+		}
+		d.Suspect(ctx, j)
+	})
 }
 
 // CrashAt injects a genuine crash of p at virtual time t.

@@ -31,7 +31,8 @@ import (
 
 // Link is one directed channel from one process to another.
 type Link struct {
-	From, To model.ProcID
+	From model.ProcID `json:"from"`
+	To   model.ProcID `json:"to"`
 }
 
 // LinkSet selects directed links. The zero value selects every link.
@@ -40,9 +41,9 @@ type LinkSet struct {
 	// lie in different groups. Processes not listed in any group form one
 	// implicit residual group (so a single group isolates its members from
 	// everyone else while leaving the rest fully connected).
-	Groups [][]model.ProcID
+	Groups [][]model.ProcID `json:"groups,omitempty"`
 	// Pairs lists explicit directed links that match regardless of Groups.
-	Pairs []Link
+	Pairs []Link `json:"pairs,omitempty"`
 }
 
 // Empty reports whether the set is the zero value (match everything).
@@ -59,42 +60,43 @@ type Rule struct {
 	// sends at time at with From <= at, and (when Until > 0) at < Until.
 	// Until 0 means the rule never expires; a partition with Until set is a
 	// partition with a scheduled heal.
-	From, Until int64
+	From  int64 `json:"from,omitempty"`
+	Until int64 `json:"until,omitempty"`
 	// Links selects the directed links the rule applies to. The zero value
 	// applies to every link.
-	Links LinkSet
+	Links LinkSet `json:"links,omitempty"`
 	// Tags restricts the rule to messages with these payload tags (e.g.
 	// only the quorum protocol's "j failed" traffic). Empty = all messages.
-	Tags []string
+	Tags []string `json:"tags,omitempty"`
 	// Cut drops every matching message: the lossy-partition primitive.
 	// Nothing is retransmitted after a heal — a protocol that broadcasts
 	// once (like §5) permanently loses what it sent into the cut.
-	Cut bool
+	Cut bool `json:"cut,omitempty"`
 	// Hold delays every matching message until the rule expires (requires
 	// Until > 0): the buffering-partition primitive, modeling links that
 	// retransmit until connectivity returns. Messages sent into the
 	// partition arrive just after the heal instead of being lost.
-	Hold bool
+	Hold bool `json:"hold,omitempty"`
 	// Drop is the probability a matching message is discarded.
-	Drop float64
+	Drop float64 `json:"drop,omitempty"`
 	// Duplicate is the probability the network delivers one extra copy.
-	Duplicate float64
+	Duplicate float64 `json:"duplicate,omitempty"`
 	// Reorder is the probability the message overtakes the message queued
 	// immediately ahead of it on the same link (a pairwise FIFO violation).
-	Reorder float64
+	Reorder float64 `json:"reorder,omitempty"`
 	// JitterMax adds a uniform extra delay in [0, JitterMax] ticks to every
 	// delivered copy of a matching message.
-	JitterMax int64
+	JitterMax int64 `json:"jitter_max,omitempty"`
 }
 
 // Plan is a declarative, seed-deterministic fault timeline for a cluster's
 // network. Plans are pure data: instantiate one per run with NewPlane.
 type Plan struct {
 	// Name identifies the plan in reports and trace headers.
-	Name string
+	Name string `json:"name,omitempty"`
 	// Rules is the fault timeline. Rules are evaluated in order on every
 	// send; all active matching rules apply.
-	Rules []Rule
+	Rules []Rule `json:"rules"`
 }
 
 // Empty reports whether the plan imposes no faults.

@@ -184,7 +184,7 @@ func TestBuiltinsValidateAcrossGrid(t *testing.T) {
 
 func TestBuiltinLookup(t *testing.T) {
 	names := BuiltinNames()
-	want := []string{"flaky-quorum", "healing-partition", "isolated-minority", "split-brain"}
+	want := []string{"buffering-partition", "flaky-quorum", "healing-partition", "isolated-minority", "one-way-cut", "split-brain"}
 	if !reflect.DeepEqual(names, want) {
 		t.Errorf("BuiltinNames() = %v, want %v", names, want)
 	}
@@ -217,15 +217,34 @@ func TestSplitBrainSemantics(t *testing.T) {
 	}
 }
 
-// TestHealingPartitionHeals verifies the scheduled heal: during [10, 200)
-// cross-half messages are held (delayed past the heal, not dropped), and
-// after the heal they flow normally.
+// TestHealingPartitionHeals verifies the lossy scheduled heal: during
+// [10, 200) cross-half messages are dropped for good, and after the heal
+// they flow normally — recovering what was lost is the retransmission
+// layer's job, not the network's.
 func TestHealingPartitionHeals(t *testing.T) {
 	g, _ := Builtin("healing-partition")
 	pl := NewPlane(g.Make(6, 2), 6, 0)
+	if !pl.Decide(1, 6, node.Payload{}, 100).Drop {
+		t.Error("healing partition did not cut cross-half traffic during the window")
+	}
+	if pl.Decide(1, 2, node.Payload{}, 100).Drop {
+		t.Error("intra-half link 1->2 cut")
+	}
+	after := pl.Decide(1, 6, node.Payload{}, 200)
+	if after.Drop || after.ExtraDelay != 0 {
+		t.Errorf("link still faulted after the heal: %+v", after)
+	}
+}
+
+// TestBufferingPartitionHolds verifies the buffering variant: during
+// [10, 200) cross-half messages are held (delayed past the heal, not
+// dropped), and after the heal they flow normally.
+func TestBufferingPartitionHolds(t *testing.T) {
+	g, _ := Builtin("buffering-partition")
+	pl := NewPlane(g.Make(6, 2), 6, 0)
 	dec := pl.Decide(1, 6, node.Payload{}, 100)
 	if dec.Drop {
-		t.Error("healing partition drops instead of holding")
+		t.Error("buffering partition drops instead of holding")
 	}
 	if dec.ExtraDelay < 100 {
 		t.Errorf("ExtraDelay = %d at tick 100; want >= 100 so delivery lands after the tick-200 heal", dec.ExtraDelay)
@@ -233,6 +252,25 @@ func TestHealingPartitionHeals(t *testing.T) {
 	after := pl.Decide(1, 6, node.Payload{}, 200)
 	if after.Drop || after.ExtraDelay != 0 {
 		t.Errorf("link still faulted after the heal: %+v", after)
+	}
+}
+
+// TestOneWayCutIsDirectional: the mute process's outbound links are cut
+// from tick 10; its inbound links and everyone else's traffic still flow.
+func TestOneWayCutIsDirectional(t *testing.T) {
+	g, _ := Builtin("one-way-cut")
+	pl := NewPlane(g.Make(5, 2), 5, 0) // process 5 is mute
+	if pl.Decide(5, 1, node.Payload{}, 5).Drop {
+		t.Error("cut before tick 10")
+	}
+	if !pl.Decide(5, 1, node.Payload{}, 10).Drop {
+		t.Error("outbound link 5->1 not cut at tick 10")
+	}
+	if pl.Decide(1, 5, node.Payload{}, 50).Drop {
+		t.Error("inbound link 1->5 cut: the plan must be one-directional")
+	}
+	if pl.Decide(1, 2, node.Payload{}, 50).Drop {
+		t.Error("bystander link 1->2 cut")
 	}
 }
 

@@ -43,13 +43,21 @@ func BuiltinNames() []string {
 //     minority half starves: its detections begin but cannot complete.
 //   - "isolated-minority": from tick 10 the t highest-numbered processes
 //     are cut off from everyone else (and remain connected to each other).
+//   - "one-way-cut": from tick 10 the highest-numbered process is mute —
+//     its outbound links are cut one-directionally (explicit Pairs) while
+//     inbound delivery keeps working. It can follow every detection round
+//     but contributes nothing to anyone else's quorum.
 //   - "flaky-quorum": every link drops 35% of the quorum protocol's "j
 //     failed" messages for the whole run, and adds up to 5 ticks of jitter —
 //     detection liveness now depends on which SUSP copies survive.
-//   - "healing-partition": the split-brain split, but buffering instead of
-//     lossy, with a scheduled heal at tick 200: cross-half messages are
-//     held and delivered after the heal, so detections blocked by the
-//     partition complete once it lifts.
+//   - "healing-partition": the split-brain split, lossy, with a scheduled
+//     heal at tick 200: cross-half messages sent during the cut are dropped
+//     for good, so a protocol that broadcasts once (like §5) starves even
+//     after the heal — unless a retransmission layer (internal/reliable)
+//     runs underneath it.
+//   - "buffering-partition": the same split and heal, but buffering instead
+//     of lossy (Hold): cross-half messages are delivered just after the
+//     heal, modeling links that queue until connectivity returns.
 func Builtins() []Generator {
 	return []Generator{
 		{Name: "split-brain", Make: func(n, t int) Plan {
@@ -62,6 +70,16 @@ func Builtins() []Generator {
 				{From: 10, Cut: true, Links: LinkSet{Groups: [][]model.ProcID{minority(n, t)}}},
 			}}
 		}},
+		{Name: "one-way-cut", Make: func(n, t int) Plan {
+			mute := model.ProcID(n)
+			pairs := make([]Link, 0, n-1)
+			for p := 1; p < n; p++ {
+				pairs = append(pairs, Link{From: mute, To: model.ProcID(p)})
+			}
+			return Plan{Name: "one-way-cut", Rules: []Rule{
+				{From: 10, Cut: true, Links: LinkSet{Pairs: pairs}},
+			}}
+		}},
 		{Name: "flaky-quorum", Make: func(n, t int) Plan {
 			return Plan{Name: "flaky-quorum", Rules: []Rule{
 				{Tags: []string{core.TagSusp}, Drop: 0.35, JitterMax: 5},
@@ -69,6 +87,11 @@ func Builtins() []Generator {
 		}},
 		{Name: "healing-partition", Make: func(n, t int) Plan {
 			return Plan{Name: "healing-partition", Rules: []Rule{
+				{From: 10, Until: 200, Cut: true, Links: LinkSet{Groups: halves(n)}},
+			}}
+		}},
+		{Name: "buffering-partition", Make: func(n, t int) Plan {
+			return Plan{Name: "buffering-partition", Rules: []Rule{
 				{From: 10, Until: 200, Hold: true, Links: LinkSet{Groups: halves(n)}},
 			}}
 		}},

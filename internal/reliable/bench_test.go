@@ -1,0 +1,53 @@
+package reliable
+
+// Benchmarks for the reliable-delivery layer's fast path: a fault-free
+// (drop = 0) link where every frame is acked on first delivery and nothing
+// is ever retransmitted. BenchmarkLinkBare is the baseline without the
+// layer; BenchmarkLinkReliableDrop0 adds framing + acks + timer churn.
+// CI emits both as BENCH_reliable.json — the disabled configuration is the
+// baseline itself, so its overhead is zero by construction, and the
+// enabled-at-drop-0 delta is the number to watch.
+
+import (
+	"testing"
+
+	"failstop/internal/node"
+	"failstop/internal/sim"
+)
+
+const benchSends = 200
+
+func benchLink(b *testing.B, opts Options) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(sim.Config{N: 2, Seed: 1, MaxTime: 100000})
+		rec := &recorder{}
+		send := func(ctx node.Context, p node.Payload) { ctx.Send(2, p) }
+		if opts.Enabled {
+			sender := Wrap(idle{}, opts)
+			s.SetHandler(1, sender)
+			s.SetHandler(2, Wrap(rec, opts))
+			send = func(ctx node.Context, p node.Payload) { sender.Context(ctx).Send(2, p) }
+		} else {
+			s.SetHandler(1, idle{})
+			s.SetHandler(2, rec)
+		}
+		payload := node.Payload{Tag: "APP", Data: []byte("payload")}
+		for k := 1; k <= benchSends; k++ {
+			s.At(int64(k), 1, func(ctx node.Context) { send(ctx, payload) })
+		}
+		res := s.Run()
+		if len(rec.released) != benchSends {
+			b.Fatalf("released %d, want %d", len(rec.released), benchSends)
+		}
+		if res.Retransmits != 0 {
+			b.Fatalf("fault-free link retransmitted %d frames", res.Retransmits)
+		}
+	}
+}
+
+// BenchmarkLinkBare: the baseline — no reliable layer at all.
+func BenchmarkLinkBare(b *testing.B) { benchLink(b, Options{}) }
+
+// BenchmarkLinkReliableDrop0: the layer enabled on a fault-free link.
+func BenchmarkLinkReliableDrop0(b *testing.B) { benchLink(b, Options{Enabled: true}) }

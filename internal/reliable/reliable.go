@@ -1,0 +1,482 @@
+// Package reliable is an optional per-link reliable-delivery layer between
+// a protocol handler and its host: sequence-numbered sends, cumulative
+// acknowledgements, timer-driven retransmission with exponential backoff,
+// and receiver-side dedup plus in-order (go-back-N) release: out-of-order
+// frames are discarded, not buffered, so every frame the inner handler
+// sees arrived in sequence through the host's receive gate.
+//
+// The paper's §5 protocol broadcasts each "j failed" message exactly once,
+// which is sound on the reliable FIFO channels the model assumes but
+// starves under the internal/netadv fault plane: a Cut partition (even one
+// with a scheduled heal) permanently swallows the broadcast, and sustained
+// probabilistic loss can leave quorums forever one sender short. An
+// Endpoint restores the model's channel guarantees on top of a faulty
+// network — the stubborn-link construction crash-recovery literature layers
+// beneath crash-stop algorithms — so that healed partitions recover every
+// in-flight detection instead of starving, and duplicated or reordered
+// wire messages are masked before the protocol sees them.
+//
+// Layering. An Endpoint wraps a node.Handler and is itself a node.Handler:
+// the host (internal/sim or internal/runtime) calls the Endpoint, the
+// Endpoint frames and unframes wire messages, and the wrapped handler runs
+// unmodified above it. Sends issued by the inner handler flow through the
+// Endpoint because every callback hands the inner handler a wrapping
+// node.Context whose Send assigns the next per-link sequence number. The
+// netadv fault plane keeps operating on the wire below: data frames retain
+// their original payload tag (so tag-targeted fault rules still match), and
+// acknowledgement frames travel as TagAck messages.
+//
+// Timers use the reserved "rel/" name prefix, which the Endpoint consumes
+// before the inner handler sees it (the fd layer similarly owns "fd/").
+// Retransmission intervals are expressed in host ticks, so the identical
+// Options drive the deterministic simulator (retransmit timers as scheduled
+// virtual-time events) and the live runtime (real timers via Config.Tick)
+// with the same semantics.
+package reliable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"failstop/internal/model"
+	"failstop/internal/node"
+)
+
+// TagAck marks pure acknowledgement frames. Acks carry a cumulative
+// sequence number and are themselves unsequenced and unacknowledged — a
+// lost ack only costs a retransmission, which is re-acknowledged.
+const TagAck = "REL.ACK"
+
+// Defaults for Options.
+const (
+	// DefaultRetryInterval is the initial retransmit interval in ticks:
+	// comfortably above a default-delay round trip, so a fault-free link
+	// sees zero retransmissions.
+	DefaultRetryInterval = 40
+	// DefaultBackoff doubles the retry interval after every round.
+	DefaultBackoff = 2.0
+)
+
+// Options configures the reliable-delivery layer.
+type Options struct {
+	// Enabled turns the layer on. The zero Options leave the network bare.
+	Enabled bool
+	// RetryInterval is the initial retransmission interval in ticks.
+	// Default: DefaultRetryInterval.
+	RetryInterval int64
+	// Backoff multiplies the retry interval after each retransmission round
+	// on a link (exponential backoff). Default: DefaultBackoff.
+	Backoff float64
+	// MaxInterval caps the backed-off retry interval. Default:
+	// 16 * RetryInterval.
+	MaxInterval int64
+	// MaxRetries bounds how many times one frame is retransmitted before
+	// the link gives it up. 0 retries forever (a stubborn link): runs with
+	// a crashed or permanently cut peer then never quiesce on their own, so
+	// pair MaxRetries=0 with a simulation horizon.
+	MaxRetries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RetryInterval == 0 {
+		o.RetryInterval = DefaultRetryInterval
+	}
+	if o.Backoff == 0 {
+		o.Backoff = DefaultBackoff
+	}
+	if o.MaxInterval == 0 {
+		o.MaxInterval = 16 * o.RetryInterval
+	}
+	return o
+}
+
+// Validate reports the first problem with the options, or nil.
+func (o Options) Validate() error {
+	if o.RetryInterval < 0 {
+		return fmt.Errorf("reliable: negative RetryInterval %d", o.RetryInterval)
+	}
+	if o.Backoff != 0 && o.Backoff < 1 {
+		return fmt.Errorf("reliable: Backoff %v < 1 would shrink the retry interval", o.Backoff)
+	}
+	if o.MaxInterval < 0 {
+		return fmt.Errorf("reliable: negative MaxInterval %d", o.MaxInterval)
+	}
+	if o.MaxRetries < 0 {
+		return fmt.Errorf("reliable: negative MaxRetries %d", o.MaxRetries)
+	}
+	if o.MaxInterval != 0 && o.RetryInterval != 0 && o.MaxInterval < o.RetryInterval {
+		return fmt.Errorf("reliable: MaxInterval %d below RetryInterval %d", o.MaxInterval, o.RetryInterval)
+	}
+	return nil
+}
+
+// Wire frame layout: a 25-byte header, followed (for data frames) by the
+// original payload bytes. Data frames keep the original Tag and Subject so
+// tag-targeted fault rules and trace-level tooling still see the protocol
+// message they apply to. base is the lowest sequence number the sender
+// still promises to deliver: everything below it is either already acked
+// or abandoned (retry budget exhausted), so the receiver may skip the gap
+// instead of waiting forever on a frame that will never come.
+const (
+	kindData  byte = 1
+	kindAck   byte = 2
+	headerLen      = 25 // kind(1) + seq(8) + cumulative ack(8) + base(8)
+)
+
+const timerPrefix = "rel/"
+
+// frame is one unacknowledged send.
+type frame struct {
+	seq     uint64
+	payload node.Payload // the original, unframed payload
+	retries int
+	sentAt  int64 // host time of the last transmission
+}
+
+// peerState is the per-directed-link state of one Endpoint.
+type peerState struct {
+	// Sender side: sequence counter, unacked frames (ascending seq), and
+	// the current backed-off retry interval.
+	nextSeq  uint64
+	unacked  []frame
+	interval int64
+	armed    bool // a "rel/<peer>" timer is pending
+
+	// Receiver side: the next in-order sequence to release. Out-of-order
+	// frames are not buffered (go-back-N): retransmission redelivers them
+	// in sequence, each through the host's receive gate.
+	nextExpected uint64
+}
+
+// base returns the lowest sequence number this sender still promises on the
+// link: everything below it is acked or abandoned.
+func (ps *peerState) base() uint64 {
+	if len(ps.unacked) > 0 {
+		return ps.unacked[0].seq
+	}
+	return ps.nextSeq + 1
+}
+
+// Endpoint wraps a node.Handler with reliable delivery on every link it
+// speaks. It implements node.Handler, node.Gate, and node.CrashListener;
+// hosts treat it exactly like the handler it wraps.
+//
+// All mutable state is touched only inside host callbacks, which hosts
+// serialize per process; the counters are atomic so live-backend stats can
+// be read concurrently.
+type Endpoint struct {
+	inner node.Handler
+	opts  Options
+	peers map[model.ProcID]*peerState
+
+	retransmits atomic.Int64
+	ackedDups   atomic.Int64
+}
+
+var (
+	_ node.Handler       = (*Endpoint)(nil)
+	_ node.Gate          = (*Endpoint)(nil)
+	_ node.CrashListener = (*Endpoint)(nil)
+)
+
+// Wrap builds an Endpoint around inner. It panics on invalid options —
+// configurations are authored, not computed.
+func Wrap(inner node.Handler, opts Options) *Endpoint {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	return &Endpoint{
+		inner: inner,
+		opts:  opts.withDefaults(),
+		peers: make(map[model.ProcID]*peerState),
+	}
+}
+
+// Inner returns the wrapped handler.
+func (e *Endpoint) Inner() node.Handler { return e.inner }
+
+// ReliableStats returns the layer's counters: frames retransmitted and
+// received duplicates that were re-acknowledged and suppressed. Hosts
+// discover this method structurally to surface the counters in their stats.
+func (e *Endpoint) ReliableStats() (retransmits, ackedDuplicates int) {
+	return int(e.retransmits.Load()), int(e.ackedDups.Load())
+}
+
+// Context wraps a host context so that Send flows through the reliable
+// layer. Injected actions (SuspectAt and friends) must wrap the context
+// they are handed, or their sends would bypass sequencing.
+func (e *Endpoint) Context(host node.Context) node.Context {
+	return &relCtx{Context: host, e: e}
+}
+
+// relCtx is the context the inner handler sees: everything forwards to the
+// host except Send.
+type relCtx struct {
+	node.Context
+	e *Endpoint
+}
+
+func (c *relCtx) Send(to model.ProcID, p node.Payload) {
+	c.e.send(c.Context, to, p)
+}
+
+func (e *Endpoint) peer(p model.ProcID) *peerState {
+	ps := e.peers[p]
+	if ps == nil {
+		ps = &peerState{
+			interval:     e.opts.RetryInterval,
+			nextExpected: 1,
+		}
+		e.peers[p] = ps
+	}
+	return ps
+}
+
+// Init implements node.Handler.
+func (e *Endpoint) Init(ctx node.Context) {
+	e.inner.Init(e.Context(ctx))
+}
+
+// OnCrash implements node.CrashListener.
+func (e *Endpoint) OnCrash(ctx node.Context) {
+	if l, ok := e.inner.(node.CrashListener); ok {
+		l.OnCrash(e.Context(ctx))
+	}
+}
+
+// send sequences, buffers, and transmits one payload from the inner
+// handler, arming the link's retransmit timer.
+func (e *Endpoint) send(host node.Context, to model.ProcID, p node.Payload) {
+	ps := e.peer(to)
+	ps.nextSeq++
+	f := frame{seq: ps.nextSeq, payload: p, sentAt: host.Now()}
+	ps.unacked = append(ps.unacked, f)
+	host.Send(to, e.frameData(ps, f))
+	e.arm(host, to, ps, ps.interval)
+}
+
+// frameData encodes a data frame, piggybacking the cumulative ack for the
+// reverse direction of the link and the sender's current base.
+func (e *Endpoint) frameData(ps *peerState, f frame) node.Payload {
+	hdr := make([]byte, headerLen, headerLen+len(f.payload.Data))
+	hdr[0] = kindData
+	binary.BigEndian.PutUint64(hdr[1:9], f.seq)
+	binary.BigEndian.PutUint64(hdr[9:17], ps.nextExpected-1)
+	binary.BigEndian.PutUint64(hdr[17:25], ps.base())
+	return node.Payload{Tag: f.payload.Tag, Subject: f.payload.Subject, Data: append(hdr, f.payload.Data...)}
+}
+
+func (e *Endpoint) arm(host node.Context, to model.ProcID, ps *peerState, delay int64) {
+	if ps.armed {
+		return
+	}
+	if delay < 1 {
+		delay = 1
+	}
+	ps.armed = true
+	host.SetTimer(timerPrefix+strconv.Itoa(int(to)), delay)
+}
+
+// OnTimer implements node.Handler: "rel/" timers drive retransmission,
+// everything else forwards to the inner handler.
+func (e *Endpoint) OnTimer(ctx node.Context, name string) {
+	if peerStr, ok := strings.CutPrefix(name, timerPrefix); ok {
+		if id, err := strconv.Atoi(peerStr); err == nil {
+			e.onRetry(ctx, model.ProcID(id))
+		}
+		return
+	}
+	e.inner.OnTimer(e.Context(ctx), name)
+}
+
+// onRetry retransmits the unacked frames that have gone a full retry
+// interval without an ack (cumulative acks make this go-back-N), backs the
+// interval off when anything was actually resent, and re-arms for the
+// earliest outstanding deadline while work remains. Frames transmitted
+// after the timer was armed are not due yet and ride to the next round —
+// a fault-free link therefore never retransmits.
+func (e *Endpoint) onRetry(host node.Context, to model.ProcID) {
+	ps := e.peer(to)
+	ps.armed = false
+	if len(ps.unacked) == 0 {
+		ps.interval = e.opts.RetryInterval
+		return
+	}
+	now := host.Now()
+	kept := ps.unacked[:0]
+	var resend []frame
+	for _, f := range ps.unacked {
+		if now-f.sentAt < ps.interval {
+			kept = append(kept, f) // not due yet
+			continue
+		}
+		if e.opts.MaxRetries > 0 && f.retries >= e.opts.MaxRetries {
+			continue // retry budget exhausted: abandon the frame
+		}
+		f.retries++
+		f.sentAt = now
+		kept = append(kept, f)
+		resend = append(resend, f)
+	}
+	ps.unacked = kept
+	// Transmit after the rebuild so each frame carries the post-abandonment
+	// base — the receiver learns which gaps will never fill.
+	for _, f := range resend {
+		e.retransmits.Add(1)
+		host.Send(to, e.frameData(ps, f))
+	}
+	if len(resend) > 0 {
+		next := int64(float64(ps.interval) * e.opts.Backoff)
+		if next > e.opts.MaxInterval {
+			next = e.opts.MaxInterval
+		}
+		if next < ps.interval {
+			next = ps.interval
+		}
+		ps.interval = next
+	}
+	if len(ps.unacked) == 0 {
+		ps.interval = e.opts.RetryInterval
+		return
+	}
+	due := ps.unacked[0].sentAt
+	for _, f := range ps.unacked[1:] {
+		if f.sentAt < due {
+			due = f.sentAt
+		}
+	}
+	e.arm(host, to, ps, due+ps.interval-now)
+}
+
+// OnMessage implements node.Handler: acks retire unacked frames; data
+// frames are deduplicated and released to the inner handler in sequence
+// order, each receipt answered with a cumulative ack. Out-of-order frames
+// are discarded (go-back-N): the cumulative ack tells the sender where to
+// resume, and retransmission redelivers them in order — so every released
+// frame is one the host's receive gate approved.
+func (e *Endpoint) OnMessage(ctx node.Context, from model.ProcID, p node.Payload) {
+	if p.Tag == TagAck {
+		if wf, ok := decodeFrame(p.Data); ok && wf.kind == kindAck {
+			e.processAck(from, wf.ack)
+		}
+		return
+	}
+	wf, ok := decodeFrame(p.Data)
+	if !ok || wf.kind != kindData {
+		// Unframed traffic (a sender without the layer): pass through.
+		e.inner.OnMessage(e.Context(ctx), from, p)
+		return
+	}
+	e.processAck(from, wf.ack)
+	ps := e.peer(from)
+	// Nothing below base is still coming (acked or abandoned): skip the
+	// gap so a bounded-retry link cannot wedge its receiver.
+	if wf.base > ps.nextExpected {
+		ps.nextExpected = wf.base
+	}
+	switch {
+	case wf.seq < ps.nextExpected:
+		// Already released (a retransmission crossed our ack) or abandoned.
+		// Count it and let the ack below re-cover it.
+		e.ackedDups.Add(1)
+	case wf.seq == ps.nextExpected:
+		ps.nextExpected++
+		e.inner.OnMessage(e.Context(ctx), from, node.Payload{Tag: p.Tag, Subject: p.Subject, Data: wf.data})
+	default:
+		// Out of order: discard. The sender's retry timer redelivers it
+		// once the gap frame has been released.
+	}
+	e.sendAck(ctx, from, ps)
+}
+
+func (e *Endpoint) sendAck(host node.Context, to model.ProcID, ps *peerState) {
+	hdr := make([]byte, headerLen)
+	hdr[0] = kindAck
+	binary.BigEndian.PutUint64(hdr[9:17], ps.nextExpected-1)
+	host.Send(to, node.Payload{Tag: TagAck, Data: hdr})
+}
+
+// processAck retires every frame the cumulative ack covers and resets the
+// backoff once the link is clean.
+func (e *Endpoint) processAck(from model.ProcID, ack uint64) {
+	ps := e.peer(from)
+	kept := ps.unacked[:0]
+	for _, f := range ps.unacked {
+		if f.seq > ack {
+			kept = append(kept, f)
+		}
+	}
+	ps.unacked = kept
+	if len(ps.unacked) == 0 {
+		ps.interval = e.opts.RetryInterval
+	}
+}
+
+// Accepts implements node.Gate. Frames the Endpoint consumes itself (acks,
+// duplicates, out-of-order data) are always accepted; the one frame that
+// would be released to the inner handler right now — the next in sequence,
+// after accounting for gaps the frame's base says will never fill — is
+// subject to the inner gate, so the §5 sFS2d receive deferral keeps
+// working through the layer. Since out-of-order frames are discarded
+// rather than buffered, this is the only path into the inner handler.
+// Accepts must not mutate state: hosts call it speculatively.
+func (e *Endpoint) Accepts(from model.ProcID, p node.Payload) bool {
+	if p.Tag == TagAck {
+		return true
+	}
+	wf, ok := decodeFrame(p.Data)
+	if !ok || wf.kind != kindData {
+		if g, gok := e.inner.(node.Gate); gok {
+			return g.Accepts(from, p)
+		}
+		return true
+	}
+	expected := uint64(1)
+	if ps := e.peers[from]; ps != nil {
+		expected = ps.nextExpected
+	}
+	if wf.base > expected {
+		expected = wf.base // OnMessage will skip the abandoned gap
+	}
+	if wf.seq != expected {
+		return true // duplicate or out-of-order: consumed internally
+	}
+	if g, gok := e.inner.(node.Gate); gok {
+		return g.Accepts(from, node.Payload{Tag: p.Tag, Subject: p.Subject, Data: wf.data})
+	}
+	return true
+}
+
+// wireFrame is a decoded frame header plus the original payload bytes.
+type wireFrame struct {
+	kind           byte
+	seq, ack, base uint64
+	data           []byte
+}
+
+// decodeFrame splits a wire payload's data into the frame header and the
+// original payload bytes. ok is false for data that does not carry a valid
+// frame header.
+func decodeFrame(data []byte) (wireFrame, bool) {
+	if len(data) < headerLen {
+		return wireFrame{}, false
+	}
+	kind := data[0]
+	if kind != kindData && kind != kindAck {
+		return wireFrame{}, false
+	}
+	wf := wireFrame{
+		kind: kind,
+		seq:  binary.BigEndian.Uint64(data[1:9]),
+		ack:  binary.BigEndian.Uint64(data[9:17]),
+		base: binary.BigEndian.Uint64(data[17:25]),
+		data: data[headerLen:],
+	}
+	if len(wf.data) == 0 {
+		wf.data = nil
+	}
+	return wf, true
+}

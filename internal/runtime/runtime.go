@@ -198,6 +198,29 @@ func (n *Net) Stats() (dropped, duplicated int) {
 	return n.dropped, n.dupes
 }
 
+// reliableStats is implemented by handlers that wrap a reliable-delivery
+// layer (internal/reliable.Endpoint); the runtime discovers it structurally
+// to avoid depending on the layer.
+type reliableStats interface {
+	ReliableStats() (retransmits, ackedDuplicates int)
+}
+
+// ReliableStats aggregates the reliable-delivery counters across every
+// handler that carries the layer: frames retransmitted, and received
+// duplicates suppressed after re-acking. Both are 0 when no handler wraps
+// an Endpoint. Safe to call while the network runs — the layer's counters
+// are atomic.
+func (n *Net) ReliableStats() (retransmits, ackedDuplicates int) {
+	for p := 1; p <= n.cfg.N; p++ {
+		if rs, ok := n.handlers[p].(reliableStats); ok {
+			r, d := rs.ReliableStats()
+			retransmits += r
+			ackedDuplicates += d
+		}
+	}
+	return retransmits, ackedDuplicates
+}
+
 // liveMsg is a queued message on a live channel.
 type liveMsg struct {
 	id      model.MsgID

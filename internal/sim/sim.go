@@ -186,6 +186,11 @@ type Result struct {
 	// Dropped counts messages discarded by Config.Link; Duplicated counts
 	// extra copies it injected.
 	Dropped, Duplicated int
+	// Retransmits and AckedDuplicates aggregate the reliable-delivery layer
+	// across all processes, when handlers carry one (frames retransmitted,
+	// and received duplicates suppressed after re-acking). Both are 0 when
+	// the layer is disabled.
+	Retransmits, AckedDuplicates int
 	// Blocked lists channels holding undelivered messages to live processes
 	// at the end of the run (gated or parked) plus channels into crashed
 	// processes. A run with gated entries did not reach protocol quiescence.
@@ -348,7 +353,21 @@ func (s *Sim) Run() *Result {
 	res.Dropped = s.dropped
 	res.Duplicated = s.dupes
 	res.Blocked = s.blockedChannels()
+	for p := 1; p <= s.cfg.N; p++ {
+		if rs, ok := s.handlers[p].(reliableStats); ok {
+			r, d := rs.ReliableStats()
+			res.Retransmits += r
+			res.AckedDuplicates += d
+		}
+	}
 	return res
+}
+
+// reliableStats is implemented by handlers that wrap a reliable-delivery
+// layer (internal/reliable.Endpoint); the simulator discovers it
+// structurally to avoid depending on the layer.
+type reliableStats interface {
+	ReliableStats() (retransmits, ackedDuplicates int)
 }
 
 func (s *Sim) blockedChannels() []BlockedChannel {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"failstop/internal/netadv"
+	"failstop/internal/reliable"
 )
 
 func plansByName(t *testing.T, names ...string) []netadv.Generator {
@@ -98,8 +99,10 @@ func TestSplitBrainStarvesMinorityQuorum(t *testing.T) {
 	}
 }
 
-// TestHealingPartitionUnstarves is the counterpart: the same suspicion
-// under the healing partition completes once the cut lifts.
+// TestHealingPartitionUnstarves is the counterpart: the healing partition
+// is lossy, so the once-only §5 broadcast starves even after the heal —
+// unless the reliable-delivery layer retransmits it across the heal. The
+// same suspicion is gridded with the layer off and on to show the contrast.
 func TestHealingPartitionUnstarves(t *testing.T) {
 	spec := Spec{
 		Grid: []NT{{5, 2}},
@@ -109,7 +112,48 @@ func TestHealingPartitionUnstarves(t *testing.T) {
 				return []Fault{{Kind: FaultSuspect, At: 20, Proc: 5, Target: 1}}
 			},
 		}},
-		Plans:   plansByName(t, "healing-partition"),
+		Plans:    plansByName(t, "healing-partition"),
+		Reliable: []reliable.Options{{}, {Enabled: true}},
+		Seeds:    SeedRange{Count: 5},
+		MaxTime:  2000,
+	}
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, rel := &rep.Cells[0], &rep.Cells[1]
+	if bare.Cell.Reliable || !rel.Cell.Reliable {
+		t.Fatalf("cell order: got %v / %v, want bare then reliable", bare.Cell, rel.Cell)
+	}
+	if !bare.MetricAll("quorum-starved") {
+		t.Errorf("without reliable delivery: quorum-starved on %d/%d runs, want all (the heal is lossy)",
+			bare.Metrics["quorum-starved"], bare.Runs)
+	}
+	if !rel.MetricNone("quorum-starved") {
+		t.Errorf("with reliable delivery: quorum-starved on %d/%d runs after the heal, want none",
+			rel.Metrics["quorum-starved"], rel.Runs)
+	}
+	if rel.Retransmits == 0 {
+		t.Error("reliable cell recovered the detection without retransmitting anything")
+	}
+	if bare.Retransmits != 0 {
+		t.Errorf("bare cell reported %d retransmits", bare.Retransmits)
+	}
+}
+
+// TestBufferingPartitionUnstarvesWithoutRetransmission: the buffering
+// variant holds cross-half traffic instead of dropping it, so even the
+// once-only broadcast completes after the heal with no reliable layer.
+func TestBufferingPartitionUnstarvesWithoutRetransmission(t *testing.T) {
+	spec := Spec{
+		Grid: []NT{{5, 2}},
+		Schedules: []Schedule{{
+			Name: "minority-suspects",
+			Faults: func(nt NT, seed int64) []Fault {
+				return []Fault{{Kind: FaultSuspect, At: 20, Proc: 5, Target: 1}}
+			},
+		}},
+		Plans:   plansByName(t, "buffering-partition"),
 		Seeds:   SeedRange{Count: 5},
 		MaxTime: 2000,
 	}
@@ -119,7 +163,7 @@ func TestHealingPartitionUnstarves(t *testing.T) {
 	}
 	c := &rep.Cells[0]
 	if !c.MetricNone("quorum-starved") {
-		t.Errorf("quorum-starved on %d/%d runs after the heal, want none",
+		t.Errorf("quorum-starved on %d/%d runs under the buffering partition, want none",
 			c.Metrics["quorum-starved"], c.Runs)
 	}
 }

@@ -36,6 +36,9 @@ type CellResult struct {
 	// Dropped and Duplicated total the messages the network fault plan
 	// discarded and the extra copies it injected, over all runs of the cell.
 	Dropped, Duplicated int
+	// Retransmits and AckedDuplicates total the reliable-delivery layer's
+	// counters over all runs of the cell (0 for cells without the layer).
+	Retransmits, AckedDuplicates int
 	// Holds counts, per property, the checked runs on which it held.
 	Holds map[string]int
 	// Metrics counts, per custom metric, the runs on which it was true.
@@ -116,17 +119,23 @@ func (r *Report) PropertyTable() string {
 // plan), and any custom metrics.
 func (r *Report) CellTable() string {
 	var allMetrics []map[string]int
-	faulty := false
+	faulty, rel := false, false
 	for i := range r.Cells {
 		allMetrics = append(allMetrics, r.Cells[i].Metrics)
 		if r.Cells[i].Cell.Plan != "" {
 			faulty = true
+		}
+		if r.Cells[i].Cell.Reliable {
+			rel = true
 		}
 	}
 	names := metricNames(allMetrics...)
 	headers := []string{"cell", "runs", "quiescent", "blocked", "max-time", "max-events", "events p50", "events p95"}
 	if faulty {
 		headers = append(headers, "dropped", "duplicated")
+	}
+	if rel {
+		headers = append(headers, "retransmits", "acked-dup")
 	}
 	headers = append(headers, names...)
 	tbl := stats.NewTable(headers...)
@@ -139,6 +148,9 @@ func (r *Report) CellTable() string {
 		}
 		if faulty {
 			row = append(row, c.Dropped, c.Duplicated)
+		}
+		if rel {
+			row = append(row, c.Retransmits, c.AckedDuplicates)
 		}
 		for _, m := range names {
 			row = append(row, fmt.Sprintf("%d/%d", c.Metrics[m], c.Runs))
@@ -163,18 +175,20 @@ func (r *Report) String() string {
 
 // accumulator builds one CellResult incrementally.
 type accumulator struct {
-	cell       Cell
-	runs       int
-	stops      map[sim.StopReason]int
-	quiet      int
-	blocked    int
-	checked    int
-	dropped    int
-	duplicated int
-	holds      map[string]int
-	metrics    map[string]int
-	events     []float64
-	ends       []float64
+	cell        Cell
+	runs        int
+	stops       map[sim.StopReason]int
+	quiet       int
+	blocked     int
+	checked     int
+	dropped     int
+	duplicated  int
+	retransmits int
+	ackedDups   int
+	holds       map[string]int
+	metrics     map[string]int
+	events      []float64
+	ends        []float64
 }
 
 func newAccumulators(cells []cellSpec) []*accumulator {
@@ -201,6 +215,8 @@ func (a *accumulator) add(rec runRecord) {
 	}
 	a.dropped += rec.dropped
 	a.duplicated += rec.duplicated
+	a.retransmits += rec.retransmits
+	a.ackedDups += rec.ackedDups
 	if rec.verdicts != nil {
 		a.checked++
 		for _, v := range rec.verdicts {
@@ -222,17 +238,19 @@ func (a *accumulator) add(rec runRecord) {
 
 func (a *accumulator) result() CellResult {
 	return CellResult{
-		Cell:        a.cell,
-		Runs:        a.runs,
-		Stops:       a.stops,
-		Quiescent:   a.quiet,
-		BlockedRuns: a.blocked,
-		Checked:     a.checked,
-		Dropped:     a.dropped,
-		Duplicated:  a.duplicated,
-		Holds:       a.holds,
-		Metrics:     a.metrics,
-		Events:      stats.Summarize(a.events),
-		EndTimes:    stats.Summarize(a.ends),
+		Cell:            a.cell,
+		Runs:            a.runs,
+		Stops:           a.stops,
+		Quiescent:       a.quiet,
+		BlockedRuns:     a.blocked,
+		Checked:         a.checked,
+		Dropped:         a.dropped,
+		Duplicated:      a.duplicated,
+		Retransmits:     a.retransmits,
+		AckedDuplicates: a.ackedDups,
+		Holds:           a.holds,
+		Metrics:         a.metrics,
+		Events:          stats.Summarize(a.events),
+		EndTimes:        stats.Summarize(a.ends),
 	}
 }

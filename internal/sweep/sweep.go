@@ -29,10 +29,12 @@ import (
 	"failstop/internal/checker"
 	"failstop/internal/cluster"
 	"failstop/internal/core"
+	"failstop/internal/fd"
 	"failstop/internal/model"
 	"failstop/internal/netadv"
 	"failstop/internal/node"
 	"failstop/internal/quorum"
+	"failstop/internal/reliable"
 	"failstop/internal/sim"
 )
 
@@ -95,6 +97,9 @@ type Cell struct {
 	Schedule string
 	// Plan is the network fault plan's name; "" means a fault-free network.
 	Plan string
+	// Reliable reports whether the cell runs with the reliable-delivery
+	// layer (ack + retransmission) interposed under the protocol.
+	Reliable bool
 }
 
 // String renders the cell identity compactly.
@@ -108,6 +113,9 @@ func (c Cell) String() string {
 	}
 	if c.Plan != "" {
 		s += " plan=" + c.Plan
+	}
+	if c.Reliable {
+		s += " rel"
 	}
 	return s
 }
@@ -150,6 +158,11 @@ type Spec struct {
 	// quorum-starvation diagnostic (a live process left with a detection it
 	// began but could not complete).
 	Plans []netadv.Generator
+	// Reliable lists the reliable-delivery configurations to grid over —
+	// typically a disabled zero value next to an enabled one, so every
+	// other cell runs with and without retransmission. Default: one
+	// disabled entry.
+	Reliable []reliable.Options
 	// Seeds is the seed range. Default: {Start: 0, Count: 1}.
 	Seeds SeedRange
 
@@ -159,6 +172,15 @@ type Spec struct {
 	// MaxTime and MaxEvents bound each run, as in sim.Config.
 	MaxTime   int64
 	MaxEvents int
+
+	// HeartbeatEvery, when positive, attaches the fd heartbeat layer to
+	// every process (interval in ticks); HeartbeatTimeout is its suspicion
+	// timeout. Heartbeats re-arm forever, so MaxTime must be set. Runs with
+	// heartbeats additionally aggregate a false-suspicion metric: a run in
+	// which some process suspected a target that had not crashed (yet) —
+	// the Theorem 1 timeout dilemma made countable under real loss.
+	HeartbeatEvery   int64
+	HeartbeatTimeout int64
 
 	// Check pipes every quiescent run's history through checker.All and
 	// aggregates per-property verdict counts. Only quiescent runs are
@@ -190,6 +212,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.Plans) == 0 {
 		s.Plans = []netadv.Generator{{}}
+	}
+	if len(s.Reliable) == 0 {
+		s.Reliable = []reliable.Options{{}}
 	}
 	if s.Seeds.Count == 0 {
 		s.Seeds.Count = 1
@@ -232,14 +257,33 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("sweep: plan with a Make function needs a name")
 		}
 	}
+	for i, ro := range s.Reliable {
+		if err := ro.Validate(); err != nil {
+			return fmt.Errorf("sweep: Reliable[%d]: %w", i, err)
+		}
+		if ro.Enabled && ro.MaxRetries == 0 && s.MaxTime == 0 {
+			// A stubborn link to a crashed peer retransmits forever.
+			return fmt.Errorf("sweep: Reliable[%d] retries forever (MaxRetries=0); set Spec.MaxTime so runs terminate", i)
+		}
+	}
+	if s.HeartbeatEvery > 0 && s.MaxTime == 0 {
+		return fmt.Errorf("sweep: HeartbeatEvery = %d requires MaxTime > 0 (heartbeats re-arm forever)", s.HeartbeatEvery)
+	}
+	if s.HeartbeatEvery > 0 && s.HeartbeatTimeout <= 0 {
+		// fd.Heartbeat with Timeout 0 is a pure sender that never suspects:
+		// the false-suspicion column would read 0/N no matter the loss.
+		return fmt.Errorf("sweep: HeartbeatEvery = %d requires HeartbeatTimeout > 0 (a timeout-less detector never suspects, so the false-suspicion metric would be vacuous)", s.HeartbeatEvery)
+	}
 	return nil
 }
 
-// cellSpec pairs a Cell with its resolved schedule and plan generator.
+// cellSpec pairs a Cell with its resolved schedule, plan generator, and
+// reliable-delivery configuration.
 type cellSpec struct {
 	cell  Cell
 	sched Schedule
 	plan  netadv.Generator
+	rel   reliable.Options
 }
 
 // Cells expands the grid axes (everything but the seed) in deterministic
@@ -259,11 +303,18 @@ func (s Spec) cells() []cellSpec {
 			for _, qd := range s.QuorumDeltas {
 				for _, sched := range s.Schedules {
 					for _, pg := range s.Plans {
-						out = append(out, cellSpec{
-							cell:  Cell{NT: nt, Protocol: proto, QuorumDelta: qd, Schedule: sched.Name, Plan: pg.Name},
-							sched: sched,
-							plan:  pg,
-						})
+						for _, ro := range s.Reliable {
+							out = append(out, cellSpec{
+								cell: Cell{
+									NT: nt, Protocol: proto, QuorumDelta: qd,
+									Schedule: sched.Name, Plan: pg.Name,
+									Reliable: ro.Enabled,
+								},
+								sched: sched,
+								plan:  pg,
+								rel:   ro,
+							})
+						}
 					}
 				}
 			}
@@ -297,7 +348,7 @@ func defaultRun(spec Spec, cs cellSpec, seed int64) RunOutput {
 			qsize = 1
 		}
 	}
-	c := cluster.New(cluster.Options{
+	co := cluster.Options{
 		Sim: sim.Config{
 			N: cell.NT.N, Seed: seed,
 			MinDelay: spec.MinDelay, MaxDelay: spec.MaxDelay,
@@ -308,7 +359,14 @@ func defaultRun(spec Spec, cs cellSpec, seed int64) RunOutput {
 			N: cell.NT.N, T: cell.NT.T,
 			Protocol: cell.Protocol, QuorumSize: qsize,
 		},
-	})
+		Reliable: cs.rel,
+	}
+	if spec.HeartbeatEvery > 0 {
+		co.FD = func(model.ProcID) core.Component {
+			return &fd.Heartbeat{Interval: spec.HeartbeatEvery, Timeout: spec.HeartbeatTimeout}
+		}
+	}
+	c := cluster.New(co)
 	if cs.sched.Faults != nil {
 		for _, f := range cs.sched.Faults(cell.NT, seed) {
 			switch f.Kind {
@@ -320,13 +378,37 @@ func defaultRun(spec Spec, cs cellSpec, seed int64) RunOutput {
 		}
 	}
 	out := RunOutput{Result: c.Run(), Cluster: c}
+	if cs.plan.Make != nil || spec.HeartbeatEvery > 0 {
+		out.Metrics = map[string]bool{}
+	}
 	if cs.plan.Make != nil {
 		// Quorum-starvation diagnostic: a live process began a detection the
 		// (faulty) network never let it complete — the liveness failure mode
 		// partitions and lossy links induce in the §5 protocol.
-		out.Metrics = map[string]bool{"quorum-starved": quorumStarved(c)}
+		out.Metrics["quorum-starved"] = quorumStarved(c)
+	}
+	if spec.HeartbeatEvery > 0 {
+		// False-suspicion diagnostic: a timeout fired on a process that had
+		// not crashed (Theorem 1's dilemma — under loss, every finite
+		// timeout eventually accuses the living).
+		out.Metrics["false-suspicion"] = falseSuspicion(out.Result.History)
 	}
 	return out
+}
+
+// falseSuspicion reports whether the history contains a suspicion of a
+// process that had not crashed when the suspicion was raised: the target
+// either never crashes, or its crash appears later in the history (a
+// genuine post-crash timeout suspicion orders the other way).
+func falseSuspicion(h model.History) bool {
+	for idx, e := range h {
+		if e.Kind == model.KindInternal && e.Tag == "suspect" {
+			if ci := h.CrashIndex(e.Target); ci < 0 || ci > idx {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // quorumStarved reports whether any live process of the finished cluster is
@@ -349,16 +431,18 @@ func quorumStarved(c *cluster.Cluster) bool {
 
 // runRecord is one run's contribution to its cell's aggregate.
 type runRecord struct {
-	cellIdx    int
-	stop       sim.StopReason
-	quiescent  bool
-	blocked    bool
-	dropped    int
-	duplicated int
-	events     float64
-	endTime    float64
-	verdicts   []checker.Verdict // nil when unchecked
-	metrics    map[string]bool
+	cellIdx     int
+	stop        sim.StopReason
+	quiescent   bool
+	blocked     bool
+	dropped     int
+	duplicated  int
+	retransmits int
+	ackedDups   int
+	events      float64
+	endTime     float64
+	verdicts    []checker.Verdict // nil when unchecked
+	metrics     map[string]bool
 }
 
 // Run expands the spec and executes every scenario on a pool of
@@ -425,14 +509,16 @@ func execute(spec Spec, cs cellSpec, cellIdx int, seed int64) runRecord {
 	}
 	res := out.Result
 	rec := runRecord{
-		cellIdx:    cellIdx,
-		stop:       res.Stop,
-		quiescent:  res.Quiescent(),
-		dropped:    res.Dropped,
-		duplicated: res.Duplicated,
-		events:     float64(len(res.History)),
-		endTime:    float64(res.EndTime),
-		metrics:    out.Metrics,
+		cellIdx:     cellIdx,
+		stop:        res.Stop,
+		quiescent:   res.Quiescent(),
+		dropped:     res.Dropped,
+		duplicated:  res.Duplicated,
+		retransmits: res.Retransmits,
+		ackedDups:   res.AckedDuplicates,
+		events:      float64(len(res.History)),
+		endTime:     float64(res.EndTime),
+		metrics:     out.Metrics,
 	}
 	rec.blocked = res.BlockedLive()
 	if spec.Check && rec.quiescent {

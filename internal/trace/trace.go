@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"failstop/internal/model"
+	"failstop/internal/netadv"
 )
 
 // Header carries run metadata at the top of a trace file.
@@ -37,14 +38,19 @@ type Header struct {
 	// validation: loss, duplication, and reorder leave the reliable-channel
 	// model, and this field records that context.
 	Plan string `json:"plan,omitempty"`
+	// FaultPlan carries the full serialized fault plan (format version 2),
+	// not just its name, so a trace replays without access to the builtin
+	// registry that generated it.
+	FaultPlan *netadv.Plan `json:"fault_plan,omitempty"`
 	// Note is free-form commentary.
 	Note string `json:"note,omitempty"`
 }
 
 // FormatVersion is the current trace format version: version 2 adds the
-// Schedule and Plan metadata. Readers accept every version up to and
-// including the current one; version-1 traces simply carry no fault
-// context.
+// Schedule and Plan metadata, including the optional fully-serialized
+// FaultPlan. Readers accept every version up to and including the current
+// one; version-1 traces simply carry no fault context, and version-2
+// traces written before FaultPlan existed carry only the plan name.
 const FormatVersion = 2
 
 // Write streams a header and history to w.

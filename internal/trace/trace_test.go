@@ -3,10 +3,12 @@ package trace
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
 	"failstop/internal/model"
+	"failstop/internal/netadv"
 )
 
 func sample() model.History {
@@ -119,5 +121,52 @@ func TestEmptyHistoryRoundTrip(t *testing.T) {
 	}
 	if len(h) != 0 {
 		t.Errorf("history = %v, want empty", h)
+	}
+}
+
+// TestFaultPlanRoundTrip: the fully serialized plan survives the header, so
+// a trace replays without access to the builtin registry that generated it.
+func TestFaultPlanRoundTrip(t *testing.T) {
+	plan := netadv.Plan{
+		Name: "custom",
+		Rules: []netadv.Rule{
+			{From: 10, Until: 200, Cut: true, Links: netadv.LinkSet{
+				Groups: [][]model.ProcID{{1, 2}, {3}},
+				Pairs:  []netadv.Link{{From: 3, To: 1}},
+			}},
+			{Tags: []string{"SUSP"}, Drop: 0.25, Duplicate: 0.1, Reorder: 0.05, JitterMax: 7},
+		},
+	}
+	var buf bytes.Buffer
+	hdr := Header{N: 3, T: 1, Plan: plan.Name, FaultPlan: &plan}
+	if err := Write(&buf, hdr, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FaultPlan == nil {
+		t.Fatal("FaultPlan lost in the round trip")
+	}
+	if !reflect.DeepEqual(*got.FaultPlan, plan) {
+		t.Errorf("FaultPlan = %+v, want %+v", *got.FaultPlan, plan)
+	}
+	if err := got.FaultPlan.Validate(3); err != nil {
+		t.Errorf("recovered plan does not validate: %v", err)
+	}
+
+	// Headers without the field (version-2 traces written before it
+	// existed, and every version-1 trace) read back as nil.
+	buf.Reset()
+	if err := Write(&buf, Header{N: 3, T: 1, Plan: "split-brain"}, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FaultPlan != nil {
+		t.Errorf("absent fault plan read back as %+v", got.FaultPlan)
 	}
 }
