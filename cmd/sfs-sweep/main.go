@@ -15,6 +15,17 @@
 //	sfs-sweep --plan flaky-quorum -heartbeat 25 -hb-timeout 80 -max-time 5000
 //	sfs-sweep -list-schedules                     # built-in fault schedules
 //	sfs-sweep -list-plans                         # built-in fault plans
+//
+// Scale-out: -shard i/k runs one deterministic 1/k slice of the grid and
+// -json writes the report machine-readably, so k processes (or CI jobs, or
+// machines) can split one grid; -merge recombines their reports into
+// exactly the unsharded report:
+//
+//	sfs-sweep -grid 10:3 -seeds 500 -shard 0/2 -json a.json
+//	sfs-sweep -grid 10:3 -seeds 500 -shard 1/2 -json b.json
+//	sfs-sweep -merge a.json b.json                # == the unsharded report
+//
+// Profiling: -cpuprofile/-memprofile write pprof profiles of the sweep.
 package main
 
 import (
@@ -22,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -56,6 +69,11 @@ func run(args []string, out io.Writer) int {
 		maxEvents = fs.Int("max-events", 0, "event cap per run (0: simulator default)")
 		workers   = fs.Int("workers", 0, "worker pool size (0: GOMAXPROCS, 1: serial)")
 		check     = fs.Bool("check", true, "check every quiescent history against the paper's properties")
+		shard     = fs.String("shard", "", "run one shard i/k of the (cell, seed) stream, e.g. -shard 0/4")
+		jsonOut   = fs.String("json", "", "also write the report as JSON to this file (\"-\": stdout, replacing the text report)")
+		merge     = fs.Bool("merge", false, "merge shard reports (the JSON files given as arguments) instead of sweeping")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 		list      = fs.Bool("list-schedules", false, "list built-in fault schedules and exit")
 		listPlans = fs.Bool("list-plans", false, "list built-in network fault plans and exit")
 	)
@@ -73,6 +91,9 @@ func run(args []string, out io.Writer) int {
 			fmt.Fprintln(out, name)
 		}
 		return 0
+	}
+	if *merge {
+		return runMerge(fs.Args(), *jsonOut, out)
 	}
 
 	spec := sweep.Spec{
@@ -110,14 +131,128 @@ func run(args []string, out io.Writer) int {
 		fmt.Fprintln(out, err)
 		return 2
 	}
+	if spec.Shard, err = parseShard(*shard); err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(out, err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(out, err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	rep, err := sweep.Run(spec, sweep.Options{Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(out, err)
 		return 2
 	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(out, err)
+			return 2
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(out, err)
+			return 2
+		}
+	}
+	return emit(rep, *jsonOut, out)
+}
+
+// emit writes the report: text to out, and — when jsonPath is set — JSON
+// to that file, or to out alone when jsonPath is "-" (for piping).
+func emit(rep *sweep.Report, jsonPath string, out io.Writer) int {
+	if jsonPath == "-" {
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintln(out, err)
+			return 2
+		}
+		return 0
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(out, err)
+			return 2
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(out, err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(out, err)
+			return 2
+		}
+	}
 	fmt.Fprintln(out, rep)
 	return 0
+}
+
+// runMerge recombines shard reports written with -json into the report the
+// unsharded sweep would have produced, rendering it like a normal sweep.
+func runMerge(files []string, jsonPath string, out io.Writer) int {
+	if len(files) == 0 {
+		fmt.Fprintln(out, "sfs-sweep -merge: no report files given")
+		return 2
+	}
+	var reports []*sweep.Report
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(out, err)
+			return 2
+		}
+		rep, err := sweep.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(out, "%s: %v\n", name, err)
+			return 2
+		}
+		reports = append(reports, rep)
+	}
+	merged, err := sweep.Merge(reports...)
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	return emit(merged, jsonPath, out)
+}
+
+// parseShard parses "i/k" into a Shard; "" means unsharded.
+func parseShard(s string) (sweep.Shard, error) {
+	if strings.TrimSpace(s) == "" {
+		return sweep.Shard{}, nil
+	}
+	i, k, ok := strings.Cut(s, "/")
+	if !ok {
+		return sweep.Shard{}, fmt.Errorf("bad -shard %q (want i/k, e.g. 0/4)", s)
+	}
+	idx, err1 := strconv.Atoi(strings.TrimSpace(i))
+	cnt, err2 := strconv.Atoi(strings.TrimSpace(k))
+	if err1 != nil || err2 != nil {
+		return sweep.Shard{}, fmt.Errorf("bad -shard %q (want i/k, e.g. 0/4)", s)
+	}
+	// Reject out-of-range values here, before Spec defaulting rewrites a
+	// typo like 0/0 into a full unsharded run (which would then merge
+	// into doubled counts).
+	if cnt < 1 || idx < 0 || idx >= cnt {
+		return sweep.Shard{}, fmt.Errorf("bad -shard %q: index must be in [0, count), count at least 1", s)
+	}
+	return sweep.Shard{Index: idx, Count: cnt}, nil
 }
 
 func parseGrid(s string) ([]sweep.NT, error) {

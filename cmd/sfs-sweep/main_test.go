@@ -2,6 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -100,6 +104,90 @@ func TestSweepPlanGridDeterministic(t *testing.T) {
 	}
 }
 
+// TestSweepShardMergeRoundTrip is the scale-out acceptance test at the CLI
+// layer, mirroring what the CI shard job does across runners: run the same
+// grid as k shard processes with -json artifacts, recombine with -merge,
+// and require the merged text report byte-identical to the unsharded one.
+func TestSweepShardMergeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{
+		"-grid", "5:2,8:2",
+		"-seeds", "6",
+		"-schedules", "crash,false-suspicion",
+	}
+
+	var unsharded bytes.Buffer
+	if code := run(base, &unsharded); code != 0 {
+		t.Fatalf("unsharded exit = %d:\n%s", code, unsharded.String())
+	}
+
+	for _, k := range []int{2, 3} {
+		var files []string
+		for i := 0; i < k; i++ {
+			file := filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.json", i, k))
+			args := append(append([]string{}, base...),
+				"-shard", fmt.Sprintf("%d/%d", i, k),
+				"-json", file)
+			var out bytes.Buffer
+			if code := run(args, &out); code != 0 {
+				t.Fatalf("shard %d/%d exit = %d:\n%s", i, k, code, out.String())
+			}
+			files = append(files, file)
+		}
+		var merged bytes.Buffer
+		if code := run(append([]string{"-merge"}, files...), &merged); code != 0 {
+			t.Fatalf("merge exit = %d:\n%s", code, merged.String())
+		}
+		if merged.String() != unsharded.String() {
+			t.Errorf("k=%d: merged report differs from unsharded:\n--- merged\n%s\n--- unsharded\n%s",
+				k, merged.String(), unsharded.String())
+		}
+	}
+}
+
+// TestSweepJSONStdout: -json - replaces the text report with JSON on
+// stdout, parseable and carrying the grid's cells.
+func TestSweepJSONStdout(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-grid", "5:2", "-seeds", "2", "-json", "-"}, &out); code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+	var rep struct {
+		Cells []json.RawMessage
+		Runs  int
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v:\n%s", err, out.String())
+	}
+	if rep.Runs != 6 || len(rep.Cells) != 3 {
+		t.Errorf("runs=%d cells=%d, want 6 runs over 3 cells", rep.Runs, len(rep.Cells))
+	}
+}
+
+// TestSweepProfileFlags: -cpuprofile and -memprofile write non-empty pprof
+// files without disturbing the sweep.
+func TestSweepProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	args := []string{"-grid", "5:2", "-seeds", "4", "-cpuprofile", cpu, "-memprofile", mem}
+	if code := run(args, &out); code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "sweep: 12 runs") {
+		t.Errorf("profiled sweep lost its report:\n%s", out.String())
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+		} else if st.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+}
+
 func TestSweepBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-grid", "10x3"},
@@ -107,6 +195,13 @@ func TestSweepBadFlags(t *testing.T) {
 		{"-schedules", "nope"},
 		{"-plan", "nope"},
 		{"-q-delta", "a,b"},
+		{"-shard", "2"},
+		{"-shard", "a/b"},
+		{"-shard", "4/4"},
+		{"-shard", "-1/4"},
+		{"-shard", "0/0"}, // must not silently run the whole grid
+		{"-merge"},
+		{"-merge", "/no/such/report.json"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer

@@ -1,0 +1,112 @@
+// Micro-benchmarks of the simulator hot path: the send → schedule →
+// deliver → timer loop that every scenario run in a sweep turns around
+// millions of times. The flood workload is pure harness — inert protocol
+// logic — so ns/op and allocs/op measure the simulator itself, not the
+// handlers.
+//
+// Run with: go test ./internal/sim -bench=SimHotPath -benchmem
+package sim
+
+import (
+	"testing"
+
+	"failstop/internal/model"
+	"failstop/internal/node"
+)
+
+// floodHandler broadcasts to every peer on each of its first rounds timer
+// ticks and counts deliveries. It exercises sends, channel scheduling,
+// deliveries, and timer set/fire — the four occurrence paths — with no
+// protocol logic on top.
+type floodHandler struct {
+	rounds int
+	got    int
+}
+
+func (h *floodHandler) Init(ctx node.Context) { ctx.SetTimer("tick", 1) }
+
+func (h *floodHandler) OnTimer(ctx node.Context, name string) {
+	for p := 1; p <= ctx.N(); p++ {
+		if model.ProcID(p) != ctx.Self() {
+			ctx.Send(model.ProcID(p), node.Payload{Tag: "flood", Subject: ctx.Self()})
+		}
+	}
+	h.rounds--
+	if h.rounds > 0 {
+		ctx.SetTimer("tick", 1)
+	}
+}
+
+func (h *floodHandler) OnMessage(ctx node.Context, from model.ProcID, p node.Payload) {
+	h.got++
+}
+
+// runFlood executes one n-process, rounds-round flood and returns its
+// result (for sanity checks outside the timed loop).
+func runFlood(n, rounds int, seed int64) *Result {
+	s := New(Config{N: n, Seed: seed})
+	for p := 1; p <= n; p++ {
+		s.SetHandler(model.ProcID(p), &floodHandler{rounds: rounds})
+	}
+	return s.Run()
+}
+
+// BenchmarkSimHotPath is the headline simulator micro-benchmark: one full
+// flood run per iteration (n=10, 20 rounds: 1800 sends and deliveries plus
+// 200 timers). allocs/op here is the per-run allocation budget the sweep
+// engine pays for every (cell, seed) scenario.
+func BenchmarkSimHotPath(b *testing.B) {
+	const n, rounds = 10, 20
+	want := runFlood(n, rounds, 1)
+	if want.Sent != n*(n-1)*rounds || want.Delivered != want.Sent {
+		b.Fatalf("flood sent %d delivered %d, want %d", want.Sent, want.Delivered, n*(n-1)*rounds)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runFlood(n, rounds, int64(i))
+		if res.Stop != StopDrained {
+			b.Fatalf("stop = %v", res.Stop)
+		}
+	}
+	b.ReportMetric(float64(n*(n-1)*rounds)*float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkSimTimerChurn isolates the timer path: one process re-arming
+// (and cancelling) named timers with no messages at all — the heartbeat
+// layer's dominant simulator load.
+func BenchmarkSimTimerChurn(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(Config{N: 2, Seed: int64(i)})
+		s.SetHandler(1, &timerChurnHandler{left: 1000})
+		s.SetHandler(2, &floodHandler{})
+		res := s.Run()
+		if res.Stop != StopDrained {
+			b.Fatalf("stop = %v", res.Stop)
+		}
+	}
+}
+
+// timerChurnHandler re-arms two timers left times, cancelling one each
+// tick so both the fire and the stale-generation paths run.
+type timerChurnHandler struct {
+	left int
+}
+
+func (h *timerChurnHandler) Init(ctx node.Context) {
+	ctx.SetTimer("beat", 1)
+}
+
+func (h *timerChurnHandler) OnTimer(ctx node.Context, name string) {
+	h.left--
+	if h.left <= 0 {
+		return
+	}
+	ctx.SetTimer("beat", 1)
+	ctx.SetTimer("probe", 2)
+	ctx.CancelTimer("probe")
+}
+
+func (h *timerChurnHandler) OnMessage(ctx node.Context, from model.ProcID, p node.Payload) {}

@@ -32,7 +32,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -104,24 +103,60 @@ type occurrence struct {
 	fn   func(node.Context) // occInject
 }
 
-type occHeap []*occurrence
+// occHeap is a binary min-heap of occurrences ordered by (time, seq). It
+// stores values, not pointers, and implements push/pop directly instead of
+// through container/heap: the interface-based API boxes every occurrence
+// into an allocation per push, which on the sweep hot path (one push per
+// send, timer, and rescheduled delivery) dominated the per-run allocation
+// budget.
+type occHeap []occurrence
 
-func (h occHeap) Len() int { return len(h) }
-func (h occHeap) Less(i, j int) bool {
+func (h occHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h occHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *occHeap) Push(x any)   { *h = append(*h, x.(*occurrence)) }
-func (h *occHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+
+func (h *occHeap) pushOcc(o occurrence) {
+	q := append(*h, o)
+	*h = q
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *occHeap) popOcc() occurrence {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = occurrence{} // clear the vacated slot so name/fn don't pin memory
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && q.less(r, l) {
+			j = r
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+	return top
 }
 
 // StopReason states why a run ended. The zero value, StopDrained, means the
@@ -154,6 +189,27 @@ func (r StopReason) String() string {
 	default:
 		return fmt.Sprintf("StopReason(%d)", int(r))
 	}
+}
+
+// MarshalText renders the reason name, so StopReason-keyed maps serialize
+// as readable JSON objects in machine-readable sweep reports.
+func (r StopReason) MarshalText() ([]byte, error) {
+	return []byte(r.String()), nil
+}
+
+// UnmarshalText parses a reason name produced by MarshalText.
+func (r *StopReason) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "drained":
+		*r = StopDrained
+	case "max-time":
+		*r = StopMaxTime
+	case "max-events":
+		*r = StopMaxEvents
+	default:
+		return fmt.Errorf("sim: unknown stop reason %q", text)
+	}
+	return nil
 }
 
 // Reasons for BlockedChannel.Reason.
@@ -236,7 +292,7 @@ type Sim struct {
 	history  model.History
 	crashed  []bool
 	failed   map[[2]model.ProcID]bool
-	timerGen map[string]int64 // key: "proc/name"
+	timerGen map[timerID]int64
 	sent     int
 	deliv    int
 	dropped  int
@@ -264,15 +320,32 @@ func New(cfg Config) *Sim {
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		handlers: make([]node.Handler, cfg.N+1),
 		ctxs:     make([]*procCtx, cfg.N+1),
-		chans:    make(map[chanKey]*channel),
+		chans:    make(map[chanKey]*channel, cfg.N*(cfg.N-1)),
+		queue:    make(occHeap, 0, 4*cfg.N),
+		history:  make(model.History, 0, historyHint(cfg)),
 		crashed:  make([]bool, cfg.N+1),
 		failed:   make(map[[2]model.ProcID]bool),
-		timerGen: make(map[string]int64),
+		timerGen: make(map[timerID]int64, cfg.N),
 	}
 	for p := 1; p <= cfg.N; p++ {
 		s.ctxs[p] = &procCtx{s: s, p: model.ProcID(p)}
 	}
 	return s
+}
+
+// historyHint sizes the history buffer up front. Protocol runs record on
+// the order of a few broadcast rounds per detection — O(n²) events — so
+// 8n² covers the common sweep scenario without reallocation; the cap keeps
+// a single short run from reserving a MaxEvents-sized arena.
+func historyHint(cfg Config) int {
+	hint := 8 * cfg.N * cfg.N
+	if hint > cfg.MaxEvents {
+		hint = cfg.MaxEvents
+	}
+	if hint > 1<<13 {
+		hint = 1 << 13
+	}
+	return hint
 }
 
 // SetHandler attaches the handler for process p (1..N).
@@ -287,7 +360,7 @@ func (s *Sim) Handler(p model.ProcID) node.Handler { return s.handlers[p] }
 // If p has crashed by then, fn is skipped. Injections at equal times run in
 // the order they were registered.
 func (s *Sim) At(t int64, p model.ProcID, fn func(node.Context)) {
-	s.push(&occurrence{time: t, kind: occInject, proc: p, fn: fn})
+	s.push(occurrence{time: t, kind: occInject, proc: p, fn: fn})
 }
 
 // CrashAt injects a genuine (spontaneous) crash of p at time t.
@@ -295,10 +368,10 @@ func (s *Sim) CrashAt(t int64, p model.ProcID) {
 	s.At(t, p, func(ctx node.Context) { ctx.CrashSelf() })
 }
 
-func (s *Sim) push(o *occurrence) {
+func (s *Sim) push(o occurrence) {
 	o.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, o)
+	s.queue.pushOcc(o)
 }
 
 // Run executes the simulation to quiescence or horizon and returns the
@@ -320,12 +393,12 @@ func (s *Sim) Run() *Result {
 		s.afterEvent(p)
 	}
 
-	for s.queue.Len() > 0 {
+	for len(s.queue) > 0 {
 		if len(s.history) >= s.cfg.MaxEvents {
 			res.Stop = StopMaxEvents
 			break
 		}
-		o := heap.Pop(&s.queue).(*occurrence)
+		o := s.queue.popOcc()
 		if s.cfg.MaxTime > 0 && o.time > s.cfg.MaxTime {
 			res.Stop = StopMaxTime
 			break
@@ -417,7 +490,7 @@ func (s *Sim) deliver(k chanKey) {
 	}
 	if head.readyAt > s.now {
 		c.scheduled = true
-		s.push(&occurrence{time: head.readyAt, kind: occDeliver, ch: k})
+		s.push(occurrence{time: head.readyAt, kind: occDeliver, ch: k})
 		return
 	}
 	h := s.handlers[k.to]
@@ -456,7 +529,7 @@ func (s *Sim) afterEvent(p model.ProcID) {
 		c.gated = false
 		if !c.scheduled {
 			c.scheduled = true
-			s.push(&occurrence{time: s.now, kind: occDeliver, ch: k})
+			s.push(occurrence{time: s.now, kind: occDeliver, ch: k})
 		}
 	}
 }
@@ -477,14 +550,14 @@ func (s *Sim) scheduleHead(k chanKey) {
 		at = s.now
 	}
 	c.scheduled = true
-	s.push(&occurrence{time: at, kind: occDeliver, ch: k})
+	s.push(occurrence{time: at, kind: occDeliver, ch: k})
 }
 
-func (s *Sim) fireTimer(o *occurrence) {
+func (s *Sim) fireTimer(o occurrence) {
 	if s.crashed[o.proc] {
 		return
 	}
-	key := timerKey(o.proc, o.name)
+	key := timerID{proc: o.proc, name: o.name}
 	if s.timerGen[key] != o.gen {
 		return // cancelled or replaced
 	}
@@ -493,8 +566,12 @@ func (s *Sim) fireTimer(o *occurrence) {
 	s.afterEvent(o.proc)
 }
 
-func timerKey(p model.ProcID, name string) string {
-	return fmt.Sprintf("%d/%s", p, name)
+// timerID keys the per-process timer generation table. A struct key avoids
+// the string concatenation the old "proc/name" key allocated on every
+// SetTimer, CancelTimer, and timer fire.
+type timerID struct {
+	proc model.ProcID
+	name string
 }
 
 func (s *Sim) record(e model.Event) {
@@ -544,7 +621,10 @@ func (c *procCtx) Send(to model.ProcID, p node.Payload) {
 	k := chanKey{from: c.p, to: to}
 	ch := s.chans[k]
 	if ch == nil {
-		ch = &channel{}
+		// A fresh channel rarely holds more than a few in-flight messages;
+		// seeding capacity avoids the first few append growth steps on
+		// every (sender, receiver) pair of every run.
+		ch = &channel{queue: make([]pendingMsg, 0, 8)}
 		s.chans[k] = ch
 	}
 	headChanged := false
@@ -582,14 +662,14 @@ func (c *procCtx) SetTimer(name string, delay int64) {
 	if s.crashed[c.p] {
 		return
 	}
-	key := timerKey(c.p, name)
+	key := timerID{proc: c.p, name: name}
 	gen := s.timerGen[key] + 1
 	s.timerGen[key] = gen
-	s.push(&occurrence{time: s.now + delay, kind: occTimer, proc: c.p, name: name, gen: gen})
+	s.push(occurrence{time: s.now + delay, kind: occTimer, proc: c.p, name: name, gen: gen})
 }
 
 func (c *procCtx) CancelTimer(name string) {
-	key := timerKey(c.p, name)
+	key := timerID{proc: c.p, name: name}
 	if _, ok := c.s.timerGen[key]; ok {
 		c.s.timerGen[key]++ // outstanding occurrence becomes stale
 	}

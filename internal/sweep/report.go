@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"failstop/internal/sim"
@@ -17,7 +18,9 @@ var Properties = []string{
 	"W",
 }
 
-// CellResult aggregates every run of one cell.
+// CellResult aggregates every run of one cell. The struct serializes to
+// JSON as-is (exported field names) — that serialization is the shard
+// report format cmd/sfs-sweep emits with -json and recombines with -merge.
 type CellResult struct {
 	Cell Cell
 	// Runs is the number of runs executed for the cell.
@@ -45,6 +48,12 @@ type CellResult struct {
 	Metrics map[string]int
 	// Events and EndTimes summarize run length in events and virtual time.
 	Events, EndTimes stats.Summary
+	// EventSamples and EndTimeSamples are the raw per-run samples behind
+	// Events and EndTimes, sorted ascending. Retaining them is what lets
+	// Merge recombine shard reports into exact percentiles: summaries
+	// cannot be merged, sample sets can.
+	EventSamples   []float64
+	EndTimeSamples []float64
 }
 
 // HoldsAll reports whether prop held on every checked run of the cell.
@@ -68,6 +77,10 @@ type Report struct {
 	Cells []CellResult
 	// Runs is the total number of runs executed.
 	Runs int
+	// Shard records which slice of the job stream this report covers
+	// ({0, 1} for an unsharded sweep, and for a merged set of shards).
+	// Merge uses it to refuse duplicated, overlapping, or missing shards.
+	Shard Shard
 	// Workers is the worker-pool size that executed the sweep.
 	Workers int
 }
@@ -164,7 +177,10 @@ func (r *Report) CellTable() string {
 // run was checked — the sweep-wide property tally.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sweep: %d runs over %d cells (%d workers)\n", r.Runs, len(r.Cells), r.Workers)
+	// Workers is deliberately not rendered: the text report of a merged
+	// set of shard reports must be byte-identical to the unsharded one,
+	// and worker counts are execution bookkeeping, not results.
+	fmt.Fprintf(&b, "sweep: %d runs over %d cells\n", r.Runs, len(r.Cells))
 	b.WriteString(r.CellTable())
 	if _, checked := r.TotalHolds(); checked > 0 {
 		b.WriteString("\nproperty verdicts over quiescent runs:\n")
@@ -173,7 +189,11 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// accumulator builds one CellResult incrementally.
+// accumulator builds one CellResult incrementally. Each worker owns a
+// private set of accumulators (no locking on the add path); sets combine
+// with merge, which is commutative and associative over everything result
+// reports, so the final CellResult is independent of which worker ran
+// which job.
 type accumulator struct {
 	cell        Cell
 	runs        int
@@ -191,15 +211,24 @@ type accumulator struct {
 	ends        []float64
 }
 
+// newAccumulator creates one empty accumulator; sampleHint presizes the
+// run-length sample slices (the former per-run record traffic, now
+// buffered in place).
+func newAccumulator(cell Cell, sampleHint int) *accumulator {
+	return &accumulator{
+		cell:    cell,
+		stops:   make(map[sim.StopReason]int, 3),
+		holds:   make(map[string]int, len(Properties)),
+		metrics: map[string]int{},
+		events:  make([]float64, 0, sampleHint),
+		ends:    make([]float64, 0, sampleHint),
+	}
+}
+
 func newAccumulators(cells []cellSpec) []*accumulator {
 	out := make([]*accumulator, len(cells))
 	for i, cs := range cells {
-		out[i] = &accumulator{
-			cell:    cs.cell,
-			stops:   map[sim.StopReason]int{},
-			holds:   map[string]int{},
-			metrics: map[string]int{},
-		}
+		out[i] = newAccumulator(cs.cell, 0)
 	}
 	return out
 }
@@ -236,7 +265,38 @@ func (a *accumulator) add(rec runRecord) {
 	a.ends = append(a.ends, rec.endTime)
 }
 
+// merge folds b into a. All aggregates are commutative sums (map keys
+// union; samples concatenate and are sorted by result), so merging the
+// per-worker accumulators in any order produces the same CellResult.
+func (a *accumulator) merge(b *accumulator) {
+	a.runs += b.runs
+	for k, v := range b.stops {
+		a.stops[k] += v
+	}
+	a.quiet += b.quiet
+	a.blocked += b.blocked
+	a.checked += b.checked
+	a.dropped += b.dropped
+	a.duplicated += b.duplicated
+	a.retransmits += b.retransmits
+	a.ackedDups += b.ackedDups
+	for k, v := range b.holds {
+		a.holds[k] += v
+	}
+	for k, v := range b.metrics {
+		a.metrics[k] += v
+	}
+	a.events = append(a.events, b.events...)
+	a.ends = append(a.ends, b.ends...)
+}
+
+// result finalizes the accumulator. Samples are sorted here — not in
+// arrival order — so the published CellResult (and anything derived from
+// it, like a shard report on disk) is identical no matter how jobs were
+// scheduled across workers.
 func (a *accumulator) result() CellResult {
+	sort.Float64s(a.events)
+	sort.Float64s(a.ends)
 	return CellResult{
 		Cell:            a.cell,
 		Runs:            a.runs,
@@ -252,5 +312,7 @@ func (a *accumulator) result() CellResult {
 		Metrics:         a.metrics,
 		Events:          stats.Summarize(a.events),
 		EndTimes:        stats.Summarize(a.ends),
+		EventSamples:    a.events,
+		EndTimeSamples:  a.ends,
 	}
 }

@@ -1,0 +1,235 @@
+package sweep
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// shardSpec is the grid the shard tests fan out: two (n, t) cells × two
+// schedules × 7 seeds (7 deliberately coprime with the shard counts under
+// test, so shards get uneven slices).
+func shardSpec() Spec {
+	crash, _ := Builtin("crash")
+	falseSusp, _ := Builtin("false-suspicion")
+	return Spec{
+		Grid:      []NT{{5, 2}, {8, 2}},
+		Schedules: []Schedule{crash, falseSusp},
+		Seeds:     SeedRange{Start: 3, Count: 7},
+		Check:     true,
+	}
+}
+
+// TestShardPartitionDisjointExhaustive is the property test behind Merge's
+// correctness: for several shard counts k, the k shards' job streams are
+// pairwise disjoint and their union is exactly the unsharded (cell, seed)
+// stream.
+func TestShardPartitionDisjointExhaustive(t *testing.T) {
+	spec := shardSpec().withDefaults()
+	numCells := len(spec.cells())
+
+	type jobKey struct {
+		cellIdx int
+		seed    int64
+	}
+	var all []jobKey
+	spec.forEachJob(numCells, func(cellIdx int, seed int64) {
+		all = append(all, jobKey{cellIdx, seed})
+	})
+	if want := numCells * spec.Seeds.Count; len(all) != want {
+		t.Fatalf("unsharded stream has %d jobs, want %d", len(all), want)
+	}
+
+	for _, k := range []int{1, 2, 3, 4, 5, 13, 100} {
+		seen := map[jobKey]int{}
+		total := 0
+		for i := 0; i < k; i++ {
+			s := spec
+			s.Shard = Shard{Index: i, Count: k}
+			count := 0
+			s.forEachJob(numCells, func(cellIdx int, seed int64) {
+				seen[jobKey{cellIdx, seed}]++
+				count++
+			})
+			if count != s.Runs() {
+				t.Errorf("k=%d shard %d: emitted %d jobs, Runs() = %d", k, i, count, s.Runs())
+			}
+			total += count
+		}
+		if total != len(all) {
+			t.Errorf("k=%d: shards cover %d jobs, want %d", k, total, len(all))
+		}
+		for _, j := range all {
+			if seen[j] != 1 {
+				t.Errorf("k=%d: job %+v covered %d times, want exactly once", k, j, seen[j])
+			}
+		}
+	}
+}
+
+// TestShardMergeEqualsUnsharded is the acceptance criterion: for several
+// k, running every shard separately (JSON-round-tripping each report, as
+// the CI artifact hand-off does) and merging reproduces the unsharded
+// report — reflect.DeepEqual after zeroing Workers, and byte-identical
+// String rendering.
+func TestShardMergeEqualsUnsharded(t *testing.T) {
+	spec := shardSpec()
+	unsharded, err := Run(spec, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsharded.Workers = 0
+
+	for _, k := range []int{2, 3, 5} {
+		var shards []*Report
+		for i := 0; i < k; i++ {
+			s := spec
+			s.Shard = Shard{Index: i, Count: k}
+			rep, err := Run(s, Options{Workers: 2})
+			if err != nil {
+				t.Fatalf("k=%d shard %d: %v", k, i, err)
+			}
+			var buf bytes.Buffer
+			if err := rep.WriteJSON(&buf); err != nil {
+				t.Fatalf("k=%d shard %d: WriteJSON: %v", k, i, err)
+			}
+			back, err := ReadJSON(&buf)
+			if err != nil {
+				t.Fatalf("k=%d shard %d: ReadJSON: %v", k, i, err)
+			}
+			shards = append(shards, back)
+		}
+		// Merge in reverse order too: shard artifacts arrive in no
+		// particular order.
+		for _, order := range [][]*Report{shards, reversed(shards)} {
+			merged, err := Merge(order...)
+			if err != nil {
+				t.Fatalf("k=%d: Merge: %v", k, err)
+			}
+			if !reflect.DeepEqual(merged, unsharded) {
+				t.Errorf("k=%d: merged shard reports differ from the unsharded report:\n--- merged\n%+v\n--- unsharded\n%+v",
+					k, merged, unsharded)
+			}
+			if merged.String() != unsharded.String() {
+				t.Errorf("k=%d: merged report renders differently:\n--- merged\n%s\n--- unsharded\n%s",
+					k, merged, unsharded)
+			}
+		}
+	}
+}
+
+func reversed(in []*Report) []*Report {
+	out := make([]*Report, len(in))
+	for i, r := range in {
+		out[len(in)-1-i] = r
+	}
+	return out
+}
+
+// TestShardReportListsEveryCell: a shard whose slice misses a cell still
+// reports that cell (with zero runs), so shard reports align positionally.
+func TestShardReportListsEveryCell(t *testing.T) {
+	spec := Spec{
+		Grid:  []NT{{5, 2}, {8, 2}},
+		Seeds: SeedRange{Count: 1}, // 2 jobs over 4 shards: 2 shards go idle
+		Shard: Shard{Index: 3, Count: 4},
+	}
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2 (idle shards must still list the full grid)", len(rep.Cells))
+	}
+	if rep.Runs != 0 {
+		t.Errorf("runs = %d, want 0", rep.Runs)
+	}
+}
+
+// TestMergeRejectsMismatchedReports: merging reports from different specs
+// — or an incomplete, duplicated, or overlapping shard set — is an error,
+// not a silent misalignment.
+func TestMergeRejectsMismatchedReports(t *testing.T) {
+	shardOf := func(grid []NT, i, k int) *Report {
+		rep, err := Run(Spec{Grid: grid, Shard: Shard{Index: i, Count: k}}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	grid := []NT{{5, 2}}
+	a0, a1 := shardOf(grid, 0, 2), shardOf(grid, 1, 2)
+
+	if _, err := Merge(); err == nil {
+		t.Error("Merge accepted zero reports")
+	}
+	if _, err := Merge(a0); err == nil {
+		t.Error("Merge accepted 1 report of a 2-shard stream (missing shard)")
+	}
+	if _, err := Merge(a0, a0); err == nil {
+		t.Error("Merge accepted a duplicated shard report")
+	}
+	if _, err := Merge(a0, shardOf(grid, 0, 3)); err == nil {
+		t.Error("Merge accepted shards of different stream widths")
+	}
+	if _, err := Merge(a0, shardOf([]NT{{5, 2}, {8, 2}}, 1, 2)); err == nil {
+		t.Error("Merge accepted reports with different cell counts")
+	}
+	if _, err := Merge(a0, shardOf([]NT{{6, 2}}, 1, 2)); err == nil {
+		t.Error("Merge accepted reports with different cell identities")
+	}
+	noIdentity := *a1
+	noIdentity.Shard = Shard{}
+	if _, err := Merge(&noIdentity, a0); err == nil {
+		t.Error("Merge accepted a report without shard identity")
+	}
+
+	// The complete, well-formed set still merges.
+	if _, err := Merge(a0, a1); err != nil {
+		t.Errorf("Merge rejected a complete shard set: %v", err)
+	}
+}
+
+// TestMergeSingleUnshardedIdentity: a single unsharded report merges to
+// itself (shard identity {0, 1}).
+func TestMergeSingleUnshardedIdentity(t *testing.T) {
+	rep, err := Run(shardSpec(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Workers = 0
+	if !reflect.DeepEqual(merged, rep) {
+		t.Errorf("identity merge differs:\n--- merged\n%+v\n--- original\n%+v", merged, rep)
+	}
+}
+
+// TestShardValidate rejects out-of-range shard indices.
+func TestShardValidate(t *testing.T) {
+	for _, sh := range []Shard{{Index: -1, Count: 2}, {Index: 2, Count: 2}, {Index: 0, Count: -1}} {
+		spec := Spec{Grid: []NT{{5, 2}}, Shard: sh}
+		if err := spec.withDefaults().Validate(); err == nil {
+			t.Errorf("Validate accepted shard %+v", sh)
+		}
+	}
+}
+
+// TestShardRunsSum: the per-shard Runs() counts partition the total.
+func TestShardRunsSum(t *testing.T) {
+	spec := shardSpec()
+	total := spec.Runs()
+	for _, k := range []int{2, 3, 4, 9} {
+		sum := 0
+		for i := 0; i < k; i++ {
+			s := spec
+			s.Shard = Shard{Index: i, Count: k}
+			sum += s.Runs()
+		}
+		if sum != total {
+			t.Errorf("k=%d: shard Runs() sum to %d, want %d", k, sum, total)
+		}
+	}
+}

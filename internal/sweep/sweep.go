@@ -51,6 +51,20 @@ type SeedRange struct {
 	Count int
 }
 
+// Shard selects one deterministic slice of the (cell, seed) job stream, so
+// one grid can fan out across processes or machines: run the same Spec
+// with Shard{i, k} for every i in 0..k-1 — anywhere, in any order — and
+// recombine the per-shard reports with Merge into exactly the report the
+// unsharded sweep produces. The global job stream is interleaved
+// round-robin (global job index mod Count), so shards stay balanced within
+// every cell. The zero value runs everything.
+type Shard struct {
+	// Index is this shard's number, 0 <= Index < Count.
+	Index int
+	// Count is the total number of shards; 0 or 1 means unsharded.
+	Count int
+}
+
 // FaultKind distinguishes the two injectable faults.
 type FaultKind int
 
@@ -165,6 +179,11 @@ type Spec struct {
 	Reliable []reliable.Options
 	// Seeds is the seed range. Default: {Start: 0, Count: 1}.
 	Seeds SeedRange
+	// Shard restricts execution to one deterministic 1/Count slice of the
+	// (cell, seed) job stream (see Shard). The report still lists every
+	// cell — cells whose jobs all fall on other shards aggregate zero runs
+	// — so shard reports merge positionally.
+	Shard Shard
 
 	// MinDelay/MaxDelay bound the default uniform message delay, as in
 	// sim.Config. A Schedule.Delay overrides both.
@@ -219,6 +238,9 @@ func (s Spec) withDefaults() Spec {
 	if s.Seeds.Count == 0 {
 		s.Seeds.Count = 1
 	}
+	if s.Shard.Count == 0 {
+		s.Shard.Count = 1
+	}
 	return s
 }
 
@@ -234,6 +256,12 @@ func (s Spec) Validate() error {
 	}
 	if s.Seeds.Count < 0 {
 		return fmt.Errorf("sweep: negative seed count %d", s.Seeds.Count)
+	}
+	if s.Shard.Count < 0 {
+		return fmt.Errorf("sweep: negative shard count %d", s.Shard.Count)
+	}
+	if s.Shard.Count > 0 && (s.Shard.Index < 0 || s.Shard.Index >= s.Shard.Count) {
+		return fmt.Errorf("sweep: shard index %d out of range [0, %d)", s.Shard.Index, s.Shard.Count)
 	}
 	seen := map[string]bool{}
 	for _, sc := range s.Schedules {
@@ -323,10 +351,38 @@ func (s Spec) cells() []cellSpec {
 	return out
 }
 
-// Runs returns the total number of scenario runs the spec expands to.
+// Runs returns the number of scenario runs the spec expands to. When the
+// spec is sharded, that is this shard's slice of the stream, not the whole
+// grid.
 func (s Spec) Runs() int {
 	s = s.withDefaults()
-	return len(s.cells()) * s.Seeds.Count
+	total := len(s.cells()) * s.Seeds.Count
+	if s.Shard.Count <= 1 {
+		return total
+	}
+	n := total / s.Shard.Count
+	if s.Shard.Index < total%s.Shard.Count {
+		n++
+	}
+	return n
+}
+
+// forEachJob walks this shard's slice of the (cell, seed) job stream in
+// deterministic order: cells in cells() order, seeds ascending within each
+// cell, keeping every job whose global stream index is congruent to
+// Shard.Index mod Shard.Count. Disjointness and exhaustiveness across the
+// k shards of a stream follow directly from the residue classes mod k.
+// The spec must already have defaults applied.
+func (s Spec) forEachJob(numCells int, emit func(cellIdx int, seed int64)) {
+	g := 0
+	for idx := 0; idx < numCells; idx++ {
+		for i := 0; i < s.Seeds.Count; i++ {
+			if g%s.Shard.Count == s.Shard.Index {
+				emit(idx, s.Seeds.Start+int64(i))
+			}
+			g++
+		}
+	}
 }
 
 // defaultRun builds and runs one scenario with the standard cluster stack.
@@ -445,9 +501,17 @@ type runRecord struct {
 	metrics     map[string]bool
 }
 
-// Run expands the spec and executes every scenario on a pool of
-// opts.Workers workers, returning the aggregated report. The report is
-// independent of worker count and scheduling order.
+// Run expands the spec and executes every scenario (this shard's slice,
+// when Spec.Shard is set) on a pool of opts.Workers workers, returning the
+// aggregated report. The report is independent of worker count and
+// scheduling order.
+//
+// Aggregation streams: each worker folds every run it executes straight
+// into its own accumulator array, with no cross-goroutine record traffic;
+// the per-worker arrays merge after the pool drains. Merging is
+// order-independent — counters add commutatively and run-length samples
+// are sorted at finalization — which is what keeps the report identical
+// across worker counts.
 func Run(spec Spec, opts Options) (*Report, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
@@ -464,34 +528,49 @@ func Run(spec Spec, opts Options) (*Report, error) {
 		seed    int64
 	}
 	jobs := make(chan job, workers)
-	records := make(chan runRecord, workers)
 
+	// Per-cell sample slices are sized for an even split of the seed axis
+	// over the pool; lazy creation keeps a worker from allocating
+	// accumulators for cells the scheduler (or the shard filter) never
+	// hands it.
+	sampleHint := spec.Seeds.Count/workers + 1
+	perWorker := make([][]*accumulator, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		mine := make([]*accumulator, len(cells))
+		perWorker[w] = mine
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				records <- execute(spec, cells[j.cellIdx], j.cellIdx, j.seed)
+				rec := execute(spec, cells[j.cellIdx], j.cellIdx, j.seed)
+				a := mine[j.cellIdx]
+				if a == nil {
+					a = newAccumulator(cells[j.cellIdx].cell, sampleHint)
+					mine[j.cellIdx] = a
+				}
+				a.add(rec)
 			}
 		}()
 	}
-	go func() {
-		for idx := range cells {
-			for i := 0; i < spec.Seeds.Count; i++ {
-				jobs <- job{cellIdx: idx, seed: spec.Seeds.Start + int64(i)}
+	spec.forEachJob(len(cells), func(cellIdx int, seed int64) {
+		jobs <- job{cellIdx: cellIdx, seed: seed}
+	})
+	close(jobs)
+	wg.Wait()
+
+	// Merge worker arrays in worker order. Any fixed order yields the same
+	// report; fixing one anyway keeps the merge itself deterministic.
+	acc := newAccumulators(cells)
+	for _, mine := range perWorker {
+		for i, a := range mine {
+			if a != nil {
+				acc[i].merge(a)
 			}
 		}
-		close(jobs)
-		wg.Wait()
-		close(records)
-	}()
-
-	acc := newAccumulators(cells)
-	for rec := range records {
-		acc[rec.cellIdx].add(rec)
 	}
-	rep := &Report{Workers: workers}
+	rep := &Report{Shard: spec.Shard, Workers: workers}
+	rep.Cells = make([]CellResult, 0, len(acc))
 	for _, a := range acc {
 		rep.Cells = append(rep.Cells, a.result())
 		rep.Runs += a.runs
@@ -542,7 +621,7 @@ func execute(spec Spec, cs cellSpec, cellIdx int, seed int64) runRecord {
 	return rec
 }
 
-// MetricNames returns the sorted union of metric names in ms.
+// metricNames returns the sorted union of metric names in ms.
 func metricNames(ms ...map[string]int) []string {
 	set := map[string]bool{}
 	for _, m := range ms {
