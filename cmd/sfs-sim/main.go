@@ -10,6 +10,9 @@
 //	sfs-sim -n 5 -t 2 -crash 1@5 -suspect 2:1@20 -heartbeat 0
 //	sfs-sim -n 5 -t 2 -suspect 4:1@20 -plan split-brain   # network adversary
 //	sfs-sim -n 5 -t 2 -crash 1@15 -suspect 5:1@20 -plan healing-partition -reliable
+//	sfs-sim -n 5 -t 2 -suspect 2:1@100 -plan-file examples/plans/rolling-blackout.json
+//	sfs-sim -n 5 -plan-file my-plan.json -validate-plan   # lint a plan file
+//	sfs-sim -n 5 -t 2 -plan split-brain -dump-plan        # builtin -> plan file
 //
 // Injection syntax: -suspect i:j@t (process i suspects j at tick t),
 // -crash p@t (process p crashes at tick t); both repeatable.
@@ -53,6 +56,9 @@ func run(args []string, out io.Writer) int {
 		hbEvery  = fs.Int64("heartbeat", 0, "heartbeat interval in ticks (0 = no fd layer)")
 		hbTo     = fs.Int64("timeout", 0, "suspicion timeout in ticks (with -heartbeat)")
 		planName = fs.String("plan", "", "built-in network fault plan ("+strings.Join(failstop.FaultPlanNames(), ", ")+")")
+		planFile = fs.String("plan-file", "", "load the network fault plan from this JSON file (see examples/plans; mutually exclusive with -plan)")
+		lintPlan = fs.Bool("validate-plan", false, "validate the plan (-plan or -plan-file) against -n and exit without simulating")
+		dumpPlan = fs.Bool("dump-plan", false, "print the plan (-plan or -plan-file) as plan-file JSON and exit without simulating")
 		reliable = fs.Bool("reliable", false, "interpose the reliable-delivery layer (acks, retransmission, dedup, in-order release) under every process")
 		retryInt = fs.Int64("retry-interval", 0, "initial retransmit interval in ticks with -reliable (0: layer default)")
 		maxRetry = fs.Int("max-retries", 0, "retransmissions per frame before the link gives up with -reliable (0: retry forever)")
@@ -92,13 +98,63 @@ func run(args []string, out io.Writer) int {
 			Enabled: *reliable, RetryInterval: *retryInt, MaxRetries: *maxRetry,
 		},
 	}
-	if *planName != "" {
+	planLabel := *planName
+	switch {
+	case *planName != "" && *planFile != "":
+		fmt.Fprintln(out, "use -plan or -plan-file, not both")
+		return 2
+	case *planName != "":
 		plan, err := failstop.BuiltinFaultPlan(*planName, *n, *t)
 		if err != nil {
 			fmt.Fprintln(out, err)
 			return 2
 		}
 		opts.Faults = &plan
+	case *planFile != "":
+		plan, err := failstop.LoadFaultPlan(*planFile)
+		if err != nil {
+			fmt.Fprintln(out, err)
+			return 2
+		}
+		opts.Faults = &plan
+		planLabel = plan.Name
+	}
+	if *lintPlan && *dumpPlan {
+		// Honoring one silently (lint first) would leave a confirmation line
+		// where the caller expected plan JSON.
+		fmt.Fprintln(out, "use -validate-plan or -dump-plan, not both")
+		return 2
+	}
+	if *lintPlan {
+		// Lint-only mode: exercise exactly the validation the run would, then
+		// stop. Exit 1 (not 2) on a bad plan — the lint did its job.
+		if opts.Faults == nil {
+			fmt.Fprintln(out, "-validate-plan needs -plan or -plan-file")
+			return 2
+		}
+		if err := opts.Faults.Validate(*n); err != nil {
+			fmt.Fprintln(out, err)
+			return 1
+		}
+		fmt.Fprintf(out, "plan %q: %d rules, valid for n=%d\n", planLabel, len(opts.Faults.Rules), *n)
+		return 0
+	}
+	if *dumpPlan {
+		if opts.Faults == nil {
+			fmt.Fprintln(out, "-dump-plan needs -plan or -plan-file")
+			return 2
+		}
+		// Never emit a plan file the other entry points (and -validate-plan
+		// itself) would reject.
+		if err := opts.Faults.Validate(*n); err != nil {
+			fmt.Fprintln(out, err)
+			return 1
+		}
+		if err := failstop.WriteFaultPlan(out, *opts.Faults); err != nil {
+			fmt.Fprintln(out, err)
+			return 2
+		}
+		return 0
 	}
 	if err := opts.Validate(); err != nil {
 		fmt.Fprintln(out, err)
@@ -127,8 +183,8 @@ func run(args []string, out io.Writer) int {
 	rep := c.Run()
 	fmt.Fprintf(out, "run: n=%d t=%d protocol=%s seed=%d events=%d sent=%d delivered=%d quiescent=%v end=%d\n",
 		*n, *t, *protoStr, *seed, len(rep.History), rep.Sent, rep.Delivered, rep.Quiescent, rep.EndTime)
-	if *planName != "" {
-		fmt.Fprintf(out, "faults: plan=%s dropped=%d duplicated=%d\n", *planName, rep.Dropped, rep.Duplicated)
+	if opts.Faults != nil {
+		fmt.Fprintf(out, "faults: plan=%s dropped=%d duplicated=%d\n", planLabel, rep.Dropped, rep.Duplicated)
 	}
 	if *reliable {
 		fmt.Fprintf(out, "reliable: retransmits=%d acked-duplicates=%d\n", rep.Retransmits, rep.AckedDuplicates)
@@ -168,7 +224,7 @@ func run(args []string, out io.Writer) int {
 		}
 		hdr := trace.Header{
 			N: *n, T: *t, Protocol: *protoStr, Seed: *seed,
-			Schedule: strings.Join(sched, "; "), Plan: *planName,
+			Schedule: strings.Join(sched, "; "), Plan: planLabel,
 			// The fully serialized plan, not just its name, so the trace
 			// replays without access to the builtin registry.
 			FaultPlan: opts.Faults,

@@ -179,3 +179,150 @@ func TestRunReliableHealingPartition(t *testing.T) {
 		t.Errorf("exit = %d without -reliable, want 1 with FS1 VIOLATED:\n%s", code, bare.String())
 	}
 }
+
+// TestValidatePlanLintsExampleFiles: every authored plan under
+// examples/plans must lint clean for the README's n=5 walkthrough size —
+// the same check CI runs.
+func TestValidatePlanLintsExampleFiles(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "plans", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no example plan files found")
+	}
+	for _, f := range files {
+		var out bytes.Buffer
+		if code := run([]string{"-n", "5", "-plan-file", f, "-validate-plan"}, &out); code != 0 {
+			t.Errorf("%s: exit = %d:\n%s", f, code, out.String())
+		}
+		if !strings.Contains(out.String(), "valid for n=5") {
+			t.Errorf("%s: no confirmation:\n%s", f, out.String())
+		}
+	}
+}
+
+// TestValidatePlanRejectsBadPlan: a structurally broken plan exits 1 with
+// the validation error; a plan too big for -n likewise.
+func TestValidatePlanRejectsBadPlan(t *testing.T) {
+	dir := t.TempDir()
+	contradiction := filepath.Join(dir, "contradiction.json")
+	if err := os.WriteFile(contradiction, []byte(`{"rules":[{"cut":true,"hold":true,"until":50}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-n", "5", "-plan-file", contradiction, "-validate-plan"}, &out); code != 1 {
+		t.Fatalf("exit = %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "contradictory") {
+		t.Errorf("lint error not surfaced:\n%s", out.String())
+	}
+
+	// Valid plan, wrong cluster size: rolling-blackout names process 5.
+	out.Reset()
+	example := filepath.Join("..", "..", "examples", "plans", "rolling-blackout.json")
+	if code := run([]string{"-n", "3", "-plan-file", example, "-validate-plan"}, &out); code != 1 {
+		t.Errorf("exit = %d for n=3, want 1:\n%s", code, out.String())
+	}
+}
+
+// TestDumpPlanRoundTrips: -dump-plan emits the plan-file shape, which
+// loads back via -plan-file into a byte-identical run — the builtin and
+// its file twin report the same simulation.
+func TestDumpPlanRoundTrips(t *testing.T) {
+	var dumped bytes.Buffer
+	if code := run([]string{"-n", "5", "-t", "2", "-plan", "moving-partition", "-dump-plan"}, &dumped); code != 0 {
+		t.Fatalf("dump exit = %d:\n%s", code, dumped.String())
+	}
+	path := filepath.Join(t.TempDir(), "moving-partition.json")
+	if err := os.WriteFile(path, dumped.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scenario := []string{"-n", "5", "-t", "2", "-crash", "1@15", "-suspect", "2:1@200"}
+	var builtin, fromFile bytes.Buffer
+	b := run(append(scenario, "-plan", "moving-partition"), &builtin)
+	f := run(append(scenario, "-plan-file", path), &fromFile)
+	if b != f {
+		t.Fatalf("exits differ: builtin %d vs plan-file %d", b, f)
+	}
+	if builtin.String() != fromFile.String() {
+		t.Errorf("outputs differ:\n--- -plan\n%s\n--- -plan-file\n%s", builtin.String(), fromFile.String())
+	}
+	if !strings.Contains(builtin.String(), "faults: plan=moving-partition") {
+		t.Errorf("fault counters not reported:\n%s", builtin.String())
+	}
+}
+
+// TestDumpPlanValidatesFirst: -dump-plan must never emit a plan file that
+// -validate-plan (or any run entry point) would reject.
+func TestDumpPlanValidatesFirst(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"rules":[{"cut":true,"hold":true,"until":50}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-n", "5", "-plan-file", bad, "-dump-plan"}, &out); code != 1 {
+		t.Fatalf("exit = %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "contradictory") {
+		t.Errorf("validation error not surfaced:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), `"rules"`) {
+		t.Errorf("invalid plan was dumped anyway:\n%s", out.String())
+	}
+}
+
+// TestPlanFileRunRecordsTrace: a file-loaded plan flows into the trace
+// header — name and fully serialized rules — like a builtin does.
+func TestPlanFileRunRecordsTrace(t *testing.T) {
+	dir := t.TempDir()
+	planPath := filepath.Join(dir, "half-cut.json")
+	body := `{"rules":[{"from":5,"cut":true,"links":{"groups":[[1,2],[3,4]]}}]}`
+	if err := os.WriteFile(planPath, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "trace.json")
+	var out bytes.Buffer
+	code := run([]string{"-n", "5", "-t", "2", "-suspect", "2:1@10",
+		"-plan-file", planPath, "-o", tracePath}, &out)
+	if code != 0 && code != 1 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	hdr, _, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Plan != "half-cut" {
+		t.Errorf("header plan = %q, want the file base name", hdr.Plan)
+	}
+	if hdr.FaultPlan == nil || hdr.FaultPlan.Name != "half-cut" || len(hdr.FaultPlan.Rules) != 1 {
+		t.Errorf("header does not carry the serialized file plan: %+v", hdr.FaultPlan)
+	}
+}
+
+func TestPlanFileBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	typo := filepath.Join(dir, "typo.json")
+	if err := os.WriteFile(typo, []byte(`{"rules":[{"cutt":true}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-plan-file", filepath.Join(dir, "missing.json")},
+		{"-plan-file", typo},                         // unknown field: strict decode
+		{"-plan", "split-brain", "-plan-file", typo}, // mutually exclusive
+		{"-validate-plan"},                           // nothing to validate
+		{"-dump-plan"},                               // nothing to dump
+		{"-plan", "split-brain", "-validate-plan", "-dump-plan"}, // pick one
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if code := run(args, &out); code != 2 {
+			t.Errorf("run(%v) = %d, want 2:\n%s", args, code, out.String())
+		}
+	}
+}

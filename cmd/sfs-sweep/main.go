@@ -11,6 +11,7 @@
 //	sfs-sweep -q-delta -1,0 -schedules park-ring  # quorum lower-bound probe
 //	sfs-sweep --plan split-brain                  # network-adversary grid
 //	sfs-sweep --plan flaky-quorum,healing-partition -seeds 100
+//	sfs-sweep -plan-file examples/plans/rolling-blackout.json -grid 5:2
 //	sfs-sweep --plan healing-partition -reliable both -max-time 3000
 //	sfs-sweep --plan flaky-quorum -heartbeat 25 -hb-timeout 80 -max-time 5000
 //	sfs-sweep -list-schedules                     # built-in fault schedules
@@ -58,6 +59,7 @@ func run(args []string, out io.Writer) int {
 		protocols = fs.String("protocols", "sfs", "comma-separated protocols: sfs, cheap, unilateral")
 		schedules = fs.String("schedules", "false-suspicion,crash,mutual", "comma-separated built-in fault schedules")
 		plans     = fs.String("plan", "", "comma-separated built-in network fault plans (empty: fault-free network)")
+		planFiles = fs.String("plan-file", "", "comma-separated JSON fault-plan files to add to the plan axis (see examples/plans)")
 		reliab    = fs.String("reliable", "off", "reliable-delivery axis: off, on, or both (grid every cell with and without the layer)")
 		maxRetry  = fs.Int("max-retries", 0, "retransmissions per frame before a reliable link gives up (0: retry forever, needs -max-time)")
 		hbEvery   = fs.Int64("heartbeat", 0, "heartbeat interval in ticks (0: no fd layer); adds a false-suspicion column, needs -max-time")
@@ -127,6 +129,12 @@ func run(args []string, out io.Writer) int {
 		fmt.Fprintln(out, err)
 		return 2
 	}
+	filePlans, err := parsePlanFiles(*planFiles)
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	spec.Plans = append(spec.Plans, filePlans...)
 	if spec.QuorumDeltas, err = parseInts(*qDeltas); err != nil {
 		fmt.Fprintln(out, err)
 		return 2
@@ -315,6 +323,29 @@ func parsePlans(s string) ([]netadv.Generator, error) {
 			return nil, fmt.Errorf("unknown plan %q (have %s)", name, strings.Join(netadv.BuiltinNames(), ", "))
 		}
 		out = append(out, g)
+	}
+	return out, nil
+}
+
+// parsePlanFiles loads user-authored fault plans, each wrapped as a fixed
+// generator on the plan axis. Structural validation against every grid
+// point happens in sweep.Spec.Validate, so a plan that does not fit some
+// cell fails the sweep up front with a clear error.
+func parsePlanFiles(s string) ([]netadv.Generator, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []netadv.Generator
+	for _, path := range strings.Split(s, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			return nil, fmt.Errorf("empty entry in -plan-file %q", s)
+		}
+		plan, err := netadv.ReadPlanFile(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, netadv.Fixed(plan))
 	}
 	return out, nil
 }

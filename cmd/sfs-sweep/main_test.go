@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"failstop"
 )
 
 func TestSweepDefaultGrid(t *testing.T) {
@@ -257,6 +259,84 @@ func TestSweepReliableBadFlags(t *testing.T) {
 		var out bytes.Buffer
 		if code := run(args, &out); code != 2 {
 			t.Errorf("run(%v) = %d, want 2:\n%s", args, code, out.String())
+		}
+	}
+}
+
+// TestSweepPlanFileMatchesBuiltin is the PR's acceptance criterion: a
+// builtin plan serialized to the plan-file format and re-run via -plan-file
+// produces a report byte-identical to the -plan run.
+func TestSweepPlanFileMatchesBuiltin(t *testing.T) {
+	plan, err := failstop.BuiltinFaultPlan("split-brain", 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "split-brain.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failstop.WriteFaultPlan(f, plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var builtin, fromFile bytes.Buffer
+	if code := run([]string{"-grid", "5:2", "-seeds", "6", "-plan", "split-brain"}, &builtin); code != 0 {
+		t.Fatalf("builtin run exit = %d:\n%s", code, builtin.String())
+	}
+	if code := run([]string{"-grid", "5:2", "-seeds", "6", "-plan-file", path}, &fromFile); code != 0 {
+		t.Fatalf("plan-file run exit = %d:\n%s", code, fromFile.String())
+	}
+	if builtin.String() != fromFile.String() {
+		t.Errorf("reports differ:\n--- -plan\n%s\n--- -plan-file\n%s", builtin.String(), fromFile.String())
+	}
+}
+
+// TestSweepPlanFileAxis: file plans ride the same grid axis as builtins —
+// both in one sweep yields the cross product, and an unnamed plan file
+// takes its base name as cell identity.
+func TestSweepPlanFileAxis(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "my-cut.json")
+	body := `{"rules":[{"from":5,"cut":true,"links":{"groups":[[1,2],[3,4]]}}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	args := []string{"-grid", "5:2", "-seeds", "2", "-schedules", "crash",
+		"-plan", "split-brain", "-plan-file", path}
+	if code := run(args, &out); code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"plan=split-brain", "plan=my-cut", "2 cells"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSweepPlanFileBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	tooBig := filepath.Join(dir, "too-big.json")
+	if err := os.WriteFile(tooBig, []byte(`{"rules":[{"cut":true,"links":{"groups":[[1,9]]}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	typo := filepath.Join(dir, "typo.json")
+	if err := os.WriteFile(typo, []byte(`{"rules":[{"cutt":true}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, args := range map[string][]string{
+		"missing file":          {"-plan-file", filepath.Join(dir, "nope.json")},
+		"unknown field":         {"-plan-file", typo},
+		"plan too big for grid": {"-grid", "5:2", "-plan-file", tooBig},
+		"trailing comma":        {"-plan-file", tooBig + ","},
+	} {
+		var out bytes.Buffer
+		if code := run(args, &out); code != 2 {
+			t.Errorf("%s: run(%v) = %d, want 2:\n%s", name, args, code, out.String())
 		}
 	}
 }

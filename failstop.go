@@ -27,6 +27,7 @@ package failstop
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"failstop/internal/checker"
@@ -300,7 +301,7 @@ func MaxTolerable(n int) int { return quorum.MaxTolerable(n) }
 
 // FaultPlanNames lists the built-in network fault plans: "split-brain",
 // "isolated-minority", "one-way-cut", "flaky-quorum", "healing-partition",
-// "buffering-partition".
+// "buffering-partition", "moving-partition".
 func FaultPlanNames() []string { return netadv.BuiltinNames() }
 
 // BuiltinFaultPlan instantiates the named built-in fault plan for a
@@ -312,6 +313,20 @@ func BuiltinFaultPlan(name string, n, t int) (FaultPlan, error) {
 	}
 	return g.Make(n, t), nil
 }
+
+// ReadFaultPlan parses a fault plan from JSON — the plan-file format, which
+// is the exact shape trace-v2 headers embed. The decode is strict (unknown
+// fields are errors); call FaultPlan.Validate(n) before use, or let
+// NewCluster/NewLiveCluster validate via Options.
+func ReadFaultPlan(r io.Reader) (FaultPlan, error) { return netadv.ReadPlan(r) }
+
+// LoadFaultPlan reads a fault plan from a JSON file; a plan with no name
+// takes the file's base name. See ReadFaultPlan.
+func LoadFaultPlan(path string) (FaultPlan, error) { return netadv.ReadPlanFile(path) }
+
+// WriteFaultPlan writes the plan in the plan-file format (indented JSON) —
+// the canonical way to turn a builtin into an editable file.
+func WriteFaultPlan(w io.Writer, p FaultPlan) error { return netadv.WritePlan(w, p) }
 
 // LiveOptions configures a live (goroutine) cluster.
 type LiveOptions struct {

@@ -7,6 +7,7 @@ import (
 
 	"failstop"
 	"failstop/internal/model"
+	"failstop/internal/netadv"
 )
 
 func TestOptionsValidate(t *testing.T) {
@@ -73,7 +74,7 @@ func TestNewLiveClusterPanicsOnTooFewProcesses(t *testing.T) {
 
 func TestBuiltinFaultPlans(t *testing.T) {
 	names := failstop.FaultPlanNames()
-	if len(names) != 6 {
+	if len(names) != 7 {
 		t.Fatalf("FaultPlanNames() = %v", names)
 	}
 	for _, name := range names {
@@ -329,4 +330,208 @@ func TestOneWayCutCrossBackend(t *testing.T) {
 	}
 	lc.Stop()
 	checkOneWayCutSemantics(t, "live", lc.History())
+}
+
+// movingIsolatedAt returns which process the moving-partition builtin (for
+// n processes) isolates at tick ts, or 0 before the rotation starts.
+func movingIsolatedAt(n int, ts int64) failstop.ProcID {
+	if ts < 10 {
+		return 0
+	}
+	return failstop.ProcID((ts-10)/netadv.MovingPartitionStride%int64(n) + 1)
+}
+
+// checkMovingPartitionInvariant asserts what both backends must agree on
+// under moving-partition: no message sent while one of its endpoints was
+// isolated is ever delivered. Send times within margin ticks of a window
+// boundary are skipped — the live runtime stamps the send event and
+// consults the plan on separate clock reads, so boundary ticks are fuzzy
+// there (the simulator passes with margin 0).
+func checkMovingPartitionInvariant(t *testing.T, backend string, n int, h failstop.History, margin int64) {
+	t.Helper()
+	sendTime := make(map[model.MsgID]int64)
+	sender := make(map[model.MsgID]failstop.ProcID)
+	for _, e := range h {
+		if e.Kind == model.KindSend {
+			sendTime[e.Msg] = e.Time
+			sender[e.Msg] = e.Proc
+		}
+	}
+	checked := 0
+	for _, e := range h {
+		if e.Kind != model.KindRecv {
+			continue
+		}
+		ts, ok := sendTime[e.Msg]
+		if !ok {
+			t.Errorf("%s: receive of unknown message %d", backend, e.Msg)
+			continue
+		}
+		iso := movingIsolatedAt(n, ts)
+		if iso == 0 {
+			continue
+		}
+		if pos := (ts - 10) % netadv.MovingPartitionStride; pos < margin || pos >= netadv.MovingPartitionStride-margin {
+			continue // too close to a rotation boundary to attribute
+		}
+		checked++
+		if sender[e.Msg] == iso || e.Proc == iso {
+			t.Errorf("%s: message sent at %d delivered although process %d was isolated: %s", backend, ts, iso, e)
+		}
+	}
+	if checked == 0 {
+		t.Errorf("%s: no deliveries with attributable send times; the invariant was never exercised", backend)
+	}
+}
+
+// TestMovingPartitionCrossBackend: the rotating cut behaves identically on
+// the deterministic simulator and the live runtime. On the simulator the
+// outcome is exact: a suspicion raised while process 4 is isolated
+// assembles its quorum among the three connected live processes, process 4
+// starves, and nothing ever crosses an active cut. The live runtime must
+// honor the same rotation (invariant + eventual detection), with retries
+// because a wall-clock injection may land in an unlucky window.
+func TestMovingPartitionCrossBackend(t *testing.T) {
+	const n, tt = 5, 2
+	plan, err := failstop.BuiltinFaultPlan("moving-partition", n, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stride = netadv.MovingPartitionStride
+
+	// Simulated backend. Windows: 1 isolated [10,70), 2 [70,130),
+	// 3 [130,190), 4 [190,250), 5 [250,310), then wrap. Crash 1 inside its
+	// own window; suspect it from 2 at tick 200, while 4 is dark: the
+	// broadcast and its echoes stay inside 4's window, so 2, 3, and 5
+	// assemble the quorum of 3 and 4 starves.
+	c := failstop.NewCluster(failstop.Options{
+		N: n, T: tt, Seed: 5, MaxTime: 4000, Faults: &plan,
+	})
+	c.CrashAt(15, 1)
+	c.SuspectAt(10+3*stride+10, 2, 1)
+	rep := c.Run()
+	for _, p := range []failstop.ProcID{2, 3, 5} {
+		if rep.History.FailedIndex(p, 1) < 0 {
+			t.Errorf("sim: failed_%d(1) never completed despite a quorum of connected processes", p)
+		}
+	}
+	if idx := rep.History.FailedIndex(4, 1); idx >= 0 {
+		t.Errorf("sim: failed_4(1) completed at %d although every voice was sent into 4's isolation window", idx)
+	}
+	if rep.Dropped == 0 {
+		t.Error("sim: rotating cut dropped nothing")
+	}
+	checkMovingPartitionInvariant(t, "sim", n, rep.History, 0)
+
+	// Live backend, same plan: 1ms ticks, so each process is dark for one
+	// 60ms stride. Suspicions are re-raised from rotating suspecters until
+	// one broadcast lands in a window that lets a quorum assemble — under a
+	// moving (never permanent) partition detection must eventually succeed.
+	lc := failstop.NewLiveCluster(failstop.LiveOptions{
+		N: n, T: tt, Seed: 5, Faults: &plan,
+		MinDelay: 1 * time.Millisecond, MaxDelay: 3 * time.Millisecond,
+		Tick: 1 * time.Millisecond,
+	})
+	lc.Start()
+	time.Sleep(15 * time.Millisecond)
+	lc.Crash(1)
+	detected := func(h failstop.History) int {
+		got := 0
+		for p := failstop.ProcID(2); p <= n; p++ {
+			if h.FailedIndex(p, 1) >= 0 {
+				got++
+			}
+		}
+		return got
+	}
+	deadline := time.Now().Add(8 * time.Second)
+	suspecters := []failstop.ProcID{2, 3, 5, 4}
+	for i := 0; detected(lc.History()) < 3 && time.Now().Before(deadline); i++ {
+		lc.Suspect(suspecters[i%len(suspecters)], 1)
+		pause := time.Now().Add(600 * time.Millisecond)
+		for detected(lc.History()) < 3 && time.Now().Before(pause) {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	lc.Stop()
+	h := lc.History()
+	if got := detected(h); got < 3 {
+		t.Errorf("live: only %d processes detected the crash under the moving partition, want >= 3", got)
+	}
+	checkMovingPartitionInvariant(t, "live", n, h, 8)
+}
+
+// recvGaps collects the delivery-time gaps between consecutive receives on
+// the directed link from -> to.
+func recvGaps(h failstop.History, from, to failstop.ProcID) []int64 {
+	var times []int64
+	for _, e := range h {
+		if e.Kind == model.KindRecv && e.Proc == to && e.Peer == from {
+			times = append(times, e.Time)
+		}
+	}
+	gaps := make([]int64, 0, len(times))
+	for i := 1; i < len(times); i++ {
+		gaps = append(gaps, times[i]-times[i-1])
+	}
+	return gaps
+}
+
+// TestQueueDelayCrossBackend: bandwidth shaping spreads a burst identically
+// on both backends. Process 1 raises three suspicions back to back, so its
+// link to process 2 carries three SUSP broadcasts at once; with QueueDelay
+// the copies must arrive at least one serialization slot apart — exactly
+// one on the deterministic simulator, approximately on real clocks.
+func TestQueueDelayCrossBackend(t *testing.T) {
+	const delay = 40
+	shaped := &failstop.FaultPlan{
+		Name:  "shaped",
+		Rules: []failstop.FaultRule{{QueueDelay: delay}},
+	}
+
+	// Simulated backend: base delay pinned to 1 tick, so the three SUSP
+	// messages on link 1->2 arrive spaced exactly QueueDelay apart.
+	c := failstop.NewCluster(failstop.Options{
+		N: 5, T: 2, Seed: 9, MinDelay: 1, MaxDelay: 1, MaxTime: 4000,
+		Faults: shaped,
+	})
+	c.SuspectAt(20, 1, 3)
+	c.SuspectAt(20, 1, 4)
+	c.SuspectAt(20, 1, 5)
+	rep := c.Run()
+	gaps := recvGaps(rep.History, 1, 2)
+	if len(gaps) != 2 {
+		t.Fatalf("sim: link 1->2 delivered %d messages, want 3", len(gaps)+1)
+	}
+	for i, g := range gaps {
+		if g != delay {
+			t.Errorf("sim: gap %d on link 1->2 = %d ticks, want exactly %d", i, g, delay)
+		}
+	}
+
+	// Live backend, same plan: 1ms ticks. Scheduling jitter loosens the
+	// bound but the serialization slots must still be visible.
+	lc := failstop.NewLiveCluster(failstop.LiveOptions{
+		N: 5, T: 2, Seed: 9, Faults: shaped,
+		MinDelay: 1 * time.Millisecond, MaxDelay: 1 * time.Millisecond,
+		Tick: 1 * time.Millisecond,
+	})
+	lc.Start()
+	lc.Suspect(1, 3)
+	lc.Suspect(1, 4)
+	lc.Suspect(1, 5)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(recvGaps(lc.History(), 1, 2)) < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	lc.Stop()
+	gaps = recvGaps(lc.History(), 1, 2)
+	if len(gaps) < 2 {
+		t.Fatalf("live: link 1->2 delivered %d messages, want 3", len(gaps)+1)
+	}
+	for i, g := range gaps {
+		if g < delay-8 {
+			t.Errorf("live: gap %d on link 1->2 = %d ticks, want >= %d (shaping lost)", i, g, delay-8)
+		}
+	}
 }

@@ -41,10 +41,13 @@ func E13() Result {
 		wantFS1Bare, wantFS1Rel string
 	}
 	dropPlan := func(p float64) netadv.Plan {
-		return netadv.Plan{
-			Name:  fmt.Sprintf("drop-%.2f", p),
-			Rules: []netadv.Rule{{Drop: p}},
+		plan := netadv.Plan{Name: fmt.Sprintf("drop-%.2f", p)}
+		if p > 0 {
+			// Drop 0 is the fault-free baseline: an empty plan, since a rule
+			// with no effect no longer validates.
+			plan.Rules = []netadv.Rule{{Drop: p}}
 		}
+		return plan
 	}
 	healing, _ := netadv.Builtin("healing-partition")
 	splitBrain, _ := netadv.Builtin("split-brain")

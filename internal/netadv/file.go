@@ -1,0 +1,96 @@
+package netadv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file is the plan-file format: a Plan serialized as one JSON object,
+// the exact shape trace-v2 headers embed under "fault_plan". Plans are
+// authored by hand, so reading is strict — unknown fields are errors, not
+// silently ignored typos — and structural validation against a concrete
+// cluster size happens separately via Plan.Validate (the reader does not
+// know n). See examples/plans/ for authored examples and the README's
+// "Authoring fault plans" section for the rule-field reference.
+
+// ReadPlan parses a JSON fault plan from r. The decode is strict: unknown
+// fields and trailing data are errors. The plan is syntactically parsed but
+// NOT validated — callers must still run Plan.Validate(n) for their cluster
+// size (NewPlane does so itself).
+func ReadPlan(r io.Reader) (Plan, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("netadv: parsing plan: %w", err)
+	}
+	// A second JSON value after the plan is as suspect as an unknown field;
+	// a genuine read failure past the object keeps its own error.
+	switch err := dec.Decode(new(json.RawMessage)); err {
+	case io.EOF:
+	case nil:
+		return Plan{}, fmt.Errorf("netadv: trailing data after plan object")
+	default:
+		return Plan{}, fmt.Errorf("netadv: reading past plan object: %w", err)
+	}
+	if len(p.Rules) == 0 {
+		// `null`, `{}`, and `{"rules":[]}` all decode to the zero Plan — a
+		// silently fault-free network that a broken generation pipeline
+		// would never notice. A fault-free cell is spelled by omitting the
+		// plan, not by loading an empty one.
+		return Plan{}, fmt.Errorf("netadv: plan file has no rules (empty, null, or missing \"rules\")")
+	}
+	return p, nil
+}
+
+// ReadPlanFile reads a JSON fault plan from the named file. A plan with no
+// "name" field takes the file's base name (without extension), so every
+// file-loaded plan has a usable identity for sweep cells and reports.
+func ReadPlanFile(path string) (Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Plan{}, fmt.Errorf("netadv: reading plan: %w", err)
+	}
+	defer f.Close()
+	p, err := ReadPlan(f)
+	if err != nil {
+		return Plan{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if p.Name == "" {
+		base := filepath.Base(path)
+		p.Name = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	return p, nil
+}
+
+// WritePlan writes the plan to w in the plan-file format (indented JSON,
+// trailing newline) — the canonical shape ReadPlan accepts, also used by
+// sfs-sim -dump-plan to turn a builtin into an editable starting point.
+// A rule-less plan is rejected symmetrically with ReadPlan: it would
+// produce a file no reader accepts.
+func WritePlan(w io.Writer, p Plan) error {
+	if len(p.Rules) == 0 {
+		return fmt.Errorf("netadv: refusing to write plan %q with no rules (a fault-free network is spelled by omitting the plan)", p.Name)
+	}
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("netadv: encoding plan: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("netadv: writing plan: %w", err)
+	}
+	return nil
+}
+
+// Fixed wraps an already-instantiated plan (typically one loaded from a
+// file) as a Generator, so it can ride the sweep engine's Plans axis next
+// to the builtins. The plan is used as-is for every grid cell; Spec.Validate
+// checks it against each grid point's cluster size.
+func Fixed(p Plan) Generator {
+	return Generator{Name: p.Name, Make: func(n, t int) Plan { return p }}
+}

@@ -1,0 +1,169 @@
+package netadv
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"failstop/internal/model"
+	"failstop/internal/node"
+)
+
+// TestBuiltinPlansRoundTripThroughFiles is the PR's round-trip property
+// test: every builtin plan, serialized to the plan-file format and read
+// back, is structurally identical AND decides an identical fate for every
+// message of a sampled stream — so a plan exported with -dump-plan and
+// re-run via -plan-file reproduces the original run byte for byte.
+func TestBuiltinPlansRoundTripThroughFiles(t *testing.T) {
+	const n, tt, seed = 10, 3, 77
+	for _, g := range Builtins() {
+		t.Run(g.Name, func(t *testing.T) {
+			plan := g.Make(n, tt)
+			var buf bytes.Buffer
+			if err := WritePlan(&buf, plan); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadPlan(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, plan) {
+				t.Fatalf("round trip changed the plan:\n got %+v\nwant %+v", got, plan)
+			}
+			orig := NewPlane(plan, n, seed)
+			reread := NewPlane(got, n, seed)
+			// Sample a deterministic message stream: several links, both
+			// payload classes, times crossing every builtin's windows.
+			for i := 0; i < 400; i++ {
+				from := model.ProcID(i%n + 1)
+				to := model.ProcID((i+1+i/n)%n + 1)
+				if from == to {
+					continue
+				}
+				tag := "APP"
+				if i%3 == 0 {
+					tag = "SUSP"
+				}
+				at := int64(i * 2)
+				a := orig.Decide(from, to, node.Payload{Tag: tag}, at)
+				b := reread.Decide(from, to, node.Payload{Tag: tag}, at)
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("message %d (%d->%d at %d): fates diverged: %+v vs %+v", i, from, to, at, a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestReadPlanRejectsMalformedInput(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"empty input", "", "parsing plan"},
+		{"not json", "rules: []", "parsing plan"},
+		{"null plan", "null", "no rules"},
+		{"empty object", "{}", "no rules"},
+		{"empty rules", `{"name":"x","rules":[]}`, "no rules"},
+		{"unknown top-level field", `{"name":"x","ruels":[{"cut":true}]}`, "ruels"},
+		{"unknown rule field", `{"rules":[{"cutt":true}]}`, "cutt"},
+		{"unknown nested field", `{"rules":[{"cut":true,"links":{"groupz":[[1]]}}]}`, "groupz"},
+		{"misspelled new field", `{"rules":[{"cut":true,"queue_dely":5}]}`, "queue_dely"},
+		{"trailing data", `{"rules":[{"cut":true}]}{"rules":[]}`, "trailing data"},
+		{"garbage after plan", `{"rules":[{"cut":true}]}]`, "reading past plan"},
+		{"wrong type", `{"rules":[{"drop":"high"}]}`, "parsing plan"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ReadPlan(strings.NewReader(tt.in))
+			if err == nil {
+				t.Fatalf("malformed plan accepted: %q", tt.in)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+// TestReadPlanParsesButDoesNotValidate: syntactically fine, semantically
+// broken plans pass ReadPlan and fail Validate — the reader cannot know n,
+// so lint-time validation is a separate, explicit step.
+func TestReadPlanParsesButDoesNotValidate(t *testing.T) {
+	p, err := ReadPlan(strings.NewReader(`{"rules":[{"cut":true,"hold":true,"until":50}]}`))
+	if err != nil {
+		t.Fatalf("ReadPlan rejected a syntactically valid plan: %v", err)
+	}
+	if err := p.Validate(5); err == nil {
+		t.Error("Cut+Hold plan validated")
+	}
+}
+
+func TestReadPlanFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "my-partition.json")
+	body := `{"rules":[{"from":5,"cut":true,"links":{"groups":[[1,2],[3]]}}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ReadPlanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unnamed plan takes the file's base name.
+	if p.Name != "my-partition" {
+		t.Errorf("Name = %q, want the file base name", p.Name)
+	}
+	if err := p.Validate(3); err != nil {
+		t.Errorf("loaded plan does not validate: %v", err)
+	}
+
+	// A named plan keeps its name.
+	named := filepath.Join(dir, "file.json")
+	if err := os.WriteFile(named, []byte(`{"name":"custom","rules":[{"drop":0.5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if p, err = ReadPlanFile(named); err != nil || p.Name != "custom" {
+		t.Errorf("ReadPlanFile = (%+v, %v), want name custom", p, err)
+	}
+
+	// Errors carry the path; missing files error.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"rules":[{"cutt":true}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPlanFile(bad); err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Errorf("error %v does not carry the file path", err)
+	}
+	if _, err := ReadPlanFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file read without error")
+	}
+}
+
+// TestWritePlanRejectsEmptyPlan: the writer refuses what the reader will
+// never read back, so the write/read pair always round-trips.
+func TestWritePlanRejectsEmptyPlan(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, Plan{Name: "hollow"}); err == nil || !strings.Contains(err.Error(), "no rules") {
+		t.Errorf("WritePlan(empty plan) = %v, want a no-rules refusal", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("refused plan still wrote %q", buf.String())
+	}
+}
+
+func TestFixedGenerator(t *testing.T) {
+	plan := Plan{Name: "pinned", Rules: []Rule{{Drop: 0.1}}}
+	g := Fixed(plan)
+	if g.Name != "pinned" {
+		t.Errorf("Fixed name = %q", g.Name)
+	}
+	// The plan is used as-is for every cluster size.
+	if got := g.Make(50, 4); !reflect.DeepEqual(got, plan) {
+		t.Errorf("Make(50,4) = %+v, want the pinned plan", got)
+	}
+}

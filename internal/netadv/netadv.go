@@ -72,10 +72,11 @@ type Rule struct {
 	// Nothing is retransmitted after a heal — a protocol that broadcasts
 	// once (like §5) permanently loses what it sent into the cut.
 	Cut bool `json:"cut,omitempty"`
-	// Hold delays every matching message until the rule expires (requires
-	// Until > 0): the buffering-partition primitive, modeling links that
-	// retransmit until connectivity returns. Messages sent into the
-	// partition arrive just after the heal instead of being lost.
+	// Hold delays every matching message until the rule's window closes
+	// (requires Until > 0 or a periodic window): the buffering-partition
+	// primitive, modeling links that retransmit until connectivity returns.
+	// Messages sent into the partition arrive just after the heal instead
+	// of being lost.
 	Hold bool `json:"hold,omitempty"`
 	// Drop is the probability a matching message is discarded.
 	Drop float64 `json:"drop,omitempty"`
@@ -87,6 +88,34 @@ type Rule struct {
 	// JitterMax adds a uniform extra delay in [0, JitterMax] ticks to every
 	// delivered copy of a matching message.
 	JitterMax int64 `json:"jitter_max,omitempty"`
+	// Period, when positive, makes the rule's window repeat: the rule is
+	// active at time at iff From <= at (and at < Until when Until is set)
+	// and (at - From) mod Period < ActiveFor. Periodic rules are the
+	// rule-timeline primitive behind dynamic plans: several periodic rules
+	// with staggered From offsets rotate a cut through the cluster (see the
+	// moving-partition builtin and examples/plans/rolling-blackout.json).
+	Period int64 `json:"period,omitempty"`
+	// ActiveFor is the length of each active window within a Period, in
+	// ticks. Required (0 < ActiveFor <= Period) when Period is set.
+	ActiveFor int64 `json:"active_for,omitempty"`
+	// QueueDelay, when positive, shapes the link's bandwidth: each matching
+	// message occupies the link for QueueDelay ticks, and a message sent
+	// while earlier ones still occupy it waits for that backlog to drain
+	// first (its extra delay grows linearly with the link's in-flight queue
+	// depth). The backlog is tracked per (rule, link) in the Plane. Every
+	// matching send is charged, including messages some rule ultimately
+	// drops — a lossy shaped link still spends serialization time on the
+	// frames it loses.
+	QueueDelay int64 `json:"queue_delay,omitempty"`
+}
+
+// noop reports whether the rule has no fault effect at all. A rule that
+// matches traffic but does nothing is almost certainly an authoring typo
+// (e.g. a misspelled field a strict decoder did not catch), so Validate
+// rejects it.
+func (r Rule) noop() bool {
+	return !r.Cut && !r.Hold && r.Drop == 0 && r.Duplicate == 0 &&
+		r.Reorder == 0 && r.JitterMax == 0 && r.QueueDelay == 0
 }
 
 // Plan is a declarative, seed-deterministic fault timeline for a cluster's
@@ -123,14 +152,56 @@ func (p Plan) Validate(n int) error {
 		if r.JitterMax < 0 {
 			return fmt.Errorf("netadv: rule %d of plan %q: negative JitterMax %d", i, p.Name, r.JitterMax)
 		}
-		if r.Hold && r.Until == 0 {
-			return fmt.Errorf("netadv: rule %d of plan %q: Hold requires a heal time (Until > 0)", i, p.Name)
+		if r.QueueDelay < 0 {
+			return fmt.Errorf("netadv: rule %d of plan %q: negative QueueDelay %d", i, p.Name, r.QueueDelay)
 		}
-		for _, g := range r.Links.Groups {
+		if r.Period < 0 {
+			return fmt.Errorf("netadv: rule %d of plan %q: negative Period %d", i, p.Name, r.Period)
+		}
+		if r.Period > 0 && (r.ActiveFor <= 0 || r.ActiveFor > r.Period) {
+			return fmt.Errorf("netadv: rule %d of plan %q: Period %d needs ActiveFor in 1..%d, have %d", i, p.Name, r.Period, r.Period, r.ActiveFor)
+		}
+		if r.Period == 0 && r.ActiveFor != 0 {
+			return fmt.Errorf("netadv: rule %d of plan %q: ActiveFor %d without a Period", i, p.Name, r.ActiveFor)
+		}
+		if r.Cut && r.Hold {
+			// Decide would drop the message and then compute a hold delay for
+			// a copy that no longer exists: Cut silently wins. Reject the
+			// contradiction instead of picking a winner.
+			return fmt.Errorf("netadv: rule %d of plan %q: Cut and Hold are contradictory (Cut loses the message, Hold promises to deliver it)", i, p.Name)
+		}
+		if r.Hold && r.Until == 0 && r.Period == 0 {
+			return fmt.Errorf("netadv: rule %d of plan %q: Hold requires a heal time (Until > 0 or a periodic window)", i, p.Name)
+		}
+		if r.Hold && r.Period > 0 && r.ActiveFor >= r.Period {
+			// With ActiveFor == Period the window never actually closes:
+			// healAt would release held messages into the still-active hold,
+			// breaking the "arrives just after the heal" guarantee.
+			return fmt.Errorf("netadv: rule %d of plan %q: Hold with a periodic window needs ActiveFor < Period (a window that never closes never heals)", i, p.Name)
+		}
+		if r.noop() {
+			return fmt.Errorf("netadv: rule %d of plan %q: no effect (none of Cut/Hold/Drop/Duplicate/Reorder/JitterMax/QueueDelay set)", i, p.Name)
+		}
+		seen := make(map[model.ProcID]int)
+		for gi, g := range r.Links.Groups {
+			if len(g) == 0 {
+				// An empty group compiles to nothing: with only empty groups
+				// the rule looks targeted but matches no link at all.
+				return fmt.Errorf("netadv: rule %d of plan %q: group %d is empty", i, p.Name, gi)
+			}
 			for _, proc := range g {
 				if proc < 1 || int(proc) > n {
 					return fmt.Errorf("netadv: rule %d of plan %q: process %d outside 1..%d", i, p.Name, proc, n)
 				}
+				if prev, dup := seen[proc]; dup {
+					// NewPlane compiles groupOf last-wins, which would
+					// silently change the partition's shape.
+					if prev == gi {
+						return fmt.Errorf("netadv: rule %d of plan %q: process %d listed twice in group %d", i, p.Name, proc, gi)
+					}
+					return fmt.Errorf("netadv: rule %d of plan %q: process %d in both group %d and group %d", i, p.Name, proc, prev, gi)
+				}
+				seen[proc] = gi
 			}
 		}
 		for _, l := range r.Links.Pairs {
@@ -152,7 +223,27 @@ type compiledRule struct {
 }
 
 func (cr *compiledRule) activeAt(at int64) bool {
-	return at >= cr.From && (cr.Until == 0 || at < cr.Until)
+	if at < cr.From || (cr.Until != 0 && at >= cr.Until) {
+		return false
+	}
+	if cr.Period > 0 {
+		return (at-cr.From)%cr.Period < cr.ActiveFor
+	}
+	return true
+}
+
+// healAt returns when a Hold rule active at time at releases its messages:
+// the end of the current periodic window, clamped by Until. Only meaningful
+// when activeAt(at) holds.
+func (cr *compiledRule) healAt(at int64) int64 {
+	heal := cr.Until
+	if cr.Period > 0 {
+		end := cr.From + (at-cr.From)/cr.Period*cr.Period + cr.ActiveFor
+		if heal == 0 || end < heal {
+			heal = end
+		}
+	}
+	return heal
 }
 
 func (cr *compiledRule) matches(from, to model.ProcID, tag string) bool {
@@ -194,6 +285,17 @@ type Plane struct {
 
 	mu  sync.Mutex
 	seq map[Link]uint64
+	// busyUntil tracks, per (QueueDelay rule, link), the virtual time at
+	// which the link's in-flight backlog drains: each charged message
+	// occupies the link for QueueDelay ticks, so the current queue depth is
+	// ceil((busyUntil - now) / QueueDelay).
+	busyUntil map[busyKey]int64
+}
+
+// busyKey identifies one shaping rule's queue on one directed link.
+type busyKey struct {
+	rule int
+	link Link
 }
 
 // NewPlane instantiates plan for a cluster of n processes, deriving all
@@ -203,7 +305,10 @@ func NewPlane(plan Plan, n int, seed int64) *Plane {
 	if err := plan.Validate(n); err != nil {
 		panic(err)
 	}
-	pl := &Plane{plan: plan, n: n, seed: seed, seq: make(map[Link]uint64)}
+	pl := &Plane{
+		plan: plan, n: n, seed: seed,
+		seq: make(map[Link]uint64), busyUntil: make(map[busyKey]int64),
+	}
 	for _, r := range plan.Rules {
 		cr := compiledRule{Rule: r}
 		if len(r.Links.Groups) > 0 {
@@ -278,9 +383,10 @@ func (pl *Plane) Decide(from, to model.ProcID, p node.Payload, at int64) node.Li
 			dec.Drop = true
 		}
 		if cr.Hold {
-			// Deliver no earlier than the heal: the base delay is >= 0, so
-			// pushing the extra delay to (Until - at) suffices.
-			if hold := cr.Until - at; hold > dec.ExtraDelay {
+			// Deliver no earlier than the heal (the end of the current
+			// window): the base delay is >= 0, so pushing the extra delay to
+			// (heal - at) suffices.
+			if hold := cr.healAt(at) - at; hold > dec.ExtraDelay {
 				dec.ExtraDelay = hold
 			}
 		}
@@ -293,8 +399,28 @@ func (pl *Plane) Decide(from, to model.ProcID, p node.Payload, at int64) node.Li
 		if cr.JitterMax > 0 {
 			dec.ExtraDelay += int64(jit % uint64(cr.JitterMax+1))
 		}
+		if cr.QueueDelay > 0 {
+			dec.ExtraDelay += pl.shape(i, link, at, cr.QueueDelay)
+		}
 	}
 	return dec
+}
+
+// shape charges one message of per ticks of link time against rule ri's
+// queue on link l and returns how long the message waits for the backlog
+// ahead of it to drain. The wait is a pure function of the link's send
+// times, not of the PRNG stream, so shaping composes with the
+// probabilistic fates without shifting them.
+func (pl *Plane) shape(ri int, l Link, at, per int64) int64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	k := busyKey{rule: ri, link: l}
+	wait := pl.busyUntil[k] - at
+	if wait < 0 {
+		wait = 0
+	}
+	pl.busyUntil[k] = at + wait + per
+	return wait
 }
 
 // stream is a tiny deterministic PRNG (splitmix64) seeded from the plane

@@ -2,6 +2,7 @@ package netadv
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"failstop/internal/core"
@@ -132,28 +133,83 @@ func TestDropRateRoughlyHonored(t *testing.T) {
 }
 
 func TestPlanValidate(t *testing.T) {
-	bad := []Plan{
-		{Rules: []Rule{{From: -1}}},
-		{Rules: []Rule{{From: 10, Until: 10}}},
-		{Rules: []Rule{{Drop: 1.5}}},
-		{Rules: []Rule{{Duplicate: -0.1}}},
-		{Rules: []Rule{{JitterMax: -1}}},
-		{Rules: []Rule{{Links: LinkSet{Groups: [][]model.ProcID{{0}}}}}},
-		{Rules: []Rule{{Links: LinkSet{Groups: [][]model.ProcID{{6}}}}}},
-		{Rules: []Rule{{Links: LinkSet{Pairs: []Link{{From: 1, To: 9}}}}}},
+	bad := []struct {
+		name string
+		plan Plan
+		want string // substring of the error
+	}{
+		{"negative from", Plan{Rules: []Rule{{Cut: true, From: -1}}}, "negative From"},
+		{"until not after from", Plan{Rules: []Rule{{Cut: true, From: 10, Until: 10}}}, "not after"},
+		{"drop above 1", Plan{Rules: []Rule{{Drop: 1.5}}}, "outside [0,1]"},
+		{"negative duplicate", Plan{Rules: []Rule{{Duplicate: -0.1}}}, "outside [0,1]"},
+		{"negative jitter", Plan{Rules: []Rule{{JitterMax: -1}}}, "negative JitterMax"},
+		{"process 0", Plan{Rules: []Rule{{Cut: true, Links: LinkSet{Groups: [][]model.ProcID{{0}}}}}}, "outside 1..5"},
+		{"process above n", Plan{Rules: []Rule{{Cut: true, Links: LinkSet{Groups: [][]model.ProcID{{6}}}}}}, "outside 1..5"},
+		{"pair above n", Plan{Rules: []Rule{{Cut: true, Links: LinkSet{Pairs: []Link{{From: 1, To: 9}}}}}}, "outside 1..5"},
+		{"negative queue delay", Plan{Rules: []Rule{{QueueDelay: -2}}}, "negative QueueDelay"},
+		{"negative period", Plan{Rules: []Rule{{Cut: true, Period: -5, ActiveFor: 1}}}, "negative Period"},
+		{"period without active_for", Plan{Rules: []Rule{{Cut: true, Period: 10}}}, "ActiveFor"},
+		{"active_for above period", Plan{Rules: []Rule{{Cut: true, Period: 10, ActiveFor: 11}}}, "ActiveFor"},
+		{"active_for without period", Plan{Rules: []Rule{{Cut: true, ActiveFor: 5}}}, "without a Period"},
+		// The three validation landmines this PR closes: each used to pass
+		// Validate and silently misbehave in NewPlane/Decide.
+		{"overlapping groups", Plan{Rules: []Rule{{Cut: true, Links: LinkSet{
+			Groups: [][]model.ProcID{{1, 2}, {2, 3}},
+		}}}}, "in both group 0 and group 1"},
+		{"duplicate within one group", Plan{Rules: []Rule{{Cut: true, Links: LinkSet{
+			Groups: [][]model.ProcID{{1, 1}, {2}},
+		}}}}, "listed twice in group 0"},
+		{"empty group", Plan{Rules: []Rule{{Cut: true, Links: LinkSet{
+			Groups: [][]model.ProcID{{}},
+		}}}}, "group 0 is empty"},
+		{"empty group next to full one", Plan{Rules: []Rule{{Cut: true, Links: LinkSet{
+			Groups: [][]model.ProcID{{1, 2}, {}},
+		}}}}, "group 1 is empty"},
+		{"cut and hold", Plan{Rules: []Rule{{Cut: true, Hold: true, Until: 50}}}, "contradictory"},
+		{"hold window never closes", Plan{Rules: []Rule{{Hold: true, Period: 100, ActiveFor: 100}}}, "never closes"},
+		{"no-op rule", Plan{Rules: []Rule{{From: 10, Links: LinkSet{
+			Groups: [][]model.ProcID{{1}, {2}},
+		}}}}, "no effect"},
+		{"fully zero rule", Plan{Rules: []Rule{{}}}, "no effect"},
 	}
-	for i, p := range bad {
-		if err := p.Validate(5); err == nil {
-			t.Errorf("plan %d validated despite being invalid: %+v", i, p)
+	for _, tt := range bad {
+		err := tt.plan.Validate(5)
+		if err == nil {
+			t.Errorf("%s: plan validated despite being invalid: %+v", tt.name, tt.plan)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("%s: error %q does not mention %q", tt.name, err, tt.want)
 		}
 	}
 	ok := Plan{Rules: []Rule{
 		{From: 10, Until: 200, Cut: true, Links: LinkSet{Groups: [][]model.ProcID{{1, 2}, {3}}}},
 		{Drop: 0.5, Duplicate: 1, Reorder: 0.25, JitterMax: 10, Tags: []string{"APP"}},
+		{From: 5, Period: 100, ActiveFor: 40, Cut: true},
+		{Hold: true, Period: 50, ActiveFor: 25}, // periodic hold needs no Until
+		{QueueDelay: 15, Links: LinkSet{Pairs: []Link{{From: 1, To: 2}}}},
 	}}
 	if err := ok.Validate(5); err != nil {
 		t.Errorf("valid plan rejected: %v", err)
 	}
+}
+
+// TestOverlappingGroupsRejected pins the first validation bugfix end to
+// end: before it, NewPlane compiled groupOf last-wins, so {1,2},{2,3}
+// silently behaved as {1},{2,3} — process 2's links to 3 stopped matching.
+func TestOverlappingGroupsRejected(t *testing.T) {
+	p := Plan{Rules: []Rule{{Cut: true, Links: LinkSet{
+		Groups: [][]model.ProcID{{1, 2}, {2, 3}},
+	}}}}
+	if err := p.Validate(3); err == nil {
+		t.Fatal("overlapping groups validated")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPlane accepted a rule with overlapping groups")
+		}
+	}()
+	NewPlane(p, 3, 0)
 }
 
 func TestNewPlanePanicsOnInvalidPlan(t *testing.T) {
@@ -184,7 +240,7 @@ func TestBuiltinsValidateAcrossGrid(t *testing.T) {
 
 func TestBuiltinLookup(t *testing.T) {
 	names := BuiltinNames()
-	want := []string{"buffering-partition", "flaky-quorum", "healing-partition", "isolated-minority", "one-way-cut", "split-brain"}
+	want := []string{"buffering-partition", "flaky-quorum", "healing-partition", "isolated-minority", "moving-partition", "one-way-cut", "split-brain"}
 	if !reflect.DeepEqual(names, want) {
 		t.Errorf("BuiltinNames() = %v, want %v", names, want)
 	}
@@ -277,5 +333,159 @@ func TestOneWayCutIsDirectional(t *testing.T) {
 func TestHoldRequiresUntil(t *testing.T) {
 	if err := (Plan{Rules: []Rule{{Hold: true}}}).Validate(3); err == nil {
 		t.Error("Hold without Until accepted")
+	}
+}
+
+// TestPeriodicRuleWindow: a periodic rule re-activates every Period ticks
+// for ActiveFor ticks, anchored at From and clamped by Until.
+func TestPeriodicRuleWindow(t *testing.T) {
+	pl := NewPlane(Plan{Rules: []Rule{
+		{From: 10, Period: 100, ActiveFor: 20, Until: 250, Cut: true},
+	}}, 3, 0)
+	for _, c := range []struct {
+		at  int64
+		cut bool
+	}{
+		{0, false}, {9, false}, // before From
+		{10, true}, {29, true}, {30, false}, {109, false}, // first window
+		{110, true}, {129, true}, {130, false}, // second window, one Period on
+		{210, true}, {229, true}, // third window
+		{250, false}, {310, false}, // Until ends the rule, periods and all
+	} {
+		if got := pl.Decide(1, 2, node.Payload{}, c.at).Drop; got != c.cut {
+			t.Errorf("at=%d: Drop=%v, want %v", c.at, got, c.cut)
+		}
+	}
+}
+
+// TestPeriodicHoldReleasesAtWindowEnd: Hold under a periodic window buffers
+// until the end of the *current* window, not some global heal time.
+func TestPeriodicHoldReleasesAtWindowEnd(t *testing.T) {
+	pl := NewPlane(Plan{Rules: []Rule{
+		{From: 10, Period: 100, ActiveFor: 30, Hold: true},
+	}}, 3, 0)
+	// First window is [10, 40): a message sent at 25 is held 15 ticks.
+	if dec := pl.Decide(1, 2, node.Payload{}, 25); dec.ExtraDelay != 15 {
+		t.Errorf("ExtraDelay at 25 = %d, want 15 (release at window end 40)", dec.ExtraDelay)
+	}
+	// Second window is [110, 140): a message sent at 139 is held 1 tick.
+	if dec := pl.Decide(1, 2, node.Payload{}, 139); dec.ExtraDelay != 1 {
+		t.Errorf("ExtraDelay at 139 = %d, want 1", dec.ExtraDelay)
+	}
+	// Between windows nothing is held.
+	if dec := pl.Decide(1, 2, node.Payload{}, 50); dec.ExtraDelay != 0 {
+		t.Errorf("ExtraDelay at 50 = %d, want 0 (rule dormant)", dec.ExtraDelay)
+	}
+}
+
+// TestMovingPartitionRotates: the builtin isolates exactly one process at a
+// time, handing the cut off every stride and wrapping around the cluster.
+func TestMovingPartitionRotates(t *testing.T) {
+	g, ok := Builtin("moving-partition")
+	if !ok {
+		t.Fatal("moving-partition not registered")
+	}
+	const n = 5
+	pl := NewPlane(g.Make(n, 2), n, 0)
+	const k = MovingPartitionStride
+	isolatedAt := func(at int64) model.ProcID {
+		if at < 10 {
+			return 0
+		}
+		return model.ProcID((at-10)/k%n + 1)
+	}
+	// Sample interior instants of several windows, including the wrap into
+	// the second cycle, and check every directed link's fate.
+	for _, at := range []int64{5, 30, 10 + k + 5, 10 + 2*k + 5, 10 + 4*k + 5, 10 + 5*k + 5, 10 + 7*k + 5} {
+		iso := isolatedAt(at)
+		for from := model.ProcID(1); from <= n; from++ {
+			for to := model.ProcID(1); to <= n; to++ {
+				if from == to {
+					continue
+				}
+				wantCut := iso != 0 && (from == iso || to == iso)
+				if got := pl.Decide(from, to, node.Payload{}, at).Drop; got != wantCut {
+					t.Errorf("at=%d (isolated=%d): link %d->%d Drop=%v, want %v", at, iso, from, to, got, wantCut)
+				}
+			}
+		}
+	}
+}
+
+// TestQueueDelayShapesBacklog: each charged message occupies the link for
+// QueueDelay ticks; a burst spreads out linearly and the backlog drains
+// once the link goes quiet. Shaping is per link and per rule.
+func TestQueueDelayShapesBacklog(t *testing.T) {
+	const per = 10
+	pl := NewPlane(Plan{Rules: []Rule{{QueueDelay: per}}}, 3, 0)
+	// A burst of three messages at the same tick queues behind itself.
+	for i, want := range []int64{0, per, 2 * per} {
+		if dec := pl.Decide(1, 2, node.Payload{}, 100); dec.ExtraDelay != want {
+			t.Errorf("burst message %d: ExtraDelay = %d, want %d", i, dec.ExtraDelay, want)
+		}
+	}
+	// Another link is an independent queue.
+	if dec := pl.Decide(1, 3, node.Payload{}, 100); dec.ExtraDelay != 0 {
+		t.Errorf("link 1->3 inherited 1->2's backlog: ExtraDelay = %d", dec.ExtraDelay)
+	}
+	// The 1->2 backlog drains at 100 + 3*per; a send midway still waits.
+	if dec := pl.Decide(1, 2, node.Payload{}, 100+2*per); dec.ExtraDelay != per {
+		t.Errorf("mid-drain ExtraDelay = %d, want %d", dec.ExtraDelay, per)
+	}
+	// Long after the burst the link is idle again.
+	if dec := pl.Decide(1, 2, node.Payload{}, 1000); dec.ExtraDelay != 0 {
+		t.Errorf("idle link ExtraDelay = %d, want 0", dec.ExtraDelay)
+	}
+}
+
+// TestQueueDelayRespectsWindowAndSelectors: a dormant or non-matching rule
+// neither charges the link nor delays the message.
+func TestQueueDelayRespectsWindowAndSelectors(t *testing.T) {
+	pl := NewPlane(Plan{Rules: []Rule{
+		{From: 50, QueueDelay: 10, Links: LinkSet{Pairs: []Link{{From: 1, To: 2}}}},
+	}}, 3, 0)
+	// Before From: no charge.
+	for i := 0; i < 3; i++ {
+		if dec := pl.Decide(1, 2, node.Payload{}, 10); dec.ExtraDelay != 0 {
+			t.Fatalf("shaping active before From: %+v", dec)
+		}
+	}
+	// Unselected link: no charge.
+	for i := 0; i < 3; i++ {
+		if dec := pl.Decide(2, 1, node.Payload{}, 60); dec.ExtraDelay != 0 {
+			t.Fatalf("shaping on unselected link: %+v", dec)
+		}
+	}
+	// The selected link starts with an empty queue despite all that traffic.
+	if dec := pl.Decide(1, 2, node.Payload{}, 60); dec.ExtraDelay != 0 {
+		t.Errorf("first shaped message waited %d", dec.ExtraDelay)
+	}
+	if dec := pl.Decide(1, 2, node.Payload{}, 60); dec.ExtraDelay != 10 {
+		t.Errorf("second shaped message waited %d, want 10", dec.ExtraDelay)
+	}
+}
+
+// TestQueueDelayDeterministicAndStreamNeutral: shaping does not consume the
+// splitmix64 stream, so adding a QueueDelay rule leaves every probabilistic
+// fate of the other rules exactly where it was.
+func TestQueueDelayDeterministicAndStreamNeutral(t *testing.T) {
+	lossy := Rule{Drop: 0.3, Duplicate: 0.2, JitterMax: 5}
+	bare := NewPlane(Plan{Rules: []Rule{lossy}}, 3, 42)
+	shaped := NewPlane(Plan{Rules: []Rule{lossy, {QueueDelay: 7}}}, 3, 42)
+	shaped2 := NewPlane(Plan{Rules: []Rule{lossy, {QueueDelay: 7}}}, 3, 42)
+	for i := 0; i < 200; i++ {
+		at := int64(i * 3)
+		db := bare.Decide(1, 2, node.Payload{}, at)
+		ds := shaped.Decide(1, 2, node.Payload{}, at)
+		ds2 := shaped2.Decide(1, 2, node.Payload{}, at)
+		if !reflect.DeepEqual(ds, ds2) {
+			t.Fatalf("message %d: same seed diverged under shaping: %+v vs %+v", i, ds, ds2)
+		}
+		if db.Drop != ds.Drop || db.Duplicates != ds.Duplicates {
+			t.Fatalf("message %d: shaping shifted probabilistic fates: bare %+v, shaped %+v", i, db, ds)
+		}
+		if ds.ExtraDelay < db.ExtraDelay {
+			t.Fatalf("message %d: shaping reduced delay: bare %+v, shaped %+v", i, db, ds)
+		}
 	}
 }

@@ -58,6 +58,14 @@ func BuiltinNames() []string {
 //   - "buffering-partition": the same split and heal, but buffering instead
 //     of lossy (Hold): cross-half messages are delivered just after the
 //     heal, modeling links that queue until connectivity returns.
+//   - "moving-partition": from tick 10 the cut rotates instead of sitting
+//     still — each process in turn is isolated (lossy, both directions) for
+//     MovingPartitionStride ticks, cycling through the whole cluster
+//     forever. At any instant exactly one process is dark, so a quorum of
+//     n-1 survives among the rest; what the dark process broadcast into its
+//     window is lost for good. This is the adversarial-timing family of
+//     Gafni & Losa's "Time Is Not a Healer": no single partition lasts, yet
+//     some process is always unreachable.
 func Builtins() []Generator {
 	return []Generator{
 		{Name: "split-brain", Make: func(n, t int) Plan {
@@ -95,8 +103,29 @@ func Builtins() []Generator {
 				{From: 10, Until: 200, Hold: true, Links: LinkSet{Groups: halves(n)}},
 			}}
 		}},
+		{Name: "moving-partition", Make: func(n, t int) Plan {
+			// One periodic rule per process: rule p isolates process p for
+			// one stride, staggered so the cut hands off seamlessly and
+			// wraps around every n strides.
+			cycle := int64(n) * MovingPartitionStride
+			rules := make([]Rule, 0, n)
+			for p := 1; p <= n; p++ {
+				rules = append(rules, Rule{
+					From:      10 + int64(p-1)*MovingPartitionStride,
+					Period:    cycle,
+					ActiveFor: MovingPartitionStride,
+					Cut:       true,
+					Links:     LinkSet{Groups: [][]model.ProcID{{model.ProcID(p)}}},
+				})
+			}
+			return Plan{Name: "moving-partition", Rules: rules}
+		}},
 	}
 }
+
+// MovingPartitionStride is how long the moving-partition builtin keeps each
+// process isolated before the cut rotates on, in ticks.
+const MovingPartitionStride = 60
 
 // halves splits 1..n into a majority half [1..ceil(n/2)] and the rest.
 func halves(n int) [][]model.ProcID {

@@ -69,11 +69,12 @@ func (idle) OnMessage(node.Context, model.ProcID, node.Payload) {}
 func (idle) OnTimer(node.Context, string)                       {}
 
 // runLossyLink wires sender(1) -> receiver(2) endpoints over a sim whose
-// network drops/duplicates/reorders per the given rule, injects k sends,
-// and returns the receiver's recorder plus the sim result.
-func runLossyLink(t *testing.T, seed int64, k int, rule netadv.Rule, opts Options) (*recorder, *sim.Result) {
+// network drops/duplicates/reorders per the given rules (none: a fault-free
+// network), injects k sends, and returns the receiver's recorder plus the
+// sim result.
+func runLossyLink(t *testing.T, seed int64, k int, opts Options, rules ...netadv.Rule) (*recorder, *sim.Result) {
 	t.Helper()
-	plan := netadv.Plan{Name: "lossy", Rules: []netadv.Rule{rule}}
+	plan := netadv.Plan{Name: "lossy", Rules: rules}
 	if err := plan.Validate(2); err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestFIFOReleaseUnderRandomFaults(t *testing.T) {
 	rule := netadv.Rule{Drop: 0.3, Duplicate: 0.3, Reorder: 0.3, JitterMax: 15}
 	sawRetransmit, sawDup := false, false
 	for seed := int64(0); seed < 12; seed++ {
-		rec, res := runLossyLink(t, seed, k, rule, Options{Enabled: true, RetryInterval: 25})
+		rec, res := runLossyLink(t, seed, k, Options{Enabled: true, RetryInterval: 25}, rule)
 		if res.Stop != sim.StopDrained {
 			t.Fatalf("seed %d: run hit the horizon (%v); the stubborn link never converged", seed, res.Stop)
 		}
@@ -135,7 +136,7 @@ func TestFIFOReleaseUnderRandomFaults(t *testing.T) {
 // TestFaultFreeLinkNeverRetransmits: at drop=0 the layer is pure framing —
 // no retransmissions, no suppressed duplicates, and identical releases.
 func TestFaultFreeLinkNeverRetransmits(t *testing.T) {
-	rec, res := runLossyLink(t, 1, 20, netadv.Rule{}, Options{Enabled: true})
+	rec, res := runLossyLink(t, 1, 20, Options{Enabled: true})
 	if res.Retransmits != 0 || res.AckedDuplicates != 0 {
 		t.Errorf("fault-free link did work: retransmits=%d ackedDups=%d", res.Retransmits, res.AckedDuplicates)
 	}
@@ -152,7 +153,7 @@ func TestFaultFreeLinkNeverRetransmits(t *testing.T) {
 // into a permanent cut forever.
 func TestMaxRetriesAbandonsIntoPermanentCut(t *testing.T) {
 	cut := netadv.Rule{Cut: true, Links: netadv.LinkSet{Pairs: []netadv.Link{{From: 1, To: 2}}}}
-	rec, res := runLossyLink(t, 1, 2, cut, Options{Enabled: true, MaxRetries: 3})
+	rec, res := runLossyLink(t, 1, 2, Options{Enabled: true, MaxRetries: 3}, cut)
 	if res.Stop != sim.StopDrained {
 		t.Fatalf("run did not drain: %v; MaxRetries must bound the stubbornness", res.Stop)
 	}

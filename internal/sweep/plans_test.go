@@ -2,8 +2,10 @@ package sweep
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
+	"failstop/internal/model"
 	"failstop/internal/netadv"
 	"failstop/internal/reliable"
 )
@@ -61,6 +63,31 @@ func TestValidateRejectsDuplicatePlans(t *testing.T) {
 	}
 	if err := spec.withDefaults().Validate(); err == nil {
 		t.Error("anonymous plan with Make accepted; its faults would run invisibly")
+	}
+}
+
+// TestValidateRejectsPlanInvalidForGrid: a fixed (file-loaded) plan naming
+// process ids outside some grid point must fail Spec.Validate with one
+// clear error instead of panicking a worker goroutine mid-sweep.
+func TestValidateRejectsPlanInvalidForGrid(t *testing.T) {
+	plan := netadv.Plan{Name: "big-cluster-only", Rules: []netadv.Rule{
+		{Cut: true, Links: netadv.LinkSet{Groups: [][]model.ProcID{{1, 2}, {7, 8}}}},
+	}}
+	spec := Spec{
+		Grid:  []NT{{10, 3}, {5, 2}}, // valid for n=10, not for n=5
+		Plans: []netadv.Generator{netadv.Fixed(plan)},
+	}
+	err := spec.withDefaults().Validate()
+	if err == nil {
+		t.Fatal("plan invalid at n=5 accepted")
+	}
+	if !strings.Contains(err.Error(), "big-cluster-only") || !strings.Contains(err.Error(), "n=5") {
+		t.Errorf("error %q does not name the plan and the offending grid point", err)
+	}
+	// The same plan on the n=10 grid alone is fine.
+	spec.Grid = []NT{{10, 3}}
+	if _, err := Run(spec, Options{}); err != nil {
+		t.Errorf("plan rejected on a grid it fits: %v", err)
 	}
 }
 

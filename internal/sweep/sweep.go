@@ -284,6 +284,18 @@ func (s Spec) Validate() error {
 			// an anonymous plan would run its faults invisibly.
 			return fmt.Errorf("sweep: plan with a Make function needs a name")
 		}
+		if pg.Make == nil {
+			continue
+		}
+		// Instantiate the plan at every grid point up front: a plan that
+		// does not fit some cell (file-loaded plans name concrete process
+		// ids) must fail the sweep with one clear error, not panic a worker
+		// goroutine mid-run.
+		for _, nt := range s.Grid {
+			if err := pg.Make(nt.N, nt.T).Validate(nt.N); err != nil {
+				return fmt.Errorf("sweep: plan %q at %v: %w", pg.Name, nt, err)
+			}
+		}
 	}
 	for i, ro := range s.Reliable {
 		if err := ro.Validate(); err != nil {

@@ -135,6 +135,12 @@ func TestFaultPlanRoundTrip(t *testing.T) {
 				Pairs:  []netadv.Link{{From: 3, To: 1}},
 			}},
 			{Tags: []string{"SUSP"}, Drop: 0.25, Duplicate: 0.1, Reorder: 0.05, JitterMax: 7},
+			// The dynamic-plan fields must survive the header too: a periodic
+			// (moving) cut and a bandwidth-shaped link.
+			{From: 10, Period: 100, ActiveFor: 25, Cut: true, Links: netadv.LinkSet{
+				Groups: [][]model.ProcID{{2}},
+			}},
+			{QueueDelay: 15, Links: netadv.LinkSet{Pairs: []netadv.Link{{From: 1, To: 3}}}},
 		},
 	}
 	var buf bytes.Buffer
