@@ -1,0 +1,7 @@
+// Package p is a clean module for the CLI tests.
+package p
+
+// Add is determinism incarnate.
+func Add(a, b int) int {
+	return a + b
+}

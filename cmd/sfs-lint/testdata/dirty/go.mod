@@ -1,0 +1,3 @@
+module dirty
+
+go 1.22

@@ -1,0 +1,18 @@
+// Package p is a deliberately dirty module for the CLI tests: an
+// unannotated clock read and a global rand draw.
+package p
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock without an allow.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Roll draws from the process-global random source.
+func Roll() int {
+	return rand.Intn(6)
+}

@@ -5,6 +5,8 @@
 // Run with: go run ./examples/livenet
 package main
 
+//sfs:allow detwallclock live-runtime example: the whole point is real clocks; polling the cluster is paced by a ticker against a deadline timer
+
 import (
 	"fmt"
 	"time"
@@ -27,13 +29,24 @@ func main() {
 	fmt.Println("injecting a false suspicion: process 2 suspects process 1")
 	cluster.Suspect(2, 1)
 
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	// Wait for every live process to detect the crash, polling on a ticker
+	// rather than spinning on the clock, and give up after a timer-bounded
+	// five seconds.
+	timeout := time.NewTimer(5 * time.Second)
+	defer timeout.Stop()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+wait:
+	for {
 		h := cluster.History()
 		if h.CrashIndex(1) >= 0 && allDetected(h) {
 			break
 		}
-		time.Sleep(2 * time.Millisecond)
+		select {
+		case <-timeout.C:
+			break wait
+		case <-tick.C:
+		}
 	}
 	cluster.Stop()
 

@@ -53,7 +53,12 @@ func bad(prop, format string, args ...any) Verdict {
 func FS1(h model.History) Verdict {
 	n := h.Processes()
 	crashed := h.Crashed()
-	for i := range crashed {
+	// Walk processes in id order, not map order, so the counterexample a
+	// failing run reports is the same on every execution.
+	for i := model.ProcID(1); int(i) <= n; i++ {
+		if !crashed[i] {
+			continue
+		}
 		for j := model.ProcID(1); int(j) <= n; j++ {
 			if j == i || crashed[j] {
 				continue
@@ -142,6 +147,8 @@ func SFS2d(h model.History) Verdict {
 				copy(cp, ds)
 				taint[e.Msg] = cp
 			}
+		case model.KindCrash, model.KindInternal:
+			// No contamination flows through crashes or internal events.
 		case model.KindRecv:
 			for _, j := range taint[e.Msg] {
 				fi, okd := failedIdx[[2]model.ProcID{e.Proc, j}]
@@ -215,6 +222,7 @@ func QuorumSets(h model.History, suspTag string) []map[model.ProcID]bool {
 			s[e.Peer] = true
 		case e.Kind == model.KindFailed:
 			q := map[model.ProcID]bool{e.Proc: true}
+			//sfs:allow detmaprange set-to-set copy; the quorum set is consumed by membership tests only
 			for sender := range heard[e.Proc][e.Target] {
 				q[sender] = true
 			}

@@ -328,6 +328,8 @@ func (d *Detector) Suspect(ctx node.Context, j model.ProcID) {
 		d.broadcastSusp(ctx, j)
 	}
 	switch d.cfg.Protocol {
+	case Unilateral:
+		// Unreachable: the Unilateral arm above returned.
 	case Cheap:
 		// §6: detect immediately after the broadcast; no quorum wait.
 		d.complete(ctx, j, []model.ProcID{d.self})

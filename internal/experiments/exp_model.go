@@ -170,6 +170,8 @@ func E3() Result {
 			if c1 != 0 || rl != 0 {
 				ok = false // every unilateral run breaks Condition 1 here
 			}
+		default:
+			// E3 states no expectation for other protocols (Cheap is E11's).
 		}
 	}
 	return Result{

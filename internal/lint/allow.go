@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An allow annotation suppresses findings, and is itself validated:
+//
+//	//sfs:allow <analyzer> <reason>
+//
+// Placed at the end of a line or on its own line directly above the
+// offending statement, it suppresses that analyzer's findings on its own
+// line and the next. Placed in the file header — between the package
+// clause and the first declaration — it is file-scoped, permitted only for
+// detwallclock in wall-clock packages, where a file legitimately built on
+// real time would otherwise need one annotation per call site.
+//
+// The driver checks every annotation: the analyzer name must exist, the
+// reason must be non-empty, and the allow must actually suppress at least
+// one finding — a stale allow is a finding of its own, so suppressions
+// cannot outlive the hazard they excuse.
+const allowPrefix = "//sfs:allow"
+
+type allow struct {
+	pos      token.Pos
+	line     int
+	analyzer string
+	reason   string
+	fileWide bool // in the file header: applies to the whole file
+	used     bool
+}
+
+// parseAllows extracts the allow annotations of one file. An annotation in
+// the file header (before the first declaration) is file-scoped.
+func parseAllows(file *ast.File) []*allow {
+	var out []*allow
+	firstDecl := int(^uint(0) >> 1) // max int: a file with no decls is all header
+	if len(file.Decls) > 0 {
+		firstDecl = fset.Position(file.Decls[0].Pos()).Line
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, allowPrefix)
+			if !ok {
+				continue
+			}
+			a := &allow{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+			a.fileWide = a.line < firstDecl
+			fields := strings.Fields(text)
+			if len(fields) > 0 {
+				a.analyzer = fields[0]
+				a.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// applyAllows filters the package's diagnostics through its allow
+// annotations and appends the annotation-validation findings (reported
+// under the pseudo-analyzer name "sfs-allow").
+func applyAllows(pkg *Package, profile Profile, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	type fileAllows struct {
+		allows []*allow
+	}
+	byFile := map[*token.File]*fileAllows{}
+	var order []*token.File // deterministic validation order
+	for _, f := range pkg.Files {
+		tf := fset.File(f.Pos())
+		byFile[tf] = &fileAllows{allows: parseAllows(f)}
+		order = append(order, tf)
+	}
+
+	var kept []Diagnostic
+	for _, d := range diags {
+		tf := fset.File(d.Pos)
+		fa := byFile[tf]
+		if fa == nil {
+			kept = append(kept, d)
+			continue
+		}
+		line := fset.Position(d.Pos).Line
+		suppressed := false
+		for _, a := range fa.allows {
+			if a.analyzer != d.Analyzer || !validAllow(a, known) {
+				continue
+			}
+			if a.fileWide && allowsFileWide(a, profile) {
+				a.used = true
+				suppressed = true
+			} else if !a.fileWide && (a.line == line || a.line == line-1) {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+
+	for _, tf := range order {
+		for _, a := range byFile[tf].allows {
+			switch {
+			case a.analyzer == "":
+				kept = append(kept, Diagnostic{Pos: a.pos, Analyzer: "sfs-allow",
+					Message: "malformed allow: want //sfs:allow <analyzer> <reason>"})
+			case !known[a.analyzer]:
+				kept = append(kept, Diagnostic{Pos: a.pos, Analyzer: "sfs-allow",
+					Message: "allow names unknown analyzer " + quote(a.analyzer)})
+			case a.reason == "":
+				kept = append(kept, Diagnostic{Pos: a.pos, Analyzer: "sfs-allow",
+					Message: "allow for " + quote(a.analyzer) + " has no reason; justify the suppression"})
+			case a.fileWide && !allowsFileWide(a, profile):
+				kept = append(kept, Diagnostic{Pos: a.pos, Analyzer: "sfs-allow",
+					Message: "file-level allow for " + quote(a.analyzer) + " is only permitted for detwallclock in wall-clock packages; annotate each site"})
+			case !a.used:
+				kept = append(kept, Diagnostic{Pos: a.pos, Analyzer: "sfs-allow",
+					Message: "stale allow: no " + quote(a.analyzer) + " finding here to suppress; remove it"})
+			}
+		}
+	}
+	return kept
+}
+
+// validAllow reports whether the annotation is well-formed enough to
+// suppress anything (malformed allows are reported, never honored).
+func validAllow(a *allow, known map[string]bool) bool {
+	return a.analyzer != "" && known[a.analyzer] && a.reason != ""
+}
+
+// allowsFileWide reports whether a file-scoped allow is legitimate: only
+// detwallclock, and only in wall-clock packages. Deterministic packages
+// must justify every site individually.
+func allowsFileWide(a *allow, profile Profile) bool {
+	return a.analyzer == "detwallclock" && profile == WallClock
+}
+
+func quote(s string) string { return `"` + s + `"` }

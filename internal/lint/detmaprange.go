@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerDetMapRange flags `range` over a map in deterministic packages.
+// Go randomizes map iteration order per run, so any map-range whose body
+// has an order-dependent effect breaks the pure-function-of-(spec, seed)
+// contract — exactly the hazard class behind non-reproducing sweep reports.
+//
+// Two escapes exist. The collect-and-sort idiom is recognized structurally:
+// a loop whose body only appends to a single slice, with that slice sorted
+// later in the same block, is order-insensitive by construction. Everything
+// else (commutative accumulations, order-free side effects) must carry an
+// explicit `//sfs:allow detmaprange <reason>` annotation.
+var AnalyzerDetMapRange = &Analyzer{
+	Name: "detmaprange",
+	Doc:  "flag map iteration in deterministic packages unless collected-and-sorted or annotated order-insensitive",
+	Run:  runDetMapRange,
+}
+
+func runDetMapRange(pass *Pass) {
+	if pass.Profile != Deterministic {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			// Every statement lives in one of these list forms; checking
+			// list-by-list keeps the trailing statements visible for the
+			// collect-and-sort idiom.
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rng, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := pass.Info.TypeOf(rng.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				if collectAndSorted(pass, rng, list[i+1:]) {
+					continue
+				}
+				pass.Reportf(rng.Pos(),
+					"map iteration order is nondeterministic; collect and sort the keys, or annotate //sfs:allow detmaprange <reason> if the body is order-insensitive")
+			}
+			return true
+		})
+	}
+}
+
+// collectAndSorted reports whether rng is the collect-then-sort idiom:
+// every leaf statement of the body is `X = append(X, ...)` for one slice
+// variable X (conditionals guarding the append are fine — reads decide
+// nothing order-dependent), and a later statement in the enclosing block
+// sorts X (sort.Slice/Sort/Strings/Ints/Float64s/Stable or slices.Sort*).
+func collectAndSorted(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) bool {
+	target := appendTarget(pass, rng.Body.List)
+	if target == nil {
+		return false
+	}
+	for _, stmt := range rest {
+		call, ok := exprCall(stmt)
+		if !ok {
+			continue
+		}
+		fn, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pkgIdent, ok := fn.X.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		pkgName, ok := pass.Info.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			continue
+		}
+		path := pkgName.Imported().Path()
+		if path != "sort" && path != "slices" {
+			continue
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.Info.Uses[id] == target {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// appendTarget returns the single slice variable every leaf statement of
+// body appends to, or nil if the body does anything else.
+func appendTarget(pass *Pass, body []ast.Stmt) *types.Var {
+	var target *types.Var
+	var walk func(stmts []ast.Stmt) bool
+	walk = func(stmts []ast.Stmt) bool {
+		for _, stmt := range stmts {
+			switch s := stmt.(type) {
+			case *ast.IfStmt:
+				if s.Init != nil {
+					return false
+				}
+				if !walk(s.Body.List) {
+					return false
+				}
+				if s.Else != nil {
+					eb, ok := s.Else.(*ast.BlockStmt)
+					if !ok || !walk(eb.List) {
+						return false
+					}
+				}
+			case *ast.AssignStmt:
+				if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+					return false
+				}
+				lhs, ok := s.Lhs[0].(*ast.Ident)
+				if !ok {
+					return false
+				}
+				call, ok := s.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return false
+				}
+				fn, ok := call.Fun.(*ast.Ident)
+				if !ok || fn.Name != "append" {
+					return false
+				}
+				if _, isBuiltin := pass.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+					return false
+				}
+				if len(call.Args) < 1 {
+					return false
+				}
+				first, ok := call.Args[0].(*ast.Ident)
+				if !ok || first.Name != lhs.Name {
+					return false
+				}
+				v, ok := pass.Info.Uses[lhs].(*types.Var)
+				if !ok {
+					v, ok = pass.Info.Defs[lhs].(*types.Var)
+					if !ok {
+						return false
+					}
+				}
+				if target == nil {
+					target = v
+				} else if target != v {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if !walk(body) || target == nil {
+		return nil
+	}
+	return target
+}
+
+// exprCall unwraps an expression statement holding a call.
+func exprCall(stmt ast.Stmt) (*ast.CallExpr, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	return call, ok
+}

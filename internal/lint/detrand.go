@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerDetRand enforces the two randomness rules. First, math/rand (and
+// math/rand/v2) package-level functions draw from the process-global,
+// auto-seeded source — nondeterministic across runs — and are forbidden in
+// every package, wall-clock ones included (the live runtime must reproduce
+// fates from its seed too). Second, in deterministic packages a constructed
+// source must actually derive from the spec/plan seed: rand.NewSource(42)
+// pins every "random" sweep to one schedule, and seeding from the clock is
+// the global source with extra steps. Both patterns are flagged; the seed
+// must mention at least one non-constant value and must not call the clock.
+var AnalyzerDetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid math/rand global-state functions everywhere and non-seed-derived rand sources in deterministic packages",
+	Run:  runDetRand,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// explicit sources/generators rather than touching the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runDetRand(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods on *rand.Rand are seed-scoped
+			}
+			if !randConstructors[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"rand.%s uses the process-global random source; thread a seeded *rand.Rand (rand.New(rand.NewSource(seed))) instead", fn.Name())
+			}
+			return true
+		})
+		if pass.Profile == Deterministic {
+			checkSourceCalls(pass, file)
+		}
+	}
+}
+
+// checkSourceCalls inspects rand.NewSource/NewPCG call arguments in
+// deterministic packages: a constant seed or a clock-derived seed defeats
+// the spec/plan seed threading.
+func checkSourceCalls(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if (path != "math/rand" && path != "math/rand/v2") || (fn.Name() != "NewSource" && fn.Name() != "NewPCG") {
+			return true
+		}
+		constant := len(call.Args) > 0
+		for _, arg := range call.Args {
+			if tv, ok := pass.Info.Types[arg]; !ok || tv.Value == nil {
+				constant = false
+			}
+		}
+		if constant {
+			pass.Reportf(call.Pos(),
+				"rand source seeded with a constant; derive the seed from the spec/plan seed so runs stay a function of (spec, seed)")
+			return true
+		}
+		for _, arg := range call.Args {
+			if clockCall := findWallClockCall(pass, arg); clockCall != nil {
+				pass.Reportf(clockCall.Pos(),
+					"rand source seeded from the wall clock; derive the seed from the spec/plan seed instead")
+			}
+		}
+		return true
+	})
+}
+
+// findWallClockCall returns a call to a wall-clock time function inside
+// expr, or nil.
+func findWallClockCall(pass *Pass, expr ast.Expr) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(expr, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if fn.Pkg().Path() == "time" && (wallClockFuncs[fn.Name()] || fn.Name() == "UnixNano" || fn.Name() == "Unix") {
+			if found == nil {
+				found = sel
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerDetWallClock forbids reading or waiting on the wall clock. In a
+// deterministic package a single time.Now() makes the run a function of the
+// host scheduler instead of (spec, seed); every finding there needs a
+// per-site `//sfs:allow detwallclock <reason>`. Wall-clock packages (the
+// live runtime, examples, commands) legitimately run on real time, but must
+// say so: one file-level allow in the file header covers the file.
+var AnalyzerDetWallClock = &Analyzer{
+	Name: "detwallclock",
+	Doc:  "forbid time.Now/Since/Sleep/After and friends outside annotated wall-clock files",
+	Run:  runDetWallClock,
+}
+
+// wallClockFuncs are the package-level functions of time that read the
+// clock or block on it. Pure data constructors (time.Duration arithmetic,
+// time.Date, time.Unix) are untouched.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+}
+
+func runDetWallClock(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; %s", fn.Name(), wallClockHint(pass.Profile))
+			return true
+		})
+	}
+}
+
+func wallClockHint(p Profile) string {
+	if p == Deterministic {
+		return "deterministic packages must take time from the simulator — derive it from the spec, or annotate this site with //sfs:allow detwallclock <reason>"
+	}
+	return "declare this file wall-clock with a file-level //sfs:allow detwallclock <reason> in the file header"
+}

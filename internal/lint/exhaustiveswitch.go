@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerExhaustiveSwitch requires switches over module-local enums —
+// named integer types with two or more package-level constants, like
+// sim.StopReason or sweep.FaultKind — to either cover every declared value
+// or carry a default case. Adding StopMaxMemory to sim must break the
+// build of every switch that silently treated it as StopDrained.
+//
+// Unlike go vet (which has no exhaustiveness check at all), this analyzer
+// resolves the constant values, so aliases of the same value count as
+// covering each other.
+var AnalyzerExhaustiveSwitch = &Analyzer{
+	Name: "exhaustiveswitch",
+	Doc:  "require switches over module-local enums to cover every value or carry a default",
+	Run:  runExhaustiveSwitch,
+}
+
+func runExhaustiveSwitch(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := pass.Info.TypeOf(sw.Tag)
+			if tagType == nil {
+				return true
+			}
+			named, ok := tagType.(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil || !pass.Prog.local(obj.Pkg().Path()) {
+				return true
+			}
+			basic, ok := named.Underlying().(*types.Basic)
+			if !ok || basic.Info()&types.IsInteger == 0 {
+				return true
+			}
+			members := enumMembers(obj.Pkg(), named)
+			if len(members) < 2 {
+				return true
+			}
+			covered := map[string]bool{}
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					return true // default case: non-exhaustive coverage is deliberate
+				}
+				for _, e := range cc.List {
+					if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+						covered[tv.Value.ExactString()] = true
+					}
+				}
+			}
+			var missing []string
+			seen := map[string]bool{}
+			for _, m := range members {
+				key := m.val
+				if covered[key] || seen[key] {
+					continue
+				}
+				seen[key] = true
+				missing = append(missing, m.name)
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(),
+					"switch over %s.%s is missing %s; cover every value or add a default case",
+					obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+type enumMember struct {
+	name string
+	val  string
+}
+
+// enumMembers lists the package-level constants declared with exactly the
+// named type, in declaration-name order (Scope.Names is sorted, which keeps
+// missing-value reports deterministic).
+func enumMembers(pkg *types.Package, named *types.Named) []enumMember {
+	var out []enumMember
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		out = append(out, enumMember{name: name, val: c.Val().ExactString()})
+	}
+	return out
+}

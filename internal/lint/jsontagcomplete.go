@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// AnalyzerJSONTagComplete guards the wire formats. A struct that reaches
+// encoding/json relies on field names for its serialized shape: an
+// exported field added without a tag serializes in PascalCase, diverging
+// from the rest of the file format, and a rename silently changes it — the
+// class of bug that dropped shard-report fields in earlier PRs.
+//
+// Wire structs are declared, not guessed: a type whose declaration carries
+// an `//sfs:wire` marker comment, plus any struct passed directly to an
+// encoding/json marshal/unmarshal entry point in the analyzed package.
+// From those seeds the analyzer walks the reachable struct graph. Structs
+// defined in the analyzed package must tag every exported field with an
+// explicit lowercase json name (or "-"); reachable structs defined in
+// another module package must themselves be marked //sfs:wire — the marker
+// is what makes the closure checkable package by package.
+var AnalyzerJSONTagComplete = &Analyzer{
+	Name: "jsontagcomplete",
+	Doc:  "require explicit lowercase json tags on every exported field of wire/file structs",
+	Run:  runJSONTagComplete,
+}
+
+const wireMarker = "//sfs:wire"
+
+func runJSONTagComplete(pass *Pass) {
+	seeds := map[*types.Named]bool{}
+	for _, name := range markedWireNames(pass.Files) {
+		obj, ok := pass.Pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if named, ok := obj.Type().(*types.Named); ok {
+			seeds[named] = true
+		}
+	}
+	for _, named := range jsonCallSeeds(pass) {
+		seeds[named] = true
+	}
+	if len(seeds) == 0 {
+		return
+	}
+
+	// Walk the reachable struct graph. Work-list order does not matter:
+	// reports anchor to source positions and the driver sorts findings.
+	visited := map[*types.Named]bool{}
+	var visit func(named *types.Named, fromField *types.Var)
+	visit = func(named *types.Named, fromField *types.Var) {
+		if visited[named] {
+			return
+		}
+		visited[named] = true
+		obj := named.Obj()
+		if obj.Pkg() == nil || !pass.Prog.local(obj.Pkg().Path()) {
+			return // stdlib and external types manage their own formats
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		if obj.Pkg().Path() != pass.Pkg.Path() {
+			// Cross-package reference: the type is checked by its own
+			// package's pass, but only if it is marked there.
+			if fromField != nil && !typeIsMarkedWire(pass.Prog, obj.Pkg().Path(), obj.Name()) {
+				pass.Reportf(fromField.Pos(),
+					"field %s serializes %s.%s, which is not declared //sfs:wire in its package; mark it so its json tags are checked",
+					fromField.Name(), obj.Pkg().Name(), obj.Name())
+			}
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			tag := reflect.StructTag(st.Tag(i)).Get("json")
+			name, _, _ := strings.Cut(tag, ",")
+			switch {
+			case tag == "":
+				pass.Reportf(f.Pos(),
+					"exported field %s.%s of wire struct has no json tag; tag it explicitly (lowercase) so the wire format cannot drift", obj.Name(), f.Name())
+			case name == "":
+				pass.Reportf(f.Pos(),
+					"exported field %s.%s has a json tag with no name; name it explicitly or use json:\"-\"", obj.Name(), f.Name())
+			case name != "-" && name != strings.ToLower(name):
+				pass.Reportf(f.Pos(),
+					"json tag %q on %s.%s is not lowercase; wire field names are lowercase by convention", name, obj.Name(), f.Name())
+			}
+			if name == "-" {
+				continue
+			}
+			for _, inner := range namedStructsIn(f.Type()) {
+				visit(inner, f)
+			}
+		}
+	}
+	for named := range seeds {
+		visit(named, nil)
+	}
+}
+
+// jsonCallSeeds finds struct types passed directly to encoding/json entry
+// points (including Encoder.Encode/Decoder.Decode) within the package.
+func jsonCallSeeds(pass *Pass) []*types.Named {
+	var out []*types.Named
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+				return true
+			}
+			switch fn.Name() {
+			case "Marshal", "MarshalIndent", "Unmarshal", "Encode", "Decode":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				out = append(out, namedStructsIn(pass.Info.TypeOf(arg))...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// namedStructsIn collects the named struct types inside t, looking through
+// pointers, slices, arrays, and map keys/values.
+func namedStructsIn(t types.Type) []*types.Named {
+	var out []*types.Named
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type)
+	walk = func(t types.Type) {
+		if t == nil || seen[t] {
+			return
+		}
+		seen[t] = true
+		switch t := t.(type) {
+		case *types.Named:
+			if _, ok := t.Underlying().(*types.Struct); ok {
+				out = append(out, t)
+			}
+		case *types.Pointer:
+			walk(t.Elem())
+		case *types.Slice:
+			walk(t.Elem())
+		case *types.Array:
+			walk(t.Elem())
+		case *types.Map:
+			walk(t.Key())
+			walk(t.Elem())
+		}
+	}
+	walk(t)
+	return out
+}
+
+// typeIsMarkedWire reports whether the named type declaration in the given
+// module package carries the //sfs:wire marker.
+func typeIsMarkedWire(prog *Program, path, typeName string) bool {
+	pkg, err := prog.Load(path)
+	if err != nil {
+		return false
+	}
+	for _, n := range markedWireNames(pkg.Files) {
+		if n == typeName {
+			return true
+		}
+	}
+	return false
+}
+
+// markedWireNames scans type declarations for the //sfs:wire marker in the
+// doc comment of the GenDecl, the TypeSpec, or a trailing line comment.
+func markedWireNames(files []*ast.File) []string {
+	var out []string
+	hasMarker := func(cg *ast.CommentGroup) bool {
+		if cg == nil {
+			return false
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(strings.TrimSpace(c.Text), wireMarker) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			declMarked := hasMarker(gd.Doc)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if declMarked || hasMarker(ts.Doc) || hasMarker(ts.Comment) {
+					out = append(out, ts.Name.Name)
+				}
+			}
+		}
+	}
+	return out
+}

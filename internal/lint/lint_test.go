@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureClassify maps the fixture module: fix/det/... is deterministic,
+// everything else (fix/wall/...) is wall-clock.
+func fixtureClassify(path string) Profile {
+	if path == "fix/det" || strings.HasPrefix(path, "fix/det/") {
+		return Deterministic
+	}
+	return WallClock
+}
+
+// wantRe extracts the backquoted expectation regexps from a `// want`
+// comment. Expectations apply to findings on the same line.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+type wantKey struct {
+	file string // module-relative, slash-separated
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans the fixture tree for `// want` comments.
+func collectWants(t *testing.T, root string) map[wantKey][]*want {
+	t.Helper()
+	wants := map[wantKey][]*want{}
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		sc := bufio.NewScanner(f)
+		line := 0
+		for sc.Scan() {
+			line++
+			_, spec, ok := strings.Cut(sc.Text(), "// want ")
+			if !ok {
+				continue
+			}
+			key := wantKey{file: filepath.ToSlash(rel), line: line}
+			for _, m := range wantRe.FindAllStringSubmatch(spec, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want regexp %q: %w", p, line, m[1], err)
+				}
+				wants[key] = append(wants[key], &want{re: re})
+			}
+			if len(wantRe.FindAllStringSubmatch(spec, -1)) == 0 {
+				return fmt.Errorf("%s:%d: want comment with no backquoted expectation", p, line)
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) == 0 {
+		t.Fatal("no // want expectations found in fixtures")
+	}
+	return wants
+}
+
+// TestFixtures runs the full suite over the fixture module and checks every
+// finding against the `// want` comments: each finding must be expected on
+// its line, and each expectation must be hit.
+func TestFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	findings, err := Run(Options{
+		Dir:      root,
+		Patterns: []string{"./..."},
+		Classify: fixtureClassify,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, root)
+
+	for _, f := range findings {
+		key := wantKey{file: f.File, line: f.Line}
+		text := f.Analyzer + ": " + f.Message
+		hit := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(text) {
+				w.matched = true
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected finding matching %q, got none", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+// TestFixtureAllowMalformed covers the annotation defects that cannot carry
+// a same-line want comment (a bare or reasonless allow would absorb it).
+func TestFixtureAllowMalformed(t *testing.T) {
+	findings, err := Run(Options{
+		Dir:      filepath.Join("testdata", "badallow", "src"),
+		Patterns: []string{"./..."},
+		Classify: func(string) Profile { return WallClock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, fmt.Sprintf("%d %s %s", f.Line, f.Analyzer, f.Message))
+	}
+	expect := []string{
+		`malformed allow: want //sfs:allow <analyzer> <reason>`,
+		`allow for "detwallclock" has no reason`,
+		`time.Now reads the wall clock`,
+	}
+	if len(findings) != len(expect) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(findings), len(expect), strings.Join(got, "\n"))
+	}
+	for i, sub := range expect {
+		if !strings.Contains(findings[i].Message, sub) {
+			t.Errorf("finding %d = %q, want substring %q", i, findings[i].Message, sub)
+		}
+	}
+}
+
+// TestSubsetAnalyzers checks that Options.Analyzers restricts the suite: a
+// detrand-only run over the fixtures reports no wall-clock findings.
+func TestSubsetAnalyzers(t *testing.T) {
+	findings, err := Run(Options{
+		Dir:       filepath.Join("testdata", "src"),
+		Patterns:  []string{"./det/randsrc"},
+		Analyzers: []*Analyzer{AnalyzerDetRand},
+		Classify:  fixtureClassify,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "detrand" && f.Analyzer != "sfs-allow" {
+			t.Errorf("analyzer subset leaked a %s finding: %s", f.Analyzer, f)
+		}
+	}
+	if len(findings) == 0 {
+		t.Fatal("detrand-only run found nothing; expected the randsrc fixtures to fire")
+	}
+}
+
+// TestDefaultClassify pins the module's package classification.
+func TestDefaultClassify(t *testing.T) {
+	cases := []struct {
+		path string
+		want Profile
+	}{
+		{"failstop/internal/sim", Deterministic},
+		{"failstop/internal/sweep", Deterministic},
+		{"failstop/internal/model", Deterministic},
+		{"failstop/internal/runtime", WallClock},
+		{"failstop/examples/livenet", WallClock},
+		{"failstop/cmd/sfs-sweep", WallClock},
+		{"failstop", WallClock},
+		{"failstop/internal/simulator", WallClock}, // prefix, not subtree
+	}
+	for _, c := range cases {
+		if got := DefaultClassify(c.path); got != c.want {
+			t.Errorf("DefaultClassify(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

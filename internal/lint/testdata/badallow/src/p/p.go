@@ -1,0 +1,13 @@
+// Package p holds allow annotations too malformed to carry a same-line
+// want comment: the harness asserts on these findings directly.
+package p
+
+import "time"
+
+// Tick stacks a bare allow (no analyzer) and a reasonless allow above a
+// clock read; neither suppresses, and both are findings of their own.
+func Tick() time.Time {
+	//sfs:allow
+	//sfs:allow detwallclock
+	return time.Now()
+}

@@ -1,0 +1,10 @@
+// Package allowbad exercises the allow-annotation validation findings.
+package allowbad
+
+// Noop hangs defective annotations on harmless statements.
+func Noop() int {
+	//sfs:allow detmaprange nothing here to excuse // want `stale allow: no "detmaprange" finding here to suppress`
+	x := 1
+	//sfs:allow detmprange misspelled analyzer name // want `allow names unknown analyzer "detmprange"`
+	return x
+}

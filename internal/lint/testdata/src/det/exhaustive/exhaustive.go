@@ -1,0 +1,59 @@
+// Package exhaustive exercises exhaustiveswitch.
+package exhaustive
+
+// Color is a module-local enum.
+type Color int
+
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// Crimson aliases Red; covering Red covers Crimson too.
+const Crimson = Red
+
+// Name misses Blue and has no default: flagged.
+func Name(c Color) string {
+	switch c { // want `switch over exhaustive\.Color is missing Blue`
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	}
+	return "?"
+}
+
+// Hot covers one value but declares a default: not flagged.
+func Hot(c Color) bool {
+	switch c {
+	case Red:
+		return true
+	default:
+		return false
+	}
+}
+
+// Index covers every value (Crimson via Red's value): not flagged.
+func Index(c Color) int {
+	switch c {
+	case Red, Green:
+		return int(c)
+	case Blue:
+		return -int(c)
+	}
+	return 0
+}
+
+// External switches over a non-enum local type (one constant): not flagged.
+type level int
+
+const only level = 0
+
+func External(l level) bool {
+	switch l {
+	case only:
+		return true
+	}
+	return false
+}

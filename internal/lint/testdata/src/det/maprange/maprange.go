@@ -1,0 +1,45 @@
+// Package maprange exercises detmaprange under the deterministic profile.
+package maprange
+
+import "sort"
+
+// Sum folds map values in iteration order: flagged.
+func Sum(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		s += v
+	}
+	return s
+}
+
+// Keys is the collect-and-sort idiom: not flagged.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Evens collects conditionally and sorts later in the same block: not flagged.
+func Evens(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		if k%2 == 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Count carries a line allow: suppressed.
+func Count(m map[string]int) int {
+	n := 0
+	//sfs:allow detmaprange pure cardinality; visit order cannot affect an integer count
+	for range m {
+		n++
+	}
+	return n
+}

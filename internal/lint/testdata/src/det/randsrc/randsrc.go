@@ -1,0 +1,33 @@
+// Package randsrc exercises detrand under the deterministic profile.
+package randsrc
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Global draws from the process-global source: flagged.
+func Global() int {
+	return rand.Intn(10) // want `rand\.Intn uses the process-global random source`
+}
+
+// Pinned seeds with a constant: flagged (every "random" run is one schedule).
+func Pinned() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `rand source seeded with a constant`
+}
+
+// Clocked seeds from the wall clock: flagged by detrand, and the clock read
+// itself is flagged by detwallclock.
+func Clocked() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand source seeded from the wall clock` `time\.Now reads the wall clock`
+}
+
+// Seeded threads a caller-provided seed: not flagged.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Derived mixes the seed arithmetically: still seed-derived, not flagged.
+func Derived(seed int64, shard int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(shard)*1009))
+}

@@ -1,0 +1,10 @@
+package wallclock
+
+//sfs:allow detwallclock file-level allows are not honored in deterministic packages // want `file-level allow for "detwallclock" is only permitted for detwallclock in wall-clock packages`
+
+import "time"
+
+// Lap is not suppressed by the (illegitimate) file-level allow above.
+func Lap(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}

@@ -1,0 +1,25 @@
+// Package wallclock exercises detwallclock under the deterministic profile.
+package wallclock
+
+import "time"
+
+// Stamp reads the clock in a deterministic package: flagged.
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// Wait blocks on the clock: flagged.
+func Wait() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+// Pause carries a per-site allow: suppressed.
+func Pause() {
+	//sfs:allow detwallclock fixture exercising a justified per-site suppression
+	time.Sleep(time.Millisecond)
+}
+
+// Epoch only constructs time values without reading the clock: not flagged.
+func Epoch() time.Time {
+	return time.Unix(0, 0)
+}

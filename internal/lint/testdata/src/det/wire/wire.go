@@ -1,0 +1,50 @@
+// Package wire exercises jsontagcomplete.
+package wire
+
+import (
+	"encoding/json"
+
+	"fix/det/wiredep"
+)
+
+// Header is a declared wire struct with one defect per field class.
+//
+//sfs:wire
+type Header struct {
+	Version int            // want `exported field Header\.Version of wire struct has no json tag`
+	Name    string         `json:"Name"`       // want `json tag "Name" on Header\.Name is not lowercase`
+	Opts    int            `json:",omitempty"` // want `exported field Header\.Opts has a json tag with no name`
+	Count   int            `json:"count"`
+	Skip    string         `json:"-"`
+	Dep     wiredep.Meta   `json:"dep"` // want `field Dep serializes wiredep\.Meta, which is not declared //sfs:wire in its package`
+	OK      wiredep.Marked `json:"ok"`
+	hidden  int
+}
+
+// Payload is unmarked but reaches json.Marshal below, so it is a seed.
+type Payload struct {
+	Body string // want `exported field Payload\.Body of wire struct has no json tag`
+}
+
+// Emit seeds Payload via the marshal call.
+func Emit(p Payload) ([]byte, error) {
+	return json.Marshal(p)
+}
+
+// Clean and its reachable nested struct are fully tagged: not flagged.
+//
+//sfs:wire
+type Clean struct {
+	ID   int       `json:"id"`
+	Meta CleanMeta `json:"meta"`
+}
+
+// CleanMeta is reached from Clean inside the package.
+type CleanMeta struct {
+	Note string `json:"note"`
+}
+
+// Loose never reaches json and carries no marker: not flagged.
+type Loose struct {
+	Anything int
+}

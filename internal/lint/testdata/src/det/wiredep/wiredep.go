@@ -1,0 +1,17 @@
+// Package wiredep holds types referenced across packages by det/wire.
+package wiredep
+
+// Meta is NOT marked //sfs:wire: referencing it from a wire struct in
+// another package is a finding there, and its untagged field is not checked
+// here (no seeds in this package).
+type Meta struct {
+	When string
+}
+
+// Marked is declared wire, so cross-package references are fine and its
+// tags are checked by this package's pass.
+//
+//sfs:wire
+type Marked struct {
+	ID int `json:"id"`
+}

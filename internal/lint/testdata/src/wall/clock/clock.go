@@ -1,0 +1,17 @@
+// Package clock exercises the legitimate file-level detwallclock allow: a
+// wall-clock-profile file declared wall-clock in its header is clean.
+package clock
+
+//sfs:allow detwallclock fixture file paces itself on real time by design
+
+import "time"
+
+// Uptime reads the clock under the file-level allow: suppressed.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Nap sleeps under the same allow: suppressed.
+func Nap() {
+	time.Sleep(time.Millisecond)
+}

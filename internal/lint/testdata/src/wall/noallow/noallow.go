@@ -1,0 +1,10 @@
+// Package noallow shows that wall-clock-profile packages still need the
+// declaration: clock use without any allow is flagged.
+package noallow
+
+import "time"
+
+// Now reads the clock with no allow anywhere: flagged.
+func Now() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}

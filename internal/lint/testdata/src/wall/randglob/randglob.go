@@ -1,0 +1,16 @@
+// Package randglob shows detrand's global-source ban applies in wall-clock
+// packages too, while the seeded-source rule does not.
+package randglob
+
+import "math/rand"
+
+// Roll uses the global source: flagged even here.
+func Roll() int {
+	return rand.Intn(6) // want `rand\.Intn uses the process-global random source`
+}
+
+// Replay seeds a constant: permitted in wall-clock packages (the profile
+// only enforces seed derivation in deterministic code).
+func Replay() *rand.Rand {
+	return rand.New(rand.NewSource(7))
+}

@@ -28,6 +28,7 @@ func NewFailedBefore(h History) *FailedBefore {
 		seen[key] = true
 		fb.edges[e.Target] = append(fb.edges[e.Target], e.Proc)
 	}
+	//sfs:allow detmaprange each value slice is sorted independently; visit order has no effect
 	for _, succ := range fb.edges {
 		sort.Slice(succ, func(a, b int) bool { return succ[a] < succ[b] })
 	}
@@ -123,6 +124,7 @@ func (fb *FailedBefore) Acyclic() bool { return fb.Cycle() == nil }
 // that sFS's failed-before relation is *not* transitive in general, and that
 // transitivity enables faster last-process-to-fail recovery.
 func (fb *FailedBefore) Transitive() bool {
+	//sfs:allow detmaprange pure universally-quantified predicate; the boolean is visit-order-free
 	for i, js := range fb.edges {
 		for _, j := range js {
 			for _, k := range fb.edges[j] {

@@ -245,6 +245,9 @@ func (h History) Validate() error {
 			return violation(idx, "crash-finality", "process %d executes %s after crashing", e.Proc, e)
 		}
 		switch e.Kind {
+		case KindInternal:
+			// Internal events carry no structural constraints beyond the
+			// actor/finality checks above.
 		case KindSend:
 			if e.Peer == None || e.Msg == 0 {
 				return violation(idx, "send", "send event %s lacks destination or message id", e)

@@ -30,12 +30,16 @@ import (
 )
 
 // Link is one directed channel from one process to another.
+//
+//sfs:wire
 type Link struct {
 	From model.ProcID `json:"from"`
 	To   model.ProcID `json:"to"`
 }
 
 // LinkSet selects directed links. The zero value selects every link.
+//
+//sfs:wire
 type LinkSet struct {
 	// Groups partitions the processes: a link matches when its endpoints
 	// lie in different groups. Processes not listed in any group form one
@@ -55,6 +59,8 @@ func (ls LinkSet) Empty() bool {
 // effects compose: a rule may simultaneously drop with probability Drop,
 // duplicate with probability Duplicate, and jitter delays; multiple active
 // rules all apply to the same message.
+//
+//sfs:wire
 type Rule struct {
 	// From and Until bound the active window in ticks: the rule applies to
 	// sends at time at with From <= at, and (when Until > 0) at < Until.
@@ -119,7 +125,10 @@ func (r Rule) noop() bool {
 }
 
 // Plan is a declarative, seed-deterministic fault timeline for a cluster's
-// network. Plans are pure data: instantiate one per run with NewPlane.
+// network. Plans are pure data: instantiate one per run with NewPlane
+// (they are also the plan-file format of sfs-sim -plan-file).
+//
+//sfs:wire
 type Plan struct {
 	// Name identifies the plan in reports and trace headers.
 	Name string `json:"name,omitempty"`

@@ -18,6 +18,8 @@
 // order — recorded histories are valid model histories.
 package runtime
 
+//sfs:allow detwallclock live backend: real time is this package's whole point — ticks, delays, and timers are wall-clock by design
+
 import (
 	"fmt"
 	"math/rand"

@@ -1,0 +1,65 @@
+// Regression test for the simulator's side of the determinism contract:
+// virtual-time runs are a pure function of (spec, seed), so the recorded
+// history cannot depend on GOMAXPROCS or on anything else the host
+// scheduler controls.
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"failstop/internal/model"
+	"failstop/internal/node"
+)
+
+// chatterSim builds an all-to-all messaging scenario with timers and a
+// mid-run crash — enough machinery to surface any accidental dependence on
+// goroutine scheduling.
+func chatterSim(n int, seed int64) *Sim {
+	s := New(Config{N: n, Seed: seed, MaxTime: 500})
+	for p := 1; p <= n; p++ {
+		p := model.ProcID(p)
+		s.SetHandler(p, &scriptHandler{
+			init: func(ctx node.Context) {
+				ctx.SetTimer("beat", 7)
+				for q := model.ProcID(1); q <= model.ProcID(n); q++ {
+					if q != p {
+						ctx.Send(q, node.Payload{Tag: "HELLO"})
+					}
+				}
+			},
+			onMsg: func(ctx node.Context, from model.ProcID, pl node.Payload) {
+				if pl.Tag == "HELLO" && from < p {
+					ctx.Send(from, node.Payload{Tag: "ACK"})
+				}
+			},
+			onTimer: func(ctx node.Context, name string) {
+				ctx.Send(1+p%model.ProcID(n), node.Payload{Tag: "BEAT"})
+				ctx.SetTimer("beat", 11)
+			},
+		})
+	}
+	s.CrashAt(40, model.ProcID(2))
+	return s
+}
+
+// TestHistoryStableAcrossGOMAXPROCS runs the same seeded scenario under
+// serial and fully parallel runtimes and requires identical results.
+func TestHistoryStableAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) *Result {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		return chatterSim(5, 99).Run()
+	}
+	base := run(1)
+	if len(base.History) == 0 {
+		t.Fatal("scenario recorded no events")
+	}
+	for _, procs := range []int{2, runtime.NumCPU()} {
+		got := run(procs)
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("GOMAXPROCS=%d result diverged from serial baseline:\n--- baseline\n%s\n--- got\n%s",
+				procs, base.History, got.History)
+		}
+	}
+}

@@ -11,12 +11,18 @@ import (
 	"strings"
 )
 
-// Summary describes a sample set.
+// Summary describes a sample set. It is part of the sweep shard-report
+// wire format (sweep.CellResult embeds it), so fields carry explicit tags.
+//
+//sfs:wire
 type Summary struct {
-	N                int
-	Mean, Std        float64
-	Min, Median, P95 float64
-	Max              float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	P95    float64 `json:"p95"`
+	Max    float64 `json:"max"`
 }
 
 // Summarize computes a Summary of xs. An empty input yields a zero Summary.

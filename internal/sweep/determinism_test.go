@@ -1,0 +1,85 @@
+// Regression tests for the determinism contract sfs-lint enforces
+// statically: the same spec and seeds must produce byte-identical reports
+// no matter how the host schedules the work — worker-pool size and
+// GOMAXPROCS are execution knobs, not inputs.
+package sweep
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// runAt executes the spec with the given GOMAXPROCS and worker count and
+// returns the rendered report and its canonical JSON (Workers zeroed: it
+// records execution bookkeeping, not results).
+func runAt(t *testing.T, spec Spec, procs, workers int) (string, []byte) {
+	t.Helper()
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	rep, err := Run(spec, Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Workers = 0
+	text := rep.String()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return text, raw
+}
+
+// TestReportStableAcrossGOMAXPROCS pins the tentpole invariant end to end:
+// a checked sweep with crashes, a fault plan, and the reliable layer in the
+// grid produces identical text and JSON under serial, oversubscribed, and
+// fully parallel scheduling.
+func TestReportStableAcrossGOMAXPROCS(t *testing.T) {
+	crash, ok := Builtin("crash")
+	if !ok {
+		t.Fatal("builtin crash schedule missing")
+	}
+	spec := Spec{
+		Grid:      []NT{{5, 2}},
+		Schedules: []Schedule{crash},
+		Plans:     plansByName(t, "flaky-quorum"),
+		Seeds:     SeedRange{Count: 6},
+		MaxTime:   3000,
+		Check:     true,
+	}
+	baseText, baseJSON := runAt(t, spec, 1, 1)
+	cases := []struct {
+		name           string
+		procs, workers int
+	}{
+		{"procs=1 workers=4 (oversubscribed)", 1, 4},
+		{"procs=2 workers=2", 2, 2},
+		{"procs=max workers=8", runtime.NumCPU(), 8},
+	}
+	for _, c := range cases {
+		text, raw := runAt(t, spec, c.procs, c.workers)
+		if text != baseText {
+			t.Errorf("%s: rendered report diverged from serial baseline:\n--- baseline\n%s\n--- got\n%s", c.name, baseText, text)
+		}
+		if string(raw) != string(baseJSON) {
+			t.Errorf("%s: JSON report diverged from serial baseline", c.name)
+		}
+	}
+}
+
+// TestShardJSONStableAcrossGOMAXPROCS extends the invariant to the on-disk
+// shard format: the bytes a shard writes must not depend on scheduling,
+// or CI's byte-identity merge checks would flake.
+func TestShardJSONStableAcrossGOMAXPROCS(t *testing.T) {
+	spec := Spec{
+		Grid:    []NT{{5, 2}, {7, 3}},
+		Seeds:   SeedRange{Count: 4},
+		MaxTime: 2000,
+		Check:   true,
+		Shard:   Shard{Index: 1, Count: 2},
+	}
+	_, baseJSON := runAt(t, spec, 1, 1)
+	_, parJSON := runAt(t, spec, runtime.NumCPU(), 8)
+	if string(baseJSON) != string(parJSON) {
+		t.Error("shard report JSON depends on GOMAXPROCS/worker count")
+	}
+}

@@ -18,42 +18,48 @@ var Properties = []string{
 	"W",
 }
 
-// CellResult aggregates every run of one cell. The struct serializes to
-// JSON as-is (exported field names) — that serialization is the shard
-// report format cmd/sfs-sweep emits with -json and recombines with -merge.
+// CellResult aggregates every run of one cell. The serialized form is the
+// shard report format cmd/sfs-sweep emits with -json and recombines with
+// -merge; every field carries an explicit tag so the wire format cannot
+// drift when fields are added or renamed.
+//
+//sfs:wire
 type CellResult struct {
-	Cell Cell
+	Cell Cell `json:"cell"`
 	// Runs is the number of runs executed for the cell.
-	Runs int
+	Runs int `json:"runs"`
 	// Stops tallies runs by stop reason.
-	Stops map[sim.StopReason]int
+	Stops map[sim.StopReason]int `json:"stops"`
 	// Quiescent counts fully drained runs (no horizon, nothing stuck in
 	// gated or parked channels).
-	Quiescent int
+	Quiescent int `json:"quiescent"`
 	// BlockedRuns counts runs that ended with messages stuck in gated or
 	// parked channels (undelivered traffic to live processes).
-	BlockedRuns int
+	BlockedRuns int `json:"blocked_runs"`
 	// Checked counts runs whose history went through the checker (the
 	// quiescent runs, when Spec.Check is set).
-	Checked int
+	Checked int `json:"checked"`
 	// Dropped and Duplicated total the messages the network fault plan
 	// discarded and the extra copies it injected, over all runs of the cell.
-	Dropped, Duplicated int
+	Dropped    int `json:"dropped"`
+	Duplicated int `json:"duplicated"`
 	// Retransmits and AckedDuplicates total the reliable-delivery layer's
 	// counters over all runs of the cell (0 for cells without the layer).
-	Retransmits, AckedDuplicates int
+	Retransmits     int `json:"retransmits"`
+	AckedDuplicates int `json:"acked_duplicates"`
 	// Holds counts, per property, the checked runs on which it held.
-	Holds map[string]int
+	Holds map[string]int `json:"holds"`
 	// Metrics counts, per custom metric, the runs on which it was true.
-	Metrics map[string]int
+	Metrics map[string]int `json:"metrics"`
 	// Events and EndTimes summarize run length in events and virtual time.
-	Events, EndTimes stats.Summary
+	Events   stats.Summary `json:"events"`
+	EndTimes stats.Summary `json:"end_times"`
 	// EventSamples and EndTimeSamples are the raw per-run samples behind
 	// Events and EndTimes, sorted ascending. Retaining them is what lets
 	// Merge recombine shard reports into exact percentiles: summaries
 	// cannot be merged, sample sets can.
-	EventSamples   []float64
-	EndTimeSamples []float64
+	EventSamples   []float64 `json:"event_samples"`
+	EndTimeSamples []float64 `json:"end_time_samples"`
 }
 
 // HoldsAll reports whether prop held on every checked run of the cell.
@@ -72,17 +78,19 @@ func (c *CellResult) MetricNone(name string) bool {
 }
 
 // Report is the aggregated outcome of a sweep.
+//
+//sfs:wire
 type Report struct {
 	// Cells holds one aggregate per cell, in Spec.Cells order.
-	Cells []CellResult
+	Cells []CellResult `json:"cells"`
 	// Runs is the total number of runs executed.
-	Runs int
+	Runs int `json:"runs"`
 	// Shard records which slice of the job stream this report covers
 	// ({0, 1} for an unsharded sweep, and for a merged set of shards).
 	// Merge uses it to refuse duplicated, overlapping, or missing shards.
-	Shard Shard
+	Shard Shard `json:"shard"`
 	// Workers is the worker-pool size that executed the sweep.
-	Workers int
+	Workers int `json:"workers"`
 }
 
 // Cell returns the aggregate for the given cell identity, or nil.
@@ -100,6 +108,7 @@ func (r *Report) Cell(c Cell) *CellResult {
 func (r *Report) TotalHolds() (holds map[string]int, checked int) {
 	holds = map[string]int{}
 	for i := range r.Cells {
+		//sfs:allow detmaprange commutative sum into a map; callers render via the sorted Properties list
 		for p, n := range r.Cells[i].Holds {
 			holds[p] += n
 		}
@@ -254,6 +263,7 @@ func (a *accumulator) add(rec runRecord) {
 			}
 		}
 	}
+	//sfs:allow detmaprange commutative tally into a map; rendering sorts via metricNames
 	for name, val := range rec.metrics {
 		if val {
 			a.metrics[name]++
@@ -270,6 +280,7 @@ func (a *accumulator) add(rec runRecord) {
 // per-worker accumulators in any order produces the same CellResult.
 func (a *accumulator) merge(b *accumulator) {
 	a.runs += b.runs
+	//sfs:allow detmaprange commutative sum into a map; emission renders by keyed lookup
 	for k, v := range b.stops {
 		a.stops[k] += v
 	}
@@ -280,9 +291,11 @@ func (a *accumulator) merge(b *accumulator) {
 	a.duplicated += b.duplicated
 	a.retransmits += b.retransmits
 	a.ackedDups += b.ackedDups
+	//sfs:allow detmaprange commutative sum into a map; emission renders via the sorted Properties list
 	for k, v := range b.holds {
 		a.holds[k] += v
 	}
+	//sfs:allow detmaprange commutative sum into a map; rendering sorts via metricNames
 	for k, v := range b.metrics {
 		a.metrics[k] += v
 	}

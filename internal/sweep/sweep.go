@@ -39,8 +39,11 @@ import (
 )
 
 // NT is one (cluster size, failure bound) grid point.
+//
+//sfs:wire
 type NT struct {
-	N, T int
+	N int `json:"n"`
+	T int `json:"t"`
 }
 
 func (nt NT) String() string { return fmt.Sprintf("n=%d t=%d", nt.N, nt.T) }
@@ -58,11 +61,13 @@ type SeedRange struct {
 // unsharded sweep produces. The global job stream is interleaved
 // round-robin (global job index mod Count), so shards stay balanced within
 // every cell. The zero value runs everything.
+//
+//sfs:wire
 type Shard struct {
 	// Index is this shard's number, 0 <= Index < Count.
-	Index int
+	Index int `json:"index"`
 	// Count is the total number of shards; 0 or 1 means unsharded.
-	Count int
+	Count int `json:"count"`
 }
 
 // FaultKind distinguishes the two injectable faults.
@@ -101,19 +106,21 @@ type Schedule struct {
 }
 
 // Cell identifies one aggregation cell: every grid axis except the seed.
+//
+//sfs:wire
 type Cell struct {
-	NT       NT
-	Protocol core.Protocol
+	NT       NT            `json:"nt"`
+	Protocol core.Protocol `json:"protocol"`
 	// QuorumDelta offsets the detector quorum size from the Theorem 7
 	// minimum quorum.MinSize(N, T); 0 is the protocol default.
-	QuorumDelta int
+	QuorumDelta int `json:"quorum_delta"`
 	// Schedule is the fault schedule's name.
-	Schedule string
+	Schedule string `json:"schedule"`
 	// Plan is the network fault plan's name; "" means a fault-free network.
-	Plan string
+	Plan string `json:"plan"`
 	// Reliable reports whether the cell runs with the reliable-delivery
 	// layer (ack + retransmission) interposed under the protocol.
-	Reliable bool
+	Reliable bool `json:"reliable"`
 }
 
 // String renders the cell identity compactly.
@@ -621,9 +628,11 @@ func execute(spec Spec, cs cellSpec, cellIdx int, seed int64) runRecord {
 			rec.metrics = extra
 		} else {
 			merged := make(map[string]bool, len(rec.metrics)+len(extra))
+			//sfs:allow detmaprange map-to-map copy; insertion order is invisible
 			for k, v := range rec.metrics {
 				merged[k] = v
 			}
+			//sfs:allow detmaprange map-to-map copy; Observe overrides defaults regardless of order
 			for k, v := range extra {
 				merged[k] = v
 			}
@@ -637,6 +646,7 @@ func execute(spec Spec, cs cellSpec, cellIdx int, seed int64) runRecord {
 func metricNames(ms ...map[string]int) []string {
 	set := map[string]bool{}
 	for _, m := range ms {
+		//sfs:allow detmaprange set union; the set is drained into a sorted slice below
 		for k := range m {
 			set[k] = true
 		}

@@ -19,6 +19,8 @@ import (
 )
 
 // Header carries run metadata at the top of a trace file.
+//
+//sfs:wire
 type Header struct {
 	// Version identifies the trace format.
 	Version int `json:"version"`
