@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"failstop"
+	"failstop/internal/obs"
 	"failstop/internal/trace"
 )
 
@@ -44,7 +46,7 @@ func run(args []string, out io.Writer) int {
 		return 1
 	}
 	defer f.Close()
-	hdr, h, err := trace.Read(f)
+	hdr, h, spans, err := trace.ReadSpans(f)
 	if err != nil {
 		fmt.Fprintf(out, "reading trace: %v\n", err)
 		return 1
@@ -62,6 +64,13 @@ func run(args []string, out io.Writer) int {
 		return 1
 	}
 	fmt.Fprintln(out, "history: valid")
+	if len(spans) > 0 || hdr.SpanCount > 0 {
+		if err := checkSpans(hdr, spans); err != nil {
+			fmt.Fprintf(out, "spans INVALID: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "spans: %d valid (rate %g):%s\n", len(spans), hdr.SpanRate, spanKindCounts(spans))
+	}
 	bad := 0
 	for _, v := range failstop.CheckAll(h, *suspTag, *tFlag) {
 		fmt.Fprintf(out, "  %s\n", v)
@@ -97,4 +106,48 @@ func run(args []string, out io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// checkSpans validates the lifecycle spans of a v3 trace: the header's
+// count matches, every kind is known, IDs are the recorder's sequential
+// assignment, and every causal parent refers to an earlier span — the
+// structural facts any span consumer relies on.
+func checkSpans(hdr trace.Header, spans []obs.Span) error {
+	if hdr.SpanCount != len(spans) {
+		return fmt.Errorf("header says %d spans, trace carries %d", hdr.SpanCount, len(spans))
+	}
+	for i, s := range spans {
+		if !s.Kind.Known() {
+			return fmt.Errorf("span %d has unknown kind %q", s.ID, s.Kind)
+		}
+		if s.ID != int64(i)+1 {
+			return fmt.Errorf("span at position %d has id %d; ids are sequential from 1", i, s.ID)
+		}
+		if s.Parent < 0 || s.Parent >= s.ID {
+			return fmt.Errorf("span %d (%s) has parent %d; parents must be earlier spans", s.ID, s.Kind, s.Parent)
+		}
+	}
+	return nil
+}
+
+// spanKinds fixes the rendering order of spanKindCounts: the lifecycle
+// stages in causal order, detections last.
+var spanKinds = []obs.SpanKind{
+	obs.SpanSend, obs.SpanFate, obs.SpanEnqueue, obs.SpanDeliver,
+	obs.SpanDrop, obs.SpanRetransmit, obs.SpanSuspect, obs.SpanCrashConfirm,
+}
+
+// spanKindCounts renders " kind=n" pairs in lifecycle order.
+func spanKindCounts(spans []obs.Span) string {
+	counts := map[obs.SpanKind]int{}
+	for _, s := range spans {
+		counts[s.Kind]++
+	}
+	var b strings.Builder
+	for _, k := range spanKinds {
+		if counts[k] > 0 {
+			fmt.Fprintf(&b, " %s=%d", k, counts[k])
+		}
+	}
+	return b.String()
 }

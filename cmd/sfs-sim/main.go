@@ -13,12 +13,15 @@
 //	sfs-sim -n 5 -t 2 -suspect 2:1@100 -plan-file examples/plans/rolling-blackout.json
 //	sfs-sim -n 5 -plan-file my-plan.json -validate-plan   # lint a plan file
 //	sfs-sim -n 5 -t 2 -plan split-brain -dump-plan        # builtin -> plan file
+//	sfs-sim -n 5 -t 2 -suspect 2:1@10 -o trace.json -spans        # v3 trace with lifecycle spans
+//	sfs-sim -n 5 -t 2 -heartbeat 5 -timeout 25 -timeline tl.json  # per-tick timeseries
 //
 // Injection syntax: -suspect i:j@t (process i suspects j at tick t),
 // -crash p@t (process p crashes at tick t); both repeatable.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -63,6 +66,11 @@ func run(args []string, out io.Writer) int {
 		retryInt = fs.Int64("retry-interval", 0, "initial retransmit interval in ticks with -reliable (0: layer default)")
 		maxRetry = fs.Int("max-retries", 0, "retransmissions per frame before the link gives up with -reliable (0: retry forever)")
 		outPath  = fs.String("o", "", "write the recorded trace to this file (JSON lines)")
+		spans    = fs.Bool("spans", false, "record message-lifecycle spans (written into the -o trace as format v3)")
+		spanRate = fs.Float64("span-rate", 1.0, "seed-deterministic span sampling rate in [0,1] with -spans")
+		tlPath   = fs.String("timeline", "", "write per-tick timeseries (in-flight, link backlog, suspicions) to this JSON file")
+		tlEvery  = fs.Int64("timeline-every", 1, "timeline sampling cadence in ticks with -timeline")
+		metrics  = fs.Bool("metrics", false, "print the run's metric snapshot")
 		verbose  = fs.Bool("v", false, "print the full history")
 	)
 	suspects := &injections{kind: "suspect"}
@@ -156,6 +164,15 @@ func run(args []string, out io.Writer) int {
 		}
 		return 0
 	}
+	if *spans {
+		// The recorder is seeded with the simulation seed, so the sampled
+		// message set — and therefore the span stream — is a pure function
+		// of (options, seed): running twice yields byte-identical spans.
+		opts.Spans = failstop.NewSpanRecorder(*seed, *spanRate)
+	}
+	if *tlPath != "" {
+		opts.Timeline = failstop.NewTimeline(*tlEvery, 0)
+	}
 	if err := opts.Validate(); err != nil {
 		fmt.Fprintln(out, err)
 		return 2
@@ -188,6 +205,12 @@ func run(args []string, out io.Writer) int {
 	}
 	if *reliable {
 		fmt.Fprintf(out, "reliable: retransmits=%d acked-duplicates=%d\n", rep.Retransmits, rep.AckedDuplicates)
+	}
+	if *spans {
+		fmt.Fprintf(out, "spans: %d recorded (rate %g)\n", len(rep.Spans), *spanRate)
+	}
+	if *metrics {
+		fmt.Fprintf(out, "metrics:\n%s", rep.Metrics)
 	}
 	if *verbose {
 		fmt.Fprint(out, rep.History.String())
@@ -229,11 +252,29 @@ func run(args []string, out io.Writer) int {
 			// replays without access to the builtin registry.
 			FaultPlan: opts.Faults,
 		}
-		if err := trace.Write(f, hdr, rep.History); err != nil {
+		if *spans {
+			hdr.SpanRate = *spanRate
+		}
+		if err := trace.WriteSpans(f, hdr, rep.History, rep.Spans); err != nil {
 			fmt.Fprintf(out, "writing trace: %v\n", err)
 			return 1
 		}
 		fmt.Fprintf(out, "trace written to %s\n", *outPath)
+	}
+	if *tlPath != "" {
+		tf, err := os.Create(*tlPath)
+		if err != nil {
+			fmt.Fprintf(out, "writing timeline: %v\n", err)
+			return 1
+		}
+		defer tf.Close()
+		enc := json.NewEncoder(tf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep.Timeline); err != nil {
+			fmt.Fprintf(out, "writing timeline: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "timeline written to %s (%d series)\n", *tlPath, len(rep.Timeline))
 	}
 	if bad {
 		return 1

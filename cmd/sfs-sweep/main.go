@@ -73,6 +73,10 @@ func run(args []string, out io.Writer) int {
 		check     = fs.Bool("check", true, "check every quiescent history against the paper's properties")
 		shard     = fs.String("shard", "", "run one shard i/k of the (cell, seed) stream, e.g. -shard 0/4")
 		jsonOut   = fs.String("json", "", "also write the report as JSON to this file (\"-\": stdout, replacing the text report)")
+		csvOut    = fs.String("csv", "", "also write the report as CSV to this file (\"-\": stdout), one row per cell, for charting")
+		progress  = fs.Bool("progress", false, "print per-worker progress and throughput to stderr while the sweep runs")
+		timeline  = fs.Bool("timeline", false, "sample per-tick timeseries in every run and aggregate per-run peaks into the report")
+		tlEvery   = fs.Int64("timeline-every", 1, "timeline sampling cadence in ticks with -timeline")
 		merge     = fs.Bool("merge", false, "merge shard reports (the JSON files given as arguments) instead of sweeping")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile taken after the sweep to this file")
@@ -95,7 +99,7 @@ func run(args []string, out io.Writer) int {
 		return 0
 	}
 	if *merge {
-		return runMerge(fs.Args(), *jsonOut, out)
+		return runMerge(fs.Args(), *jsonOut, *csvOut, out)
 	}
 
 	spec := sweep.Spec{
@@ -107,6 +111,8 @@ func run(args []string, out io.Writer) int {
 		Check:            *check,
 		HeartbeatEvery:   *hbEvery,
 		HeartbeatTimeout: *hbTimeout,
+		Timeline:         *timeline,
+		TimelineEvery:    *tlEvery,
 	}
 	var err error
 	if spec.Reliable, err = parseReliable(*reliab, *maxRetry); err != nil {
@@ -158,7 +164,13 @@ func run(args []string, out io.Writer) int {
 		defer pprof.StopCPUProfile()
 	}
 
-	rep, err := sweep.Run(spec, sweep.Options{Workers: *workers})
+	opts := sweep.Options{Workers: *workers}
+	if *progress {
+		// Progress goes to stderr, never to out: the text/JSON/CSV reports
+		// must stay byte-identical with and without -progress.
+		opts.Progress = os.Stderr
+	}
+	rep, err := sweep.Run(spec, opts)
 	if err != nil {
 		fmt.Fprintln(out, err)
 		return 2
@@ -177,12 +189,30 @@ func run(args []string, out io.Writer) int {
 			return 2
 		}
 	}
-	return emit(rep, *jsonOut, out)
+	return emit(rep, *jsonOut, *csvOut, out)
 }
 
-// emit writes the report: text to out, and — when jsonPath is set — JSON
-// to that file, or to out alone when jsonPath is "-" (for piping).
-func emit(rep *sweep.Report, jsonPath string, out io.Writer) int {
+// emit writes the report: text to out, and — when jsonPath or csvPath is
+// set — the machine-readable forms to those files. A path of "-" streams
+// that form to out instead, replacing the text report (at most one of the
+// two may claim stdout).
+func emit(rep *sweep.Report, jsonPath, csvPath string, out io.Writer) int {
+	if jsonPath == "-" && csvPath == "-" {
+		fmt.Fprintln(out, "sfs-sweep: -json - and -csv - both claim stdout; write at least one to a file")
+		return 2
+	}
+	if csvPath != "" && csvPath != "-" {
+		if code := writeFile(csvPath, rep.WriteCSV, out); code != 0 {
+			return code
+		}
+	}
+	if csvPath == "-" {
+		if err := rep.WriteCSV(out); err != nil {
+			fmt.Fprintln(out, err)
+			return 2
+		}
+		return 0
+	}
 	if jsonPath == "-" {
 		if err := rep.WriteJSON(out); err != nil {
 			fmt.Fprintln(out, err)
@@ -191,28 +221,36 @@ func emit(rep *sweep.Report, jsonPath string, out io.Writer) int {
 		return 0
 	}
 	if jsonPath != "" {
-		f, err := os.Create(jsonPath)
-		if err != nil {
-			fmt.Fprintln(out, err)
-			return 2
-		}
-		if err := rep.WriteJSON(f); err != nil {
-			f.Close()
-			fmt.Fprintln(out, err)
-			return 2
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(out, err)
-			return 2
+		if code := writeFile(jsonPath, rep.WriteJSON, out); code != 0 {
+			return code
 		}
 	}
 	fmt.Fprintln(out, rep)
 	return 0
 }
 
+// writeFile creates path and streams one report form into it.
+func writeFile(path string, write func(io.Writer) error, out io.Writer) int {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	return 0
+}
+
 // runMerge recombines shard reports written with -json into the report the
 // unsharded sweep would have produced, rendering it like a normal sweep.
-func runMerge(files []string, jsonPath string, out io.Writer) int {
+func runMerge(files []string, jsonPath, csvPath string, out io.Writer) int {
 	if len(files) == 0 {
 		fmt.Fprintln(out, "sfs-sweep -merge: no report files given")
 		return 2
@@ -237,7 +275,7 @@ func runMerge(files []string, jsonPath string, out io.Writer) int {
 		fmt.Fprintln(out, err)
 		return 2
 	}
-	return emit(merged, jsonPath, out)
+	return emit(merged, jsonPath, csvPath, out)
 }
 
 // parseShard parses "i/k" into a Shard; "" means unsharded.

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"failstop/internal/exampletest"
+)
+
+// TestE14CSVMatchesCommitted regenerates the false-suspicion surface and
+// asserts it is byte-identical to the committed e14.csv: the sweep is
+// deterministic, so a mismatch means either the artifact is stale or the
+// engine's determinism broke — both worth failing on.
+func TestE14CSVMatchesCommitted(t *testing.T) {
+	out := exampletest.CaptureStdout(t, main)
+	idx := strings.Index(out, "\n\n")
+	if idx < 0 {
+		t.Fatalf("no CSV section in output:\n%s", out)
+	}
+	csv := out[:idx+1]
+	committed, err := os.ReadFile("e14.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csv != string(committed) {
+		t.Errorf("regenerated CSV differs from committed e14.csv — rerun `go run ./examples/e14 | head -10 > examples/e14/e14.csv`\n--- regenerated\n%s\n--- committed\n%s", csv, committed)
+	}
+	if !strings.Contains(out, "Theorem 1") {
+		t.Errorf("chart commentary missing:\n%s", out)
+	}
+}

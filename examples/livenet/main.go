@@ -9,6 +9,9 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"strings"
 	"time"
 
 	"failstop"
@@ -21,11 +24,16 @@ func main() {
 		Seed:     1,
 		MinDelay: 200 * time.Microsecond,
 		MaxDelay: 3 * time.Millisecond,
+		// Serve live metrics over HTTP while the cluster runs; port 0
+		// picks an ephemeral port, reported by cluster.MetricsAddr().
+		Metrics:     failstop.NewMetricsRegistry(),
+		MetricsAddr: "127.0.0.1:0",
 	})
 	cluster.Start()
 	defer cluster.Stop()
 
 	fmt.Println("live cluster of 5 goroutine-backed processes started")
+	fmt.Printf("live metrics at http://%s/metrics\n", cluster.MetricsAddr())
 	fmt.Println("injecting a false suspicion: process 2 suspects process 1")
 	cluster.Suspect(2, 1)
 
@@ -46,6 +54,19 @@ wait:
 		case <-timeout.C:
 			break wait
 		case <-tick.C:
+		}
+	}
+
+	// Scrape the endpoint the way Prometheus would, while the cluster is
+	// still up, and show the counter lines.
+	if resp, err := http.Get("http://" + cluster.MetricsAddr() + "/metrics"); err == nil {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Println("\nscraped /metrics:")
+		for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+			if !strings.HasPrefix(line, "#") {
+				fmt.Println("  " + line)
+			}
 		}
 	}
 	cluster.Stop()

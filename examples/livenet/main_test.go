@@ -21,4 +21,7 @@ func TestLivenetRuns(t *testing.T) {
 	if !strings.Contains(out, "indistinguishability: isomorphic fail-stop run constructed and verified") {
 		t.Errorf("no fail-stop witness for the live run:\n%s", out)
 	}
+	if !strings.Contains(out, "scraped /metrics:") || !strings.Contains(out, "net_sent_total") {
+		t.Errorf("live /metrics scrape missing from output:\n%s", out)
+	}
 }

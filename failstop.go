@@ -37,6 +37,8 @@ import (
 	"failstop/internal/model"
 	"failstop/internal/netadv"
 	"failstop/internal/node"
+	"failstop/internal/obs"
+	"failstop/internal/obshttp"
 	"failstop/internal/quorum"
 	"failstop/internal/reliable"
 	"failstop/internal/rewrite"
@@ -78,7 +80,51 @@ type (
 	// backoff, receiver dedup and in-order release) interposed between the
 	// protocol and the — possibly faulty — network (see internal/reliable).
 	ReliableOptions = reliable.Options
+	// Metric is one named observability reading; Metrics a name-sorted
+	// snapshot of them (see internal/obs).
+	Metric = obs.Metric
+	// Metrics is a name-sorted metric snapshot.
+	Metrics = obs.Metrics
+	// MetricsRegistry collects instruments by name; pass one in
+	// Options.Metrics / LiveOptions.Metrics to observe a run's counters
+	// live (they are atomic) rather than only in the final report.
+	MetricsRegistry = obs.Registry
+	// Span is one message-lifecycle trace span (send, fault fate, enqueue,
+	// deliver, drop, retransmit, suspect, crash-confirm) with a causal
+	// parent link.
+	Span = obs.Span
+	// SpanKind names a span's lifecycle stage.
+	SpanKind = obs.SpanKind
+	// SpanRecorder collects spans with seed-deterministic sampling: both
+	// backends sample the same message IDs for a given (seed, rate), so
+	// simulated and live runs of one scenario yield comparable span sets.
+	SpanRecorder = obs.SpanRecorder
+	// Timeline samples per-tick series (in-flight messages, link backlog,
+	// suspicion count) into bounded rings.
+	Timeline = obs.Timeline
+	// TimelineSeries is one named series of a timeline snapshot.
+	TimelineSeries = obs.TimelineSeries
 )
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSpanRecorder returns a span recorder sampling message lifecycles at
+// the given rate (0..1) as a deterministic function of (seed, message), so
+// a fixed (spec, seed) always records the same spans.
+func NewSpanRecorder(seed int64, rate float64) *SpanRecorder {
+	return obs.NewSpanRecorder(seed, rate)
+}
+
+// NewTimeline returns a timeline sampling every `every` ticks, keeping the
+// most recent `capacity` points per series (0 for the default capacity).
+func NewTimeline(every int64, capacity int) *Timeline {
+	return obs.NewTimeline(every, capacity)
+}
+
+// WritePrometheus renders a metric snapshot in the Prometheus text
+// exposition format (what the live /metrics endpoint serves).
+func WritePrometheus(w io.Writer, ms Metrics) error { return obs.WritePrometheus(w, ms) }
 
 // Protocol choices.
 const (
@@ -126,6 +172,18 @@ type Options struct {
 	Reliable ReliableOptions
 	// NewApp, when non-nil, builds the application for each process.
 	NewApp func(p ProcID) App
+	// Metrics, when non-nil, additionally registers the run's counters
+	// (and the fault plane's, with Faults set) in the given registry; the
+	// same readings always appear in Report.Metrics.
+	Metrics *MetricsRegistry
+	// Spans, when non-nil, records sampled message-lifecycle spans into
+	// Report.Spans. Sampling is a deterministic function of (recorder
+	// seed, message), so a fixed (options, seed) records identical spans
+	// on every run.
+	Spans *SpanRecorder
+	// Timeline, when non-nil, samples per-tick series into
+	// Report.Timeline.
+	Timeline *Timeline
 }
 
 // Validate reports the first problem with the options, or nil:
@@ -159,6 +217,7 @@ func (o Options) Validate() error {
 type Cluster struct {
 	inner *cluster.Cluster
 	opts  Options
+	plane *netadv.Plane // nil without Options.Faults
 }
 
 // NewCluster builds a simulated cluster per opts. It panics with the
@@ -175,8 +234,11 @@ func NewCluster(opts Options) *Cluster {
 		panic(err)
 	}
 	var link node.LinkFn
+	var plane *netadv.Plane
 	if opts.Faults != nil {
-		link = netadv.NewPlane(*opts.Faults, opts.N, opts.Seed).Decide
+		plane = netadv.NewPlane(*opts.Faults, opts.N, opts.Seed)
+		plane.Register(opts.Metrics)
+		link = plane.Decide
 	}
 	co := cluster.Options{
 		Sim: sim.Config{
@@ -184,6 +246,7 @@ func NewCluster(opts Options) *Cluster {
 			MinDelay: opts.MinDelay, MaxDelay: opts.MaxDelay,
 			MaxTime: opts.MaxTime,
 			Link:    link,
+			Metrics: opts.Metrics, Spans: opts.Spans, Timeline: opts.Timeline,
 		},
 		Det:      core.Config{N: opts.N, T: opts.T, Protocol: opts.Protocol},
 		App:      opts.NewApp,
@@ -194,7 +257,7 @@ func NewCluster(opts Options) *Cluster {
 			return &fd.Heartbeat{Interval: opts.HeartbeatEvery, Timeout: opts.HeartbeatTimeout}
 		}
 	}
-	return &Cluster{inner: cluster.New(co), opts: opts}
+	return &Cluster{inner: cluster.New(co), opts: opts, plane: plane}
 }
 
 // Detector returns process p's detector (for state inspection after Run).
@@ -231,6 +294,16 @@ type Report struct {
 	Retransmits, AckedDuplicates int
 	// EndTime is the virtual time at which the run ended.
 	EndTime int64
+	// Metrics is the run's full observability snapshot, name-sorted:
+	// simulator counters, reliable-layer counters when the layer ran, and
+	// — when Options.Faults was set — the fault plane's decision tallies.
+	Metrics Metrics
+	// Spans holds the recorded message-lifecycle spans, in record order
+	// (nil unless Options.Spans was set).
+	Spans []Span
+	// Timeline holds the sampled per-tick series (nil unless
+	// Options.Timeline was set).
+	Timeline []TimelineSeries
 }
 
 // Run executes the simulation and checks the paper's properties.
@@ -240,6 +313,14 @@ func (c *Cluster) Run() Report {
 	verdicts := checker.SFS(ab)
 	verdicts = append(verdicts, checker.FS2(ab))
 	verdicts = append(verdicts, checker.WitnessProperty(res.History, core.TagSusp, c.opts.T))
+	metrics := res.Metrics
+	if c.plane != nil {
+		metrics = obs.Merge(metrics, c.plane.Metrics())
+	}
+	var spans []Span
+	if c.opts.Spans != nil {
+		spans = c.opts.Spans.Spans()
+	}
 	return Report{
 		History:         res.History,
 		Abstract:        ab,
@@ -252,6 +333,9 @@ func (c *Cluster) Run() Report {
 		Retransmits:     res.Retransmits,
 		AckedDuplicates: res.AckedDuplicates,
 		EndTime:         res.EndTime,
+		Metrics:         metrics,
+		Spans:           spans,
+		Timeline:        res.Timeline,
 	}
 }
 
@@ -354,13 +438,30 @@ type LiveOptions struct {
 	Reliable ReliableOptions
 	// NewApp, when non-nil, builds the application for each process.
 	NewApp func(p ProcID) App
+	// Metrics, when non-nil, additionally registers the live counters in
+	// the given registry; the same readings are available from
+	// LiveCluster.Metrics either way.
+	Metrics *MetricsRegistry
+	// Spans, when non-nil, records sampled message-lifecycle spans. The
+	// sampling function is the one the simulated backend uses, so a live
+	// run and a simulated run of one scenario (same recorder seed and
+	// rate) sample the same messages.
+	Spans *SpanRecorder
+	// MetricsAddr, when non-empty, serves the cluster's live metrics in
+	// Prometheus text form at http://<addr>/metrics from Start to Stop.
+	// Use "127.0.0.1:0" to bind an ephemeral port and read the actual
+	// address from LiveCluster.MetricsAddr.
+	MetricsAddr string
 }
 
 // LiveCluster runs the same protocol stack on real goroutines.
 type LiveCluster struct {
-	net  *runtime.Net
-	dets []*core.Detector
-	eps  []*reliable.Endpoint // nil entries when the layer is off
+	net   *runtime.Net
+	dets  []*core.Detector
+	eps   []*reliable.Endpoint // nil entries when the layer is off
+	plane *netadv.Plane        // nil without LiveOptions.Faults
+	opts  LiveOptions
+	msrv  *obshttp.Server // nil unless MetricsAddr is set and Start ran
 }
 
 // NewLiveCluster builds a live cluster. Call Start, drive it with Suspect
@@ -377,11 +478,14 @@ func NewLiveCluster(opts LiveOptions) *LiveCluster {
 		panic(fmt.Errorf("failstop: LiveOptions.N = %d; need at least 2 processes", opts.N))
 	}
 	var link node.LinkFn
+	var plane *netadv.Plane
 	if opts.Faults != nil {
 		if err := opts.Faults.Validate(opts.N); err != nil {
 			panic(fmt.Errorf("failstop: LiveOptions.Faults: %w", err))
 		}
-		link = netadv.NewPlane(*opts.Faults, opts.N, opts.Seed).Decide
+		plane = netadv.NewPlane(*opts.Faults, opts.N, opts.Seed)
+		plane.Register(opts.Metrics)
+		link = plane.Decide
 	}
 	if err := opts.Reliable.Validate(); err != nil {
 		panic(fmt.Errorf("failstop: LiveOptions.Reliable: %w", err))
@@ -389,13 +493,16 @@ func NewLiveCluster(opts LiveOptions) *LiveCluster {
 	net := runtime.New(runtime.Config{
 		N: opts.N, Seed: opts.Seed,
 		MinDelay: opts.MinDelay, MaxDelay: opts.MaxDelay,
-		Tick: opts.Tick,
-		Link: link,
+		Tick:    opts.Tick,
+		Link:    link,
+		Metrics: opts.Metrics, Spans: opts.Spans,
 	})
 	lc := &LiveCluster{
-		net:  net,
-		dets: make([]*core.Detector, opts.N+1),
-		eps:  make([]*reliable.Endpoint, opts.N+1),
+		net:   net,
+		dets:  make([]*core.Detector, opts.N+1),
+		eps:   make([]*reliable.Endpoint, opts.N+1),
+		plane: plane,
+		opts:  opts,
 	}
 	for p := 1; p <= opts.N; p++ {
 		var app App
@@ -407,6 +514,7 @@ func NewLiveCluster(opts LiveOptions) *LiveCluster {
 		var h node.Handler = d
 		if opts.Reliable.Enabled {
 			ep := reliable.Wrap(d, opts.Reliable)
+			ep.SetSpans(opts.Spans)
 			lc.eps[p] = ep
 			h = ep
 		}
@@ -415,11 +523,31 @@ func NewLiveCluster(opts LiveOptions) *LiveCluster {
 	return lc
 }
 
-// Start launches the cluster's goroutines.
-func (lc *LiveCluster) Start() { lc.net.Start() }
+// Start launches the cluster's goroutines and, with
+// LiveOptions.MetricsAddr set, the /metrics endpoint. It panics if the
+// endpoint cannot bind — a misconfigured address should fail loudly at
+// startup, not silently serve nothing.
+func (lc *LiveCluster) Start() {
+	lc.net.Start()
+	if lc.opts.MetricsAddr != "" && lc.msrv == nil {
+		srv, err := obshttp.Start(lc.opts.MetricsAddr, lc.Metrics)
+		if err != nil {
+			lc.net.Stop()
+			panic(fmt.Errorf("failstop: LiveOptions.MetricsAddr: %w", err))
+		}
+		lc.msrv = srv
+	}
+}
 
-// Stop shuts the cluster down and waits for its goroutines.
-func (lc *LiveCluster) Stop() { lc.net.Stop() }
+// Stop shuts the cluster down and waits for its goroutines, closing the
+// /metrics endpoint first so no scrape observes a stopped cluster.
+func (lc *LiveCluster) Stop() {
+	if lc.msrv != nil {
+		_ = lc.msrv.Close()
+		lc.msrv = nil
+	}
+	lc.net.Stop()
+}
 
 // Suspect makes process i suspect j (serialized with i's other events).
 // The injected broadcast flows through i's reliable-delivery endpoint when
@@ -453,3 +581,28 @@ func (lc *LiveCluster) Stats() (dropped, duplicated int) { return lc.net.Stats()
 func (lc *LiveCluster) ReliableStats() (retransmits, ackedDuplicates int) {
 	return lc.net.ReliableStats()
 }
+
+// Metrics returns a name-sorted live snapshot of the cluster's counters:
+// runtime traffic, reliable-layer work, and — with LiveOptions.Faults —
+// the fault plane's decision tallies. Safe to call while the cluster
+// runs; it is what the /metrics endpoint serves.
+func (lc *LiveCluster) Metrics() Metrics {
+	ms := lc.net.Metrics()
+	if lc.plane != nil {
+		ms = obs.Merge(ms, lc.plane.Metrics())
+	}
+	return ms
+}
+
+// Spans returns a snapshot of the recorded message-lifecycle spans (nil
+// unless LiveOptions.Spans was set).
+func (lc *LiveCluster) Spans() []Span {
+	if lc.opts.Spans == nil {
+		return nil
+	}
+	return lc.opts.Spans.Spans()
+}
+
+// MetricsAddr returns the bound address of the live /metrics endpoint
+// ("" when LiveOptions.MetricsAddr was unset or Start has not run).
+func (lc *LiveCluster) MetricsAddr() string { return lc.msrv.Addr() }

@@ -65,6 +65,7 @@ func New(opts Options) *Cluster {
 		var h node.Handler = d
 		if opts.Reliable.Enabled {
 			ep := reliable.Wrap(d, opts.Reliable)
+			ep.SetSpans(opts.Sim.Spans)
 			c.endpoints[p] = ep
 			h = ep
 		}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"failstop/internal/netadv"
+	"failstop/internal/stats"
+	"failstop/internal/sweep"
+)
+
+// E14 quantifies Theorem 1's dilemma as a surface rather than a single
+// point: the false-suspicion rate of a fixed-timeout heartbeat detector as
+// a function of (drop probability, timeout). Every finite timeout
+// eventually accuses the living under loss — E14 measures how fast. Each
+// (timeout, drop) cell runs the sweep engine's quiet schedule (no crashes,
+// so *every* suspicion is false) over a seed batch; the observability
+// plane's false-suspicion metric counts accusing runs.
+//
+// Expected shape: at drop 0 delays are bounded well under every timeout,
+// so no false suspicions at all; for a fixed timeout the rate climbs with
+// the drop probability (more lost heartbeats, longer apparent silences);
+// for a fixed drop it falls as the timeout grows (more consecutive losses
+// needed to look dead). The same grid is what examples/e14 renders as a
+// chart from sfs-sweep's CSV export.
+func E14() Result {
+	const (
+		n, t  = 5, 2
+		seeds = 12
+	)
+	timeouts := []int64{40, 80, 160}
+	drops := []float64{0, 0.15, 0.35}
+
+	dropGen := func(p float64) netadv.Generator {
+		name := fmt.Sprintf("drop-%.2f", p)
+		return netadv.Generator{Name: name, Make: func(n, t int) netadv.Plan {
+			plan := netadv.Plan{Name: name}
+			if p > 0 {
+				// Drop 0 is the fault-free baseline: an empty plan, since a
+				// rule with no effect does not validate.
+				plan.Rules = []netadv.Rule{{Drop: p}}
+			}
+			return plan
+		}}
+	}
+	quiet, _ := sweep.Builtin("quiet")
+
+	// rate[timeout][drop] = accusing runs / runs.
+	rates := map[int64]map[float64]int{}
+	tbl := stats.NewTable("hb timeout", "drop", "false-suspicion", "heartbeats dropped")
+	for _, to := range timeouts {
+		rates[to] = map[float64]int{}
+		gens := make([]netadv.Generator, 0, len(drops))
+		for _, p := range drops {
+			gens = append(gens, dropGen(p))
+		}
+		rep, err := sweep.Run(sweep.Spec{
+			Grid:             []sweep.NT{{N: n, T: t}},
+			Schedules:        []sweep.Schedule{quiet},
+			Plans:            gens,
+			Seeds:            sweep.SeedRange{Start: 1, Count: seeds},
+			MinDelay:         1,
+			MaxDelay:         3,
+			MaxTime:          2000,
+			HeartbeatEvery:   25,
+			HeartbeatTimeout: to,
+		}, sweep.Options{})
+		if err != nil {
+			return Result{ID: "E14", Title: "false-suspicion surface", OK: false,
+				Notes: []string{"sweep failed: " + err.Error()}}
+		}
+		for i, cell := range rep.Cells {
+			p := drops[i%len(drops)]
+			fs := cell.Metrics["false-suspicion"]
+			rates[to][p] = fs
+			tbl.Row(to, fmt.Sprintf("%.2f", p), fmt.Sprintf("%d/%d", fs, cell.Runs), cell.Dropped)
+		}
+	}
+
+	ok := true
+	for _, to := range timeouts {
+		// Loss-free networks with delays far under the timeout never accuse.
+		ok = ok && rates[to][0] == 0
+		// The rate climbs (weakly) with the drop probability.
+		ok = ok && rates[to][0] <= rates[to][0.15] && rates[to][0.15] <= rates[to][0.35]
+	}
+	// The rate falls (weakly) as the timeout grows, at every lossy drop.
+	for _, p := range []float64{0.15, 0.35} {
+		ok = ok && rates[40][p] >= rates[80][p] && rates[80][p] >= rates[160][p]
+	}
+	// The dilemma has teeth: the tightest timeout under the heaviest loss
+	// accuses on every seed.
+	ok = ok && rates[40][0.35] == seeds
+
+	return Result{
+		ID:    "E14",
+		Title: "Theorem 1 as a surface: false-suspicion rate vs. drop probability vs. heartbeat timeout",
+		Table: tbl.String(),
+		OK:    ok,
+		Notes: []string{
+			fmt.Sprintf("quiet schedule (no crashes), so every suspicion is false; n=%d t=%d, heartbeat interval 25, %d seeds per cell", n, t, seeds),
+			"drop 0 never accuses: delays are bounded (1..3 ticks) far under every timeout",
+			"rate climbs with drop probability and falls with timeout — no finite timeout is safe under loss, only slower to err",
+			"examples/e14 exports this surface as CSV (committed artifact + ASCII chart); sfs-sweep -csv does the same for ad-hoc grids",
+		},
+	}
+}

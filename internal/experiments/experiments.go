@@ -13,7 +13,7 @@ import (
 
 // Result is the outcome of one experiment.
 type Result struct {
-	// ID is the experiment identifier (E1..E13).
+	// ID is the experiment identifier (E1..E14).
 	ID string
 	// Title names the paper artifact being reproduced.
 	Title string
@@ -57,6 +57,7 @@ func Registry() map[string]Runner {
 		"E11": E11,
 		"E12": E12,
 		"E13": E13,
+		"E14": E14,
 		"A1":  A1,
 		"A2":  A2,
 		"A3":  A3,
@@ -64,7 +65,7 @@ func Registry() map[string]Runner {
 }
 
 // IDs returns the experiment ids in order: the paper artifacts E1..E12 and
-// the post-paper measurement E13 first, then the ablations A1..A3.
+// the post-paper measurements E13..E14 first, then the ablations A1..A3.
 func IDs() []string {
 	reg := Registry()
 	ids := make([]string, 0, len(reg))

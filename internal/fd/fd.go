@@ -94,9 +94,14 @@ func (h *Heartbeat) OnTimer(ctx node.Context, d *core.Detector, name string) {
 		}
 		ctx.SetTimer(timerBeat, h.Interval)
 	case timerCheck:
+		// Walk peers in PID order, not map order: when several peers time
+		// out on the same check tick, the order of Suspect calls orders
+		// their protocol messages, and a map range would make the whole run
+		// nondeterministic.
 		now := ctx.Now()
-		for p, last := range h.lastHeard {
-			if d.Detected(p) || d.Suspects(p) {
+		for p := model.ProcID(1); int(p) <= ctx.N(); p++ {
+			last, ok := h.lastHeard[p]
+			if !ok || d.Detected(p) || d.Suspects(p) {
 				continue
 			}
 			if now-last >= h.Timeout {
@@ -202,9 +207,12 @@ func (a *Adaptive) OnTimer(ctx node.Context, d *core.Detector, name string) {
 		}
 		ctx.SetTimer(timerBeat, a.Interval)
 	case timerCheck:
+		// PID order, not map order — see Heartbeat.OnTimer: simultaneous
+		// timeouts must suspect in a deterministic order.
 		now := ctx.Now()
-		for p, last := range a.lastHeard {
-			if d.Detected(p) || d.Suspects(p) {
+		for p := model.ProcID(1); int(p) <= ctx.N(); p++ {
+			last, ok := a.lastHeard[p]
+			if !ok || d.Detected(p) || d.Suspects(p) {
 				continue
 			}
 			st := a.stats[p]

@@ -126,6 +126,33 @@ func TestAdaptiveStillNotPerfect(t *testing.T) {
 	}
 }
 
+// TestSimultaneousTimeoutsDeterministic pins the suspicion *order* when
+// several peers time out on the same check tick: the checker must walk
+// peers in PID order, not map order, or the run — and every sweep built on
+// it — is nondeterministic. Two processes crash at the same instant, so
+// every survivor's check timer finds both silent at once; the full history
+// must come out byte-identical on every run.
+func TestSimultaneousTimeoutsDeterministic(t *testing.T) {
+	run := func(mk func(model.ProcID) core.Component) string {
+		c := hbCluster(5, 2, mk,
+			sim.Config{N: 5, Seed: 6, MinDelay: 1, MaxDelay: 3, MaxTime: 2000})
+		c.CrashAt(100, 4)
+		c.CrashAt(100, 5)
+		return c.Run().History.String()
+	}
+	fixed := func(model.ProcID) core.Component { return &fd.Heartbeat{Interval: 10, Timeout: 50} }
+	adaptive := func(model.ProcID) core.Component { return &fd.Adaptive{Interval: 10, Phi: 4, MinTimeout: 40} }
+	baseFixed, baseAdaptive := run(fixed), run(adaptive)
+	for i := 0; i < 20; i++ {
+		if got := run(fixed); got != baseFixed {
+			t.Fatalf("run %d: fixed-timeout history diverged (map-order suspicion?)", i)
+		}
+		if got := run(adaptive); got != baseAdaptive {
+			t.Fatalf("run %d: adaptive history diverged (map-order suspicion?)", i)
+		}
+	}
+}
+
 func TestHeartbeatPanicsWithoutInterval(t *testing.T) {
 	defer func() {
 		if recover() == nil {

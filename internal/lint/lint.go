@@ -64,6 +64,7 @@ var DeterministicPackages = []string{
 	"failstop/internal/reliable",
 	"failstop/internal/checker",
 	"failstop/internal/adversary",
+	"failstop/internal/obs",
 }
 
 // DefaultClassify is the module's package classification.

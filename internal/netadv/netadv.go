@@ -27,6 +27,7 @@ import (
 
 	"failstop/internal/model"
 	"failstop/internal/node"
+	"failstop/internal/obs"
 )
 
 // Link is one directed channel from one process to another.
@@ -299,6 +300,15 @@ type Plane struct {
 	// occupies the link for QueueDelay ticks, so the current queue depth is
 	// ceil((busyUntil - now) / QueueDelay).
 	busyUntil map[busyKey]int64
+
+	// Fate counters, incremented once per decided message from the final
+	// decision (never per rule), so composed rules do not double-count.
+	cDecided    obs.Counter
+	cDropped    obs.Counter
+	cHeld       obs.Counter
+	cDuplicated obs.Counter
+	cReordered  obs.Counter
+	cShapedWait obs.Counter // total extra-delay ticks assigned
 }
 
 // busyKey identifies one shaping rule's queue on one directed link.
@@ -348,6 +358,50 @@ func NewPlane(plan Plan, n int, seed int64) *Plane {
 // Plan returns the plan the plane was built from.
 func (pl *Plane) Plan() Plan { return pl.plan }
 
+// Register exposes the plane's fate counters through reg under plane_*
+// names. A no-op on a nil registry.
+func (pl *Plane) Register(reg *obs.Registry) {
+	reg.RegisterCounter("plane_decided_total", &pl.cDecided)
+	reg.RegisterCounter("plane_dropped_total", &pl.cDropped)
+	reg.RegisterCounter("plane_held_ticks_total", &pl.cHeld)
+	reg.RegisterCounter("plane_duplicated_total", &pl.cDuplicated)
+	reg.RegisterCounter("plane_reordered_total", &pl.cReordered)
+	reg.RegisterCounter("plane_extra_delay_ticks_total", &pl.cShapedWait)
+}
+
+// Metrics returns a name-sorted snapshot of the plane's fate counters.
+func (pl *Plane) Metrics() obs.Metrics {
+	return obs.Metrics{
+		{Name: "plane_decided_total", Kind: obs.KindCounter, Value: pl.cDecided.Value()},
+		{Name: "plane_dropped_total", Kind: obs.KindCounter, Value: pl.cDropped.Value()},
+		{Name: "plane_duplicated_total", Kind: obs.KindCounter, Value: pl.cDuplicated.Value()},
+		{Name: "plane_extra_delay_ticks_total", Kind: obs.KindCounter, Value: pl.cShapedWait.Value()},
+		{Name: "plane_held_ticks_total", Kind: obs.KindCounter, Value: pl.cHeld.Value()},
+		{Name: "plane_reordered_total", Kind: obs.KindCounter, Value: pl.cReordered.Value()},
+	}
+}
+
+// count tallies the final decision of one message. It reads no PRNG state,
+// so observing a run cannot perturb its fates.
+func (pl *Plane) count(dec node.LinkDecision, held int64) {
+	pl.cDecided.Inc()
+	if dec.Drop {
+		pl.cDropped.Inc()
+	}
+	if held > 0 {
+		pl.cHeld.Add(held)
+	}
+	if dec.Duplicates > 0 {
+		pl.cDuplicated.Add(int64(dec.Duplicates))
+	}
+	if dec.Reorder {
+		pl.cReordered.Inc()
+	}
+	if dec.ExtraDelay > 0 {
+		pl.cShapedWait.Add(dec.ExtraDelay)
+	}
+}
+
 // Decide implements node.LinkFn: the fate of the message currently being
 // sent from from to to at time at.
 func (pl *Plane) Decide(from, to model.ProcID, p node.Payload, at int64) node.LinkDecision {
@@ -372,9 +426,11 @@ func (pl *Plane) Decide(from, to model.ProcID, p node.Payload, at int64) node.Li
 		}
 	}
 	if !anyMatch {
+		pl.count(dec, 0)
 		return dec
 	}
 
+	var held int64
 	rng := newStream(pl.seed, link, idx)
 	for i := range pl.rules {
 		cr := &pl.rules[i]
@@ -397,6 +453,7 @@ func (pl *Plane) Decide(from, to model.ProcID, p node.Payload, at int64) node.Li
 			// (heal - at) suffices.
 			if hold := cr.healAt(at) - at; hold > dec.ExtraDelay {
 				dec.ExtraDelay = hold
+				held = hold
 			}
 		}
 		if dup < cr.Duplicate {
@@ -412,6 +469,7 @@ func (pl *Plane) Decide(from, to model.ProcID, p node.Payload, at int64) node.Li
 			dec.ExtraDelay += pl.shape(i, link, at, cr.QueueDelay)
 		}
 	}
+	pl.count(dec, held)
 	return dec
 }
 

@@ -1,6 +1,10 @@
 package node
 
-import "failstop/internal/model"
+import (
+	"strconv"
+
+	"failstop/internal/model"
+)
 
 // LinkDecision is the fate a (possibly adversarial) network assigns to one
 // message at send time. The zero value means normal delivery: one copy,
@@ -47,3 +51,35 @@ func (d LinkDecision) Copies() int {
 // randomness deterministically from their own seed and the call inputs, so
 // that equal seeds reproduce equal fates.
 type LinkFn func(from, to model.ProcID, p Payload, at int64) LinkDecision
+
+// Note summarizes a non-trivial decision as a compact comma-joined string
+// ("drop", "park,dup=2", "delay=+3"); the zero decision yields "". Hosts
+// use it to label fault-fate trace spans identically on both backends.
+func (d LinkDecision) Note() string {
+	if !d.Drop && !d.Park && !d.Reorder && d.Duplicates == 0 && d.ExtraDelay == 0 {
+		return ""
+	}
+	var b []byte
+	add := func(s string) {
+		if len(b) > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, s...)
+	}
+	if d.Drop {
+		add("drop")
+	}
+	if d.Park {
+		add("park")
+	}
+	if d.Reorder {
+		add("reorder")
+	}
+	if d.Duplicates > 0 {
+		add("dup=" + strconv.Itoa(d.Duplicates))
+	}
+	if d.ExtraDelay != 0 {
+		add("delay=+" + strconv.FormatInt(d.ExtraDelay, 10))
+	}
+	return string(b)
+}

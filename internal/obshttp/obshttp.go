@@ -1,0 +1,74 @@
+// Package obshttp serves a live /metrics endpoint in the Prometheus text
+// exposition format, backed by any function that can snapshot an
+// obs.Metrics. It exists for the live (goroutine) runtime: the simulator
+// is a closed deterministic world that reports metrics in its Result, but
+// a running live cluster is something an operator may want to scrape
+// mid-flight. Stdlib net/http only; this is a wall-clock package (it
+// binds sockets and serves real requests) and is never imported by the
+// deterministic core.
+package obshttp
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"failstop/internal/obs"
+)
+
+// Server owns one listening /metrics endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start binds addr (e.g. "127.0.0.1:0" for an ephemeral port) and serves
+// GET /metrics, rendering source() as Prometheus text on every scrape.
+// The source must be safe to call concurrently with the cluster running —
+// obs counters are atomic, so registry and backend snapshots are.
+func Start(addr string, source func() obs.Metrics) (*Server, error) {
+	if source == nil {
+		return nil, fmt.Errorf("obshttp: nil metrics source")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obshttp: listening on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// A scrape races only against atomic counter reads; an encoding
+		// error here means the client hung up mid-scrape, which the next
+		// scrape absorbs.
+		_ = obs.WritePrometheus(w, source())
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		// Serve returns http.ErrServerClosed on Close; anything else means
+		// the listener died, which Close also surfaces to the caller.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address ("127.0.0.1:43521"), for building scrape
+// URLs when Start was given port 0.
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener. In-flight scrapes are cut off; this is a
+// teardown path, not a drain.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -39,10 +39,10 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-	"sync/atomic"
 
 	"failstop/internal/model"
 	"failstop/internal/node"
+	"failstop/internal/obs"
 )
 
 // TagAck marks pure acknowledgement frames. Acks carry a cumulative
@@ -171,9 +171,10 @@ type Endpoint struct {
 	inner node.Handler
 	opts  Options
 	peers map[model.ProcID]*peerState
+	spans *obs.SpanRecorder
 
-	retransmits atomic.Int64
-	ackedDups   atomic.Int64
+	retransmits obs.Counter
+	ackedDups   obs.Counter
 }
 
 var (
@@ -202,8 +203,14 @@ func (e *Endpoint) Inner() node.Handler { return e.inner }
 // received duplicates that were re-acknowledged and suppressed. Hosts
 // discover this method structurally to surface the counters in their stats.
 func (e *Endpoint) ReliableStats() (retransmits, ackedDuplicates int) {
-	return int(e.retransmits.Load()), int(e.ackedDups.Load())
+	return int(e.retransmits.Value()), int(e.ackedDups.Value())
 }
+
+// SetSpans attaches a span recorder: every retransmitted frame records a
+// retransmit span (detection-grade, not sampled — retransmissions are rare
+// and each one is a fault-plane interaction worth seeing). Call before the
+// host starts delivering.
+func (e *Endpoint) SetSpans(rec *obs.SpanRecorder) { e.spans = rec }
 
 // Context wraps a host context so that Send flows through the reliable
 // layer. Injected actions (SuspectAt and friends) must wrap the context
@@ -326,6 +333,13 @@ func (e *Endpoint) onRetry(host node.Context, to model.ProcID) {
 	// base — the receiver learns which gaps will never fill.
 	for _, f := range resend {
 		e.retransmits.Add(1)
+		if e.spans != nil {
+			e.spans.Record(obs.Span{
+				Time: now, Kind: obs.SpanRetransmit,
+				Proc: host.Self(), Peer: to, Tag: f.payload.Tag,
+				Note: "seq=" + strconv.FormatUint(f.seq, 10) + " try=" + strconv.Itoa(f.retries),
+			})
+		}
 		host.Send(to, e.frameData(ps, f))
 	}
 	if len(resend) > 0 {

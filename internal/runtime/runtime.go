@@ -29,6 +29,7 @@ import (
 
 	"failstop/internal/model"
 	"failstop/internal/node"
+	"failstop/internal/obs"
 )
 
 // Config parameterizes a live network.
@@ -49,6 +50,14 @@ type Config struct {
 	// fault plan drives both backends with identical semantics. Decision
 	// times are in ticks; ExtraDelay is converted via Tick.
 	Link node.LinkFn
+	// Metrics, when non-nil, exposes the runtime's counters through a
+	// shared registry — the backing store of the /metrics endpoint. The
+	// same readings are available from Net.Metrics either way.
+	Metrics *obs.Registry
+	// Spans, when non-nil, records message-lifecycle spans with the same
+	// kinds and sampling rule as the simulator, so span sequences are
+	// comparable across backends.
+	Spans *obs.SpanRecorder
 }
 
 // Net is a live network of processes. Attach handlers, Start, then Stop.
@@ -61,8 +70,14 @@ type Net struct {
 	recMu   sync.Mutex
 	history model.History
 	nextMsg model.MsgID
-	dropped int
-	dupes   int
+
+	// Counters are atomic, so they are read live (Stats, Metrics, the
+	// /metrics endpoint) without touching the recorder lock.
+	cSent        obs.Counter
+	cDelivered   obs.Counter
+	cDropped     obs.Counter
+	cDuplicated  obs.Counter
+	cTimersFired obs.Counter
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -97,6 +112,13 @@ func New(cfg Config) *Net {
 	}
 	for p := 1; p <= cfg.N; p++ {
 		n.procs[p] = newProc(n, model.ProcID(p))
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.RegisterCounter("net_sent_total", &n.cSent)
+		reg.RegisterCounter("net_delivered_total", &n.cDelivered)
+		reg.RegisterCounter("net_dropped_total", &n.cDropped)
+		reg.RegisterCounter("net_duplicated_total", &n.cDuplicated)
+		reg.RegisterCounter("net_timers_fired_total", &n.cTimersFired)
 	}
 	return n
 }
@@ -195,9 +217,36 @@ func (n *Net) delay() time.Duration {
 // Stats returns the network-fault counters: messages dropped by Config.Link
 // and extra copies it injected.
 func (n *Net) Stats() (dropped, duplicated int) {
-	n.recMu.Lock()
-	defer n.recMu.Unlock()
-	return n.dropped, n.dupes
+	return int(n.cDropped.Value()), int(n.cDuplicated.Value())
+}
+
+// Metrics returns a name-sorted live snapshot of the runtime's counters,
+// including the reliable layer's when any handler carries it. Safe to call
+// while the network runs.
+func (n *Net) Metrics() obs.Metrics {
+	ms := obs.Metrics{
+		{Name: "net_delivered_total", Kind: obs.KindCounter, Value: n.cDelivered.Value()},
+		{Name: "net_dropped_total", Kind: obs.KindCounter, Value: n.cDropped.Value()},
+		{Name: "net_duplicated_total", Kind: obs.KindCounter, Value: n.cDuplicated.Value()},
+		{Name: "net_sent_total", Kind: obs.KindCounter, Value: n.cSent.Value()},
+		{Name: "net_timers_fired_total", Kind: obs.KindCounter, Value: n.cTimersFired.Value()},
+	}
+	hasReliable := false
+	for p := 1; p <= n.cfg.N; p++ {
+		if _, ok := n.handlers[p].(reliableStats); ok {
+			hasReliable = true
+			break
+		}
+	}
+	if hasReliable {
+		r, d := n.ReliableStats()
+		ms = append(ms,
+			obs.Metric{Name: "reliable_acked_duplicates_total", Kind: obs.KindCounter, Value: int64(d)},
+			obs.Metric{Name: "reliable_retransmits_total", Kind: obs.KindCounter, Value: int64(r)},
+		)
+		ms.Sort()
+	}
+	return ms
 }
 
 // reliableStats is implemented by handlers that wrap a reliable-delivery
@@ -228,7 +277,8 @@ type liveMsg struct {
 	id      model.MsgID
 	payload node.Payload
 	readyAt time.Time
-	parked  bool // held forever; blocks the channel behind it
+	parked  bool  // held forever; blocks the channel behind it
+	span    int64 // enqueue span id; 0 when the message is unsampled
 }
 
 // proc is the per-process worker state.
@@ -244,6 +294,11 @@ type proc struct {
 	emitted  map[model.ProcID]bool // failed_self(j) already recorded
 	crashed  bool
 	wakeCh   chan struct{}
+
+	// curSpan frames the handler callback currently running on this
+	// process's worker. Only the worker goroutine touches it (callbacks are
+	// serialized per process), so it needs no lock.
+	curSpan int64
 }
 
 type liveTimer struct {
@@ -330,6 +385,7 @@ func (p *proc) step() bool {
 		name := p.dueTimer[0]
 		p.dueTimer = p.dueTimer[1:]
 		p.mu.Unlock()
+		p.net.cTimersFired.Inc()
 		p.net.handlers[p.self].OnTimer(&liveCtx{p: p}, name)
 		return true
 	}
@@ -354,7 +410,17 @@ func (p *proc) step() bool {
 		p.queues[from] = p.queues[from][1:]
 		p.mu.Unlock()
 		p.net.record(model.Recv(p.self, from, head.id, head.payload.Tag, head.payload.Subject))
+		p.net.cDelivered.Inc()
+		if head.span != 0 {
+			p.curSpan = p.net.cfg.Spans.Record(obs.Span{
+				Parent: head.span, Time: p.net.nowTicks(), Kind: obs.SpanDeliver,
+				Proc: p.self, Peer: from, Msg: head.id, Tag: head.payload.Tag,
+			})
+		} else {
+			p.curSpan = 0
+		}
 		p.net.handlers[p.self].OnMessage(&liveCtx{p: p}, from, head.payload)
+		p.curSpan = 0
 		return true
 	}
 	p.mu.Unlock()
@@ -395,22 +461,36 @@ func (c *liveCtx) Send(to model.ProcID, pl node.Payload) {
 	e.Seq = len(net.history)
 	net.history = append(net.history, e)
 	net.recMu.Unlock()
+	net.cSent.Inc()
 
 	var dec node.LinkDecision
 	if net.cfg.Link != nil {
 		dec = net.cfg.Link(p.self, to, pl, net.nowTicks())
 	}
+	var parentSpan int64
+	if net.cfg.Spans != nil && net.cfg.Spans.Sampled(id) {
+		parentSpan = net.cfg.Spans.Record(obs.Span{
+			Parent: p.curSpan, Time: net.nowTicks(), Kind: obs.SpanSend,
+			Proc: p.self, Peer: to, Msg: id, Tag: pl.Tag, Target: pl.Subject,
+		})
+		if note := dec.Note(); note != "" {
+			parentSpan = net.cfg.Spans.Record(obs.Span{
+				Parent: parentSpan, Time: net.nowTicks(), Kind: obs.SpanFate,
+				Proc: p.self, Peer: to, Msg: id, Note: note,
+			})
+		}
+	}
 	if dec.Drop {
-		net.recMu.Lock()
-		net.dropped++
-		net.recMu.Unlock()
+		net.cDropped.Inc()
+		if parentSpan != 0 {
+			net.cfg.Spans.Record(obs.Span{
+				Parent: parentSpan, Time: net.nowTicks(), Kind: obs.SpanDrop,
+				Proc: p.self, Peer: to, Msg: id,
+			})
+		}
 		return
 	}
-	if dec.Duplicates > 0 {
-		net.recMu.Lock()
-		net.dupes += dec.Duplicates
-		net.recMu.Unlock()
-	}
+	net.cDuplicated.Add(int64(dec.Duplicates))
 
 	dst := net.procs[to]
 	var maxDelay time.Duration
@@ -425,6 +505,12 @@ func (c *liveCtx) Send(to model.ProcID, pl node.Payload) {
 			payload: pl,
 			readyAt: time.Now().Add(d),
 			parked:  dec.Park,
+		}
+		if parentSpan != 0 {
+			msg.span = net.cfg.Spans.Record(obs.Span{
+				Parent: parentSpan, Time: net.nowTicks(), Kind: obs.SpanEnqueue,
+				Proc: p.self, Peer: to, Msg: id,
+			})
 		}
 		q := dst.queues[p.self]
 		if dec.Reorder && len(q) > 1 {
@@ -496,6 +582,13 @@ func (c *liveCtx) EmitFailed(j model.ProcID) {
 	p.emitted[j] = true
 	p.mu.Unlock()
 	p.net.record(model.Failed(p.self, j))
+	// Detection spans are recorded unconditionally, like the simulator's.
+	if p.net.cfg.Spans != nil {
+		p.net.cfg.Spans.Record(obs.Span{
+			Parent: p.curSpan, Time: p.net.nowTicks(), Kind: obs.SpanCrashConfirm,
+			Proc: p.self, Target: j,
+		})
+	}
 }
 
 func (c *liveCtx) CrashSelf() {
@@ -529,4 +622,10 @@ func (c *liveCtx) EmitInternal(tag string, subject model.ProcID) {
 		return
 	}
 	p.net.record(model.Internal(p.self, tag, subject))
+	if tag == "suspect" && p.net.cfg.Spans != nil {
+		p.net.cfg.Spans.Record(obs.Span{
+			Parent: p.curSpan, Time: p.net.nowTicks(), Kind: obs.SpanSuspect,
+			Proc: p.self, Target: subject, Tag: tag,
+		})
+	}
 }

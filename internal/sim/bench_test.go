@@ -12,6 +12,7 @@ import (
 
 	"failstop/internal/model"
 	"failstop/internal/node"
+	"failstop/internal/obs"
 )
 
 // floodHandler broadcasts to every peer on each of its first rounds timer
@@ -44,7 +45,12 @@ func (h *floodHandler) OnMessage(ctx node.Context, from model.ProcID, p node.Pay
 // runFlood executes one n-process, rounds-round flood and returns its
 // result (for sanity checks outside the timed loop).
 func runFlood(n, rounds int, seed int64) *Result {
-	s := New(Config{N: n, Seed: seed})
+	return runFloodObs(n, rounds, seed, nil)
+}
+
+// runFloodObs is runFlood with a metrics registry attached.
+func runFloodObs(n, rounds int, seed int64, reg *obs.Registry) *Result {
+	s := New(Config{N: n, Seed: seed, Metrics: reg})
 	for p := 1; p <= n; p++ {
 		s.SetHandler(model.ProcID(p), &floodHandler{rounds: rounds})
 	}
@@ -70,6 +76,45 @@ func BenchmarkSimHotPath(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(n*(n-1)*rounds)*float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkSimHotPathObs is BenchmarkSimHotPath with a metrics registry
+// attached: the observability plane's overhead on the hottest path. The
+// instruments are embedded zero-value atomics, so attaching a registry
+// costs registration (a handful of map inserts per run) and nothing per
+// message; CI gates this benchmark's allocs/op at ≤5% over the bare one.
+func BenchmarkSimHotPathObs(b *testing.B) {
+	const n, rounds = 10, 20
+	want := runFloodObs(n, rounds, 1, obs.NewRegistry())
+	if want.Sent != n*(n-1)*rounds || want.Delivered != want.Sent {
+		b.Fatalf("flood sent %d delivered %d, want %d", want.Sent, want.Delivered, n*(n-1)*rounds)
+	}
+	if want.Metrics.Value("sim_sent_total") != int64(want.Sent) {
+		b.Fatalf("metrics disagree with result: %s", want.Metrics)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runFloodObs(n, rounds, int64(i), obs.NewRegistry())
+		if res.Stop != StopDrained {
+			b.Fatalf("stop = %v", res.Stop)
+		}
+	}
+	b.ReportMetric(float64(n*(n-1)*rounds)*float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// TestObsAllocBudget is the in-tree version of the CI gate: attaching a
+// registry to the hot path may add at most 5% allocs/op over running bare.
+func TestObsAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	const n, rounds = 10, 20
+	bare := testing.AllocsPerRun(20, func() { runFlood(n, rounds, 1) })
+	withObs := testing.AllocsPerRun(20, func() { runFloodObs(n, rounds, 1, obs.NewRegistry()) })
+	if withObs > bare*1.05 {
+		t.Errorf("metrics-on hot path allocates %.0f/run, bare %.0f/run: over the 5%% budget", withObs, bare)
+	}
 }
 
 // BenchmarkSimTimerChurn isolates the timer path: one process re-arming

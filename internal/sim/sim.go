@@ -38,6 +38,7 @@ import (
 
 	"failstop/internal/model"
 	"failstop/internal/node"
+	"failstop/internal/obs"
 )
 
 // DelayFn chooses the delivery delay in ticks for a message sent at time at
@@ -67,6 +68,18 @@ type Config struct {
 	// MaxEvents caps the history length as a runaway-protocol safeguard.
 	// Default: 1 << 20.
 	MaxEvents int
+	// Metrics, when non-nil, exposes the simulator's counters (and those of
+	// attached layers) through a shared registry for live snapshots. The
+	// same readings always appear in Result.Metrics, registry or not.
+	Metrics *obs.Registry
+	// Spans, when non-nil, records message-lifecycle spans
+	// (send → fate → enqueue → deliver/drop, plus suspect and crash-confirm)
+	// with causal parents and the recorder's seed-deterministic sampling.
+	Spans *obs.SpanRecorder
+	// Timeline, when non-nil, is sampled at its cadence with the in-flight
+	// message count, the largest link backlog, and the cumulative suspicion
+	// count as virtual time advances.
+	Timeline *obs.Timeline
 }
 
 type chanKey struct{ from, to model.ProcID }
@@ -75,6 +88,7 @@ type pendingMsg struct {
 	id      model.MsgID
 	payload node.Payload
 	readyAt int64 // delivery-ready time; -1 if parked forever
+	span    int64 // enqueue span id; 0 when the message is unsampled
 }
 
 type channel struct {
@@ -253,6 +267,13 @@ type Result struct {
 	Blocked []BlockedChannel
 	// Stop states why the run ended: drained, max-time, or max-events.
 	Stop StopReason
+	// Metrics is the name-sorted snapshot of the run's instruments
+	// (sim_* counters plus reliable_* when the layer is attached). It is
+	// always populated, independent of Config.Metrics.
+	Metrics obs.Metrics
+	// Timeline holds the sampled per-tick series when Config.Timeline was
+	// set; nil otherwise.
+	Timeline []obs.TimelineSeries
 }
 
 // HitHorizon reports that the run stopped at MaxTime or MaxEvents rather
@@ -293,11 +314,21 @@ type Sim struct {
 	crashed  []bool
 	failed   map[[2]model.ProcID]bool
 	timerGen map[timerID]int64
-	sent     int
-	deliv    int
-	dropped  int
-	dupes    int
 	ran      bool
+
+	// Instruments live inline as values: zero-cost when no registry or
+	// recorder is attached, registered by pointer into Config.Metrics
+	// otherwise.
+	cSent        obs.Counter
+	cDelivered   obs.Counter
+	cDropped     obs.Counter
+	cDuplicated  obs.Counter
+	cTimersFired obs.Counter
+
+	curSpan    int64 // span framing the handler callback now running, or 0
+	inflight   int   // enqueued-but-undelivered message copies
+	suspects   int64 // cumulative suspect internal events
+	lastSample int64 // last timeline boundary sampled
 }
 
 // New creates a simulator for cfg.N processes. Handlers must be attached
@@ -329,6 +360,13 @@ func New(cfg Config) *Sim {
 	}
 	for p := 1; p <= cfg.N; p++ {
 		s.ctxs[p] = &procCtx{s: s, p: model.ProcID(p)}
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.RegisterCounter("sim_sent_total", &s.cSent)
+		reg.RegisterCounter("sim_delivered_total", &s.cDelivered)
+		reg.RegisterCounter("sim_dropped_total", &s.cDropped)
+		reg.RegisterCounter("sim_duplicated_total", &s.cDuplicated)
+		reg.RegisterCounter("sim_timers_fired_total", &s.cTimersFired)
 	}
 	return s
 }
@@ -404,6 +442,9 @@ func (s *Sim) Run() *Result {
 			break
 		}
 		if o.time > s.now {
+			if s.cfg.Timeline != nil {
+				s.sampleTimeline(o.time)
+			}
 			s.now = o.time
 		}
 		switch o.kind {
@@ -421,19 +462,71 @@ func (s *Sim) Run() *Result {
 
 	res.History = s.history.Normalize()
 	res.EndTime = s.now
-	res.Sent = s.sent
-	res.Delivered = s.deliv
-	res.Dropped = s.dropped
-	res.Duplicated = s.dupes
+	res.Sent = int(s.cSent.Value())
+	res.Delivered = int(s.cDelivered.Value())
+	res.Dropped = int(s.cDropped.Value())
+	res.Duplicated = int(s.cDuplicated.Value())
 	res.Blocked = s.blockedChannels()
+	hasReliable := false
 	for p := 1; p <= s.cfg.N; p++ {
 		if rs, ok := s.handlers[p].(reliableStats); ok {
+			hasReliable = true
 			r, d := rs.ReliableStats()
 			res.Retransmits += r
 			res.AckedDuplicates += d
 		}
 	}
+	res.Metrics = s.snapshotMetrics(res, hasReliable)
+	if s.cfg.Timeline != nil {
+		res.Timeline = s.cfg.Timeline.Snapshot()
+	}
 	return res
+}
+
+// snapshotMetrics builds the run's metric snapshot directly from the
+// inline counters — already name-sorted, so no sort pass is needed.
+func (s *Sim) snapshotMetrics(res *Result, hasReliable bool) obs.Metrics {
+	ms := obs.Metrics{
+		{Name: "sim_delivered_total", Kind: obs.KindCounter, Value: s.cDelivered.Value()},
+		{Name: "sim_dropped_total", Kind: obs.KindCounter, Value: s.cDropped.Value()},
+		{Name: "sim_duplicated_total", Kind: obs.KindCounter, Value: s.cDuplicated.Value()},
+		{Name: "sim_sent_total", Kind: obs.KindCounter, Value: s.cSent.Value()},
+		{Name: "sim_timers_fired_total", Kind: obs.KindCounter, Value: s.cTimersFired.Value()},
+	}
+	if hasReliable {
+		ms = append(ms,
+			obs.Metric{Name: "reliable_acked_duplicates_total", Kind: obs.KindCounter, Value: int64(res.AckedDuplicates)},
+			obs.Metric{Name: "reliable_retransmits_total", Kind: obs.KindCounter, Value: int64(res.Retransmits)},
+		)
+		ms.Sort()
+	}
+	return ms
+}
+
+// sampleTimeline emits one point per series at every sampling boundary
+// crossed by the jump from s.now to next.
+func (s *Sim) sampleTimeline(next int64) {
+	tl := s.cfg.Timeline
+	every := tl.Every()
+	for t := s.lastSample + every; t <= next; t += every {
+		tl.Observe("inflight", t, float64(s.inflight))
+		tl.Observe("link_backlog_max", t, float64(s.maxBacklog()))
+		tl.Observe("suspects_total", t, float64(s.suspects))
+		s.lastSample = t
+	}
+}
+
+// maxBacklog returns the deepest link queue. A maximum is order-free, so
+// ranging the channel map directly is deterministic.
+func (s *Sim) maxBacklog() int {
+	mx := 0
+	//sfs:allow detmaprange a maximum over queue depths is order-insensitive
+	for _, c := range s.chans {
+		if len(c.queue) > mx {
+			mx = len(c.queue)
+		}
+	}
+	return mx
 }
 
 // reliableStats is implemented by handlers that wrap a reliable-delivery
@@ -501,10 +594,21 @@ func (s *Sim) deliver(k chanKey) {
 	c.gated = false
 	c.queue = c.queue[1:]
 	s.record(model.Recv(k.to, k.from, head.id, head.payload.Tag, head.payload.Subject))
-	s.deliv++
+	s.cDelivered.Inc()
+	s.inflight--
+	prevSpan := s.curSpan
+	if head.span != 0 {
+		s.curSpan = s.cfg.Spans.Record(obs.Span{
+			Parent: head.span, Time: s.now, Kind: obs.SpanDeliver,
+			Proc: k.to, Peer: k.from, Msg: head.id, Tag: head.payload.Tag,
+		})
+	} else {
+		s.curSpan = 0
+	}
 	s.scheduleHead(k)
 	h.OnMessage(s.ctxs[k.to], k.from, head.payload)
 	s.afterEvent(k.to)
+	s.curSpan = prevSpan
 }
 
 // afterEvent re-evaluates gated channels into p after any event of p: the
@@ -562,6 +666,7 @@ func (s *Sim) fireTimer(o occurrence) {
 		return // cancelled or replaced
 	}
 	delete(s.timerGen, key)
+	s.cTimersFired.Inc()
 	s.handlers[o.proc].OnTimer(s.ctxs[o.proc], o.name)
 	s.afterEvent(o.proc)
 }
@@ -578,6 +683,25 @@ func (s *Sim) record(e model.Event) {
 	e.Time = s.now
 	e.Seq = len(s.history)
 	s.history = append(s.history, e)
+	switch {
+	case e.Kind == model.KindInternal && e.Tag == "suspect":
+		s.suspects++
+		// Detection spans are recorded unconditionally: they are rare and
+		// are the events the paper's properties are about.
+		if s.cfg.Spans != nil {
+			s.cfg.Spans.Record(obs.Span{
+				Parent: s.curSpan, Time: s.now, Kind: obs.SpanSuspect,
+				Proc: e.Proc, Target: e.Target, Tag: e.Tag,
+			})
+		}
+	case e.Kind == model.KindFailed:
+		if s.cfg.Spans != nil {
+			s.cfg.Spans.Record(obs.Span{
+				Parent: s.curSpan, Time: s.now, Kind: obs.SpanCrashConfirm,
+				Proc: e.Proc, Target: e.Target,
+			})
+		}
+	}
 }
 
 // procCtx implements node.Context for one process.
@@ -606,17 +730,36 @@ func (c *procCtx) Send(to model.ProcID, p node.Payload) {
 	s.nextMsg++
 	id := s.nextMsg
 	s.record(model.Send(c.p, to, id, p.Tag, p.Subject))
-	s.sent++
+	s.cSent.Inc()
 
 	var dec node.LinkDecision
 	if s.cfg.Link != nil {
 		dec = s.cfg.Link(c.p, to, p, s.now)
 	}
+	var parentSpan int64
+	if s.cfg.Spans != nil && s.cfg.Spans.Sampled(id) {
+		parentSpan = s.cfg.Spans.Record(obs.Span{
+			Parent: s.curSpan, Time: s.now, Kind: obs.SpanSend,
+			Proc: c.p, Peer: to, Msg: id, Tag: p.Tag, Target: p.Subject,
+		})
+		if note := dec.Note(); note != "" {
+			parentSpan = s.cfg.Spans.Record(obs.Span{
+				Parent: parentSpan, Time: s.now, Kind: obs.SpanFate,
+				Proc: c.p, Peer: to, Msg: id, Note: note,
+			})
+		}
+	}
 	if dec.Drop {
-		s.dropped++
+		s.cDropped.Inc()
+		if parentSpan != 0 {
+			s.cfg.Spans.Record(obs.Span{
+				Parent: parentSpan, Time: s.now, Kind: obs.SpanDrop,
+				Proc: c.p, Peer: to, Msg: id,
+			})
+		}
 		return
 	}
-	s.dupes += dec.Duplicates
+	s.cDuplicated.Add(int64(dec.Duplicates))
 
 	k := chanKey{from: c.p, to: to}
 	ch := s.chans[k]
@@ -640,6 +783,13 @@ func (c *procCtx) Send(to model.ProcID, p node.Payload) {
 			ready = s.now + delay + dec.ExtraDelay
 		}
 		msg := pendingMsg{id: id, payload: p, readyAt: ready}
+		s.inflight++
+		if parentSpan != 0 {
+			msg.span = s.cfg.Spans.Record(obs.Span{
+				Parent: parentSpan, Time: s.now, Kind: obs.SpanEnqueue,
+				Proc: c.p, Peer: to, Msg: id,
+			})
+		}
 		if dec.Reorder && len(ch.queue) > 1 {
 			// Overtake the current tail: a pairwise FIFO violation.
 			tail := len(ch.queue) - 1

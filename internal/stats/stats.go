@@ -22,6 +22,8 @@ type Summary struct {
 	Min    float64 `json:"min"`
 	Median float64 `json:"median"`
 	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+	P999   float64 `json:"p999"`
 	Max    float64 `json:"max"`
 }
 
@@ -52,6 +54,8 @@ func Summarize(xs []float64) Summary {
 	s.Max = sorted[s.N-1]
 	s.Median = Percentile(sorted, 50)
 	s.P95 = Percentile(sorted, 95)
+	s.P99 = Percentile(sorted, 99)
+	s.P999 = Percentile(sorted, 99.9)
 	return s
 }
 

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -52,7 +53,8 @@ func TestInts(t *testing.T) {
 	}
 }
 
-// Property: Min <= Median <= P95 <= Max and Mean within [Min, Max].
+// Property: Min <= Median <= P95 <= P99 <= P999 <= Max and Mean within
+// [Min, Max] — the full quantile ladder the observability plane exposes.
 func TestSummaryOrdering(t *testing.T) {
 	prop := func(raw []float64) bool {
 		xs := make([]float64, 0, len(raw))
@@ -66,10 +68,61 @@ func TestSummaryOrdering(t *testing.T) {
 		}
 		s := Summarize(xs)
 		return s.Min <= s.Median+1e-9 && s.Median <= s.P95+1e-9 &&
-			s.P95 <= s.Max+1e-9 && s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+			s.P95 <= s.P99+1e-9 && s.P99 <= s.P999+1e-9 &&
+			s.P999 <= s.Max+1e-9 && s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSummarizeTailQuantiles(t *testing.T) {
+	// 1..1000: the tail quantiles interpolate over the top of the range.
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	for _, tt := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"P99", s.P99, 990.01},
+		{"P999", s.P999, 999.001},
+		{"Min", s.Min, 1},
+		{"Max", s.Max, 1000},
+	} {
+		if math.Abs(tt.got-tt.want) > 1e-6 {
+			t.Errorf("%s = %v, want %v", tt.name, tt.got, tt.want)
+		}
+	}
+	// Degenerate sets collapse every quantile to the sample.
+	s = Summarize([]float64{5})
+	if s.P99 != 5 || s.P999 != 5 {
+		t.Errorf("single-sample tail quantiles = %v / %v, want 5", s.P99, s.P999)
+	}
+}
+
+// TestSummaryJSONRoundTrip: Summary is a wire struct (sweep shard reports,
+// obs histogram snapshots); every field — including the tail quantiles —
+// must survive encoding.
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 100})
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"p95"`, `"p99"`, `"p999"`, `"min"`, `"max"`} {
+		if !strings.Contains(string(raw), field) {
+			t.Errorf("encoded summary missing %s: %s", field, raw)
+		}
+	}
+	var back Summary
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("round trip = %+v, want %+v", back, s)
 	}
 }
 

@@ -7,6 +7,7 @@ package sweep
 import (
 	"encoding/json"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -62,6 +63,60 @@ func TestReportStableAcrossGOMAXPROCS(t *testing.T) {
 		}
 		if string(raw) != string(baseJSON) {
 			t.Errorf("%s: JSON report diverged from serial baseline", c.name)
+		}
+	}
+}
+
+// TestObsTimelineStableAcrossWorkers extends the invariant to the
+// observability plane: obs metric totals, per-cell timeline aggregates,
+// and the CSV rendering must not depend on the worker count. The spec
+// deliberately combines heartbeats with a lossy plan — the configuration
+// whose simultaneous-timeout suspicions once leaked map order into the
+// report (see fd.Heartbeat.OnTimer).
+func TestObsTimelineStableAcrossWorkers(t *testing.T) {
+	crash, ok := Builtin("crash")
+	if !ok {
+		t.Fatal("builtin crash schedule missing")
+	}
+	spec := Spec{
+		Grid:             []NT{{5, 2}},
+		Schedules:        []Schedule{crash},
+		Plans:            plansByName(t, "flaky-quorum"),
+		Seeds:            SeedRange{Count: 8},
+		MaxTime:          2000,
+		HeartbeatEvery:   25,
+		HeartbeatTimeout: 80,
+		Timeline:         true,
+		TimelineEvery:    5,
+		Check:            true,
+	}
+	render := func(workers int) (string, string) {
+		rep, err := Run(spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Workers = 0
+		var csv strings.Builder
+		if err := rep.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw), csv.String()
+	}
+	baseJSON, baseCSV := render(1)
+	if !strings.Contains(baseJSON, `"obs"`) || !strings.Contains(baseJSON, `"timeseries"`) {
+		t.Fatalf("report carries no obs/timeline data: %s", baseJSON[:200])
+	}
+	for _, workers := range []int{2, 8} {
+		gotJSON, gotCSV := render(workers)
+		if gotJSON != baseJSON {
+			t.Errorf("workers=%d: JSON (incl. obs totals and timeline aggregates) diverged from serial", workers)
+		}
+		if gotCSV != baseCSV {
+			t.Errorf("workers=%d: CSV diverged from serial", workers)
 		}
 	}
 }

@@ -115,6 +115,8 @@ func cellAccumulator(c *CellResult) *accumulator {
 		ackedDups:   c.AckedDuplicates,
 		holds:       c.Holds,
 		metrics:     c.Metrics,
+		obsTotals:   c.Obs,
+		tseries:     c.TimeseriesSamples,
 		events:      c.EventSamples,
 		ends:        c.EndTimeSamples,
 	}

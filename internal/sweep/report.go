@@ -51,6 +51,11 @@ type CellResult struct {
 	Holds map[string]int `json:"holds"`
 	// Metrics counts, per custom metric, the runs on which it was true.
 	Metrics map[string]int `json:"metrics"`
+	// Obs totals the runs' observability counters (the simulator's
+	// snapshot merged, under a fault plan, with the fault plane's) over
+	// all runs of the cell, keyed by metric name. Histogram-kind metrics
+	// carry no total and are not aggregated here.
+	Obs map[string]int64 `json:"obs"`
 	// Events and EndTimes summarize run length in events and virtual time.
 	Events   stats.Summary `json:"events"`
 	EndTimes stats.Summary `json:"end_times"`
@@ -60,6 +65,13 @@ type CellResult struct {
 	// cannot be merged, sample sets can.
 	EventSamples   []float64 `json:"event_samples"`
 	EndTimeSamples []float64 `json:"end_time_samples"`
+	// Timeseries summarizes, per timeline series name, the distribution
+	// of per-run peak values over the cell's runs (populated when
+	// Spec.Timeline is set). TimeseriesSamples retains the raw sorted
+	// peaks behind each summary, for the same reason EventSamples exists:
+	// sample sets merge across shards, summaries do not.
+	Timeseries        map[string]stats.Summary `json:"timeseries"`
+	TimeseriesSamples map[string][]float64     `json:"timeseries_samples"`
 }
 
 // HoldsAll reports whether prop held on every checked run of the cell.
@@ -216,6 +228,8 @@ type accumulator struct {
 	ackedDups   int
 	holds       map[string]int
 	metrics     map[string]int
+	obsTotals   map[string]int64
+	tseries     map[string][]float64
 	events      []float64
 	ends        []float64
 }
@@ -225,12 +239,14 @@ type accumulator struct {
 // buffered in place).
 func newAccumulator(cell Cell, sampleHint int) *accumulator {
 	return &accumulator{
-		cell:    cell,
-		stops:   make(map[sim.StopReason]int, 3),
-		holds:   make(map[string]int, len(Properties)),
-		metrics: map[string]int{},
-		events:  make([]float64, 0, sampleHint),
-		ends:    make([]float64, 0, sampleHint),
+		cell:      cell,
+		stops:     make(map[sim.StopReason]int, 3),
+		holds:     make(map[string]int, len(Properties)),
+		metrics:   map[string]int{},
+		obsTotals: map[string]int64{},
+		tseries:   map[string][]float64{},
+		events:    make([]float64, 0, sampleHint),
+		ends:      make([]float64, 0, sampleHint),
 	}
 }
 
@@ -271,6 +287,16 @@ func (a *accumulator) add(rec runRecord) {
 			a.metrics[name] += 0 // record the name so 0-counts render
 		}
 	}
+	// rec.obs is a sorted slice, rec.peaks a name-sorted snapshot: both
+	// iterate deterministically. Histogram metrics carry no summable value.
+	for _, m := range rec.obs {
+		if m.Summary == nil {
+			a.obsTotals[m.Name] += m.Value
+		}
+	}
+	for _, s := range rec.peaks {
+		a.tseries[s.Name] = append(a.tseries[s.Name], s.Max())
+	}
 	a.events = append(a.events, rec.events)
 	a.ends = append(a.ends, rec.endTime)
 }
@@ -299,6 +325,14 @@ func (a *accumulator) merge(b *accumulator) {
 	for k, v := range b.metrics {
 		a.metrics[k] += v
 	}
+	//sfs:allow detmaprange commutative sum into a map; rendering sorts via metricNames
+	for k, v := range b.obsTotals {
+		a.obsTotals[k] += v
+	}
+	//sfs:allow detmaprange keyed sample-set concatenation; result sorts every set before publishing
+	for k, v := range b.tseries {
+		a.tseries[k] = append(a.tseries[k], v...)
+	}
 	a.events = append(a.events, b.events...)
 	a.ends = append(a.ends, b.ends...)
 }
@@ -310,22 +344,31 @@ func (a *accumulator) merge(b *accumulator) {
 func (a *accumulator) result() CellResult {
 	sort.Float64s(a.events)
 	sort.Float64s(a.ends)
+	ts := make(map[string]stats.Summary, len(a.tseries))
+	//sfs:allow detmaprange per-key sort and summarize; keyed output is independent of visit order
+	for name, samples := range a.tseries {
+		sort.Float64s(samples)
+		ts[name] = stats.Summarize(samples)
+	}
 	return CellResult{
-		Cell:            a.cell,
-		Runs:            a.runs,
-		Stops:           a.stops,
-		Quiescent:       a.quiet,
-		BlockedRuns:     a.blocked,
-		Checked:         a.checked,
-		Dropped:         a.dropped,
-		Duplicated:      a.duplicated,
-		Retransmits:     a.retransmits,
-		AckedDuplicates: a.ackedDups,
-		Holds:           a.holds,
-		Metrics:         a.metrics,
-		Events:          stats.Summarize(a.events),
-		EndTimes:        stats.Summarize(a.ends),
-		EventSamples:    a.events,
-		EndTimeSamples:  a.ends,
+		Cell:              a.cell,
+		Runs:              a.runs,
+		Stops:             a.stops,
+		Quiescent:         a.quiet,
+		BlockedRuns:       a.blocked,
+		Checked:           a.checked,
+		Dropped:           a.dropped,
+		Duplicated:        a.duplicated,
+		Retransmits:       a.retransmits,
+		AckedDuplicates:   a.ackedDups,
+		Holds:             a.holds,
+		Metrics:           a.metrics,
+		Obs:               a.obsTotals,
+		Events:            stats.Summarize(a.events),
+		EndTimes:          stats.Summarize(a.ends),
+		EventSamples:      a.events,
+		EndTimeSamples:    a.ends,
+		Timeseries:        ts,
+		TimeseriesSamples: a.tseries,
 	}
 }

@@ -22,9 +22,11 @@ package sweep
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"failstop/internal/checker"
 	"failstop/internal/cluster"
@@ -33,6 +35,7 @@ import (
 	"failstop/internal/model"
 	"failstop/internal/netadv"
 	"failstop/internal/node"
+	"failstop/internal/obs"
 	"failstop/internal/quorum"
 	"failstop/internal/reliable"
 	"failstop/internal/sim"
@@ -143,11 +146,14 @@ func (c Cell) String() string {
 
 // RunOutput is what one scenario run produced. Custom runners may leave
 // Cluster nil; Metrics carries named boolean outcomes to aggregate beyond
-// the checker's verdicts.
+// the checker's verdicts; Obs carries the run's observability counters
+// (the default runner merges the simulator's snapshot with the fault
+// plane's, when one was active) to total per cell.
 type RunOutput struct {
 	Result  *sim.Result
 	Cluster *cluster.Cluster
 	Metrics map[string]bool
+	Obs     obs.Metrics
 }
 
 // RunnerFn executes one scenario, replacing the default cluster
@@ -208,6 +214,14 @@ type Spec struct {
 	HeartbeatEvery   int64
 	HeartbeatTimeout int64
 
+	// Timeline, when true, attaches a per-tick timeseries sampler to every
+	// run (in-flight messages, link backlog, suspicion count) and
+	// aggregates each series' per-run peak into the cell's Timeseries
+	// summaries. TimelineEvery is the sampling cadence in virtual-time
+	// ticks; 0 means every tick.
+	Timeline      bool
+	TimelineEvery int64
+
 	// Check pipes every quiescent run's history through checker.All and
 	// aggregates per-property verdict counts. Only quiescent runs are
 	// checked: the checker's liveness verdicts (FS1, sFS2a, Condition 1)
@@ -224,6 +238,14 @@ type Options struct {
 	// Workers sizes the worker pool. 0 means GOMAXPROCS; 1 is the serial
 	// baseline.
 	Workers int
+	// Progress, when non-nil, receives periodic per-worker progress and
+	// throughput lines while the sweep runs (cmd/sfs-sweep points it at
+	// stderr under -progress). Progress output is execution bookkeeping —
+	// wall-clock pacing, worker attribution — and never reaches the
+	// report, so enabling it cannot perturb results.
+	Progress io.Writer
+	// ProgressEvery is the reporting interval; 0 means one second.
+	ProgressEvery time.Duration
 }
 
 func (s Spec) withDefaults() Spec {
@@ -412,8 +434,9 @@ func defaultRun(spec Spec, cs cellSpec, seed int64) RunOutput {
 		delay = cs.sched.Delay(cell.NT, seed)
 	}
 	var link node.LinkFn
+	var plane *netadv.Plane
 	if cs.plan.Make != nil {
-		plane := netadv.NewPlane(cs.plan.Make(cell.NT.N, cell.NT.T), cell.NT.N, seed)
+		plane = netadv.NewPlane(cs.plan.Make(cell.NT.N, cell.NT.T), cell.NT.N, seed)
 		link = plane.Decide
 	}
 	qsize := 0
@@ -423,12 +446,17 @@ func defaultRun(spec Spec, cs cellSpec, seed int64) RunOutput {
 			qsize = 1
 		}
 	}
+	var timeline *obs.Timeline
+	if spec.Timeline {
+		timeline = obs.NewTimeline(spec.TimelineEvery, 0)
+	}
 	co := cluster.Options{
 		Sim: sim.Config{
 			N: cell.NT.N, Seed: seed,
 			MinDelay: spec.MinDelay, MaxDelay: spec.MaxDelay,
 			Delay: delay, Link: link,
 			MaxTime: spec.MaxTime, MaxEvents: spec.MaxEvents,
+			Timeline: timeline,
 		},
 		Det: core.Config{
 			N: cell.NT.N, T: cell.NT.T,
@@ -453,6 +481,10 @@ func defaultRun(spec Spec, cs cellSpec, seed int64) RunOutput {
 		}
 	}
 	out := RunOutput{Result: c.Run(), Cluster: c}
+	out.Obs = out.Result.Metrics
+	if plane != nil {
+		out.Obs = obs.Merge(out.Obs, plane.Metrics())
+	}
 	if cs.plan.Make != nil || spec.HeartbeatEvery > 0 {
 		out.Metrics = map[string]bool{}
 	}
@@ -518,6 +550,8 @@ type runRecord struct {
 	endTime     float64
 	verdicts    []checker.Verdict // nil when unchecked
 	metrics     map[string]bool
+	obs         obs.Metrics
+	peaks       []obs.TimelineSeries // run timeline, reduced per-series to peaks by the accumulator
 }
 
 // Run expands the spec and executes every scenario (this shard's slice,
@@ -554,10 +588,16 @@ func Run(spec Spec, opts Options) (*Report, error) {
 	// hands it.
 	sampleHint := spec.Seeds.Count/workers + 1
 	perWorker := make([][]*accumulator, workers)
+	// done[w] counts worker w's completed runs; the progress reporter (when
+	// enabled) reads them concurrently, so they are atomic counters. The
+	// counts feed stderr only, never the report.
+	done := make([]obs.Counter, workers)
+	stopProgress := startProgress(opts, spec.Runs(), done)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		mine := make([]*accumulator, len(cells))
 		perWorker[w] = mine
+		mydone := &done[w]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -569,6 +609,7 @@ func Run(spec Spec, opts Options) (*Report, error) {
 					mine[j.cellIdx] = a
 				}
 				a.add(rec)
+				mydone.Inc()
 			}
 		}()
 	}
@@ -577,6 +618,7 @@ func Run(spec Spec, opts Options) (*Report, error) {
 	})
 	close(jobs)
 	wg.Wait()
+	stopProgress()
 
 	// Merge worker arrays in worker order. Any fixed order yields the same
 	// report; fixing one anyway keeps the merge itself deterministic.
@@ -595,6 +637,60 @@ func Run(spec Spec, opts Options) (*Report, error) {
 		rep.Runs += a.runs
 	}
 	return rep, nil
+}
+
+// startProgress launches the progress reporter when opts.Progress is set
+// and returns a function that stops it (after one final line). The
+// reporter is the one wall-clock consumer in this package: it paces and
+// timestamps stderr lines, and nothing it reads or writes can reach the
+// report, so the determinism contract is untouched.
+func startProgress(opts Options, total int, done []obs.Counter) (stop func()) {
+	if opts.Progress == nil {
+		return func() {}
+	}
+	every := opts.ProgressEvery
+	if every <= 0 {
+		every = time.Second
+	}
+	//sfs:allow detwallclock progress throughput needs a wall-clock epoch; output is stderr bookkeeping, never the report
+	start := time.Now()
+	report := func() {
+		var sum int64
+		var b []byte
+		for w := range done {
+			n := done[w].Value()
+			sum += n
+			b = fmt.Appendf(b, " w%d=%d", w, n)
+		}
+		//sfs:allow detwallclock progress throughput divides by wall-clock elapsed; output is stderr bookkeeping, never the report
+		elapsed := time.Since(start).Seconds()
+		rate := 0.0
+		if elapsed > 0 {
+			rate = float64(sum) / elapsed
+		}
+		fmt.Fprintf(opts.Progress, "sweep: %d/%d runs, %.1f runs/s,%s\n", sum, total, rate, b)
+	}
+	//sfs:allow detwallclock progress pacing runs on real time; output is stderr bookkeeping, never the report
+	tick := time.NewTicker(every)
+	quit := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for {
+			select {
+			case <-quit:
+				return
+			case <-tick.C:
+				report()
+			}
+		}
+	}()
+	return func() {
+		tick.Stop()
+		close(quit)
+		<-finished
+		report()
+	}
 }
 
 // execute runs one scenario and reduces it to its aggregate contribution.
@@ -617,6 +713,8 @@ func execute(spec Spec, cs cellSpec, cellIdx int, seed int64) runRecord {
 		events:      float64(len(res.History)),
 		endTime:     float64(res.EndTime),
 		metrics:     out.Metrics,
+		obs:         out.Obs,
+		peaks:       res.Timeline,
 	}
 	rec.blocked = res.BlockedLive()
 	if spec.Check && rec.quiescent {
@@ -643,7 +741,7 @@ func execute(spec Spec, cs cellSpec, cellIdx int, seed int64) runRecord {
 }
 
 // metricNames returns the sorted union of metric names in ms.
-func metricNames(ms ...map[string]int) []string {
+func metricNames[V any](ms ...map[string]V) []string {
 	set := map[string]bool{}
 	for _, m := range ms {
 		//sfs:allow detmaprange set union; the set is drained into a sorted slice below

@@ -9,6 +9,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 
 	"failstop/internal/model"
 	"failstop/internal/netadv"
+	"failstop/internal/obs"
 )
 
 // Header carries run metadata at the top of a trace file.
@@ -46,29 +48,55 @@ type Header struct {
 	FaultPlan *netadv.Plan `json:"fault_plan,omitempty"`
 	// Note is free-form commentary.
 	Note string `json:"note,omitempty"`
+	// SpanCount is the number of lifecycle spans appended after the events
+	// (format version 3). 0 means the trace carries no spans.
+	SpanCount int `json:"span_count,omitempty"`
+	// SpanRate is the seed-deterministic sampling rate the spans were
+	// recorded at (format version 3).
+	SpanRate float64 `json:"span_rate,omitempty"`
 }
 
-// FormatVersion is the current trace format version: version 2 adds the
+// FormatVersion is the current trace format version. Version 2 added the
 // Schedule and Plan metadata, including the optional fully-serialized
-// FaultPlan. Readers accept every version up to and including the current
-// one; version-1 traces simply carry no fault context, and version-2
-// traces written before FaultPlan existed carry only the plan name.
-const FormatVersion = 2
+// FaultPlan. Version 3 appends message-lifecycle spans after the event
+// lines, each wrapped as {"span":{...}} so event lines stay unchanged,
+// with SpanCount and SpanRate in the header. Readers accept every version
+// up to and including the current one; version-1 traces simply carry no
+// fault context, version-2 traces no spans.
+const FormatVersion = 3
 
-// Write streams a header and history to w.
+// Write streams a header and history to w (with no spans).
 func Write(w io.Writer, hdr Header, h model.History) error {
+	return WriteSpans(w, hdr, h, nil)
+}
+
+// spanLine wraps a span on the wire so span lines are distinguishable
+// from event lines without lookahead: events never carry a "span" key.
+type spanLine struct {
+	Span *obs.Span `json:"span"`
+}
+
+// WriteSpans streams a header, history, and lifecycle spans to w. The
+// header's SpanCount is set from spans; SpanRate is the caller's to fill.
+func WriteSpans(w io.Writer, hdr Header, h model.History, spans []obs.Span) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	hdr.Version = FormatVersion
 	if hdr.N == 0 {
 		hdr.N = h.Processes()
 	}
+	hdr.SpanCount = len(spans)
 	if err := enc.Encode(hdr); err != nil {
 		return fmt.Errorf("trace: encoding header: %w", err)
 	}
 	for i := range h {
 		if err := enc.Encode(h[i]); err != nil {
 			return fmt.Errorf("trace: encoding event %d: %w", i, err)
+		}
+	}
+	for i := range spans {
+		if err := enc.Encode(spanLine{Span: &spans[i]}); err != nil {
+			return fmt.Errorf("trace: encoding span %d: %w", i, err)
 		}
 	}
 	if err := bw.Flush(); err != nil {
@@ -80,40 +108,65 @@ func Write(w io.Writer, hdr Header, h model.History) error {
 // ErrBadTrace is wrapped by all read-side format errors.
 var ErrBadTrace = errors.New("trace: malformed trace")
 
-// Read parses a trace produced by Write and returns its header and history.
-// The history is normalized but NOT validated; callers that need model
-// validity should call History.Validate themselves.
+// Read parses a trace produced by Write and returns its header and history,
+// discarding any spans. The history is normalized but NOT validated;
+// callers that need model validity should call History.Validate themselves.
 func Read(r io.Reader) (Header, model.History, error) {
+	hdr, h, _, err := ReadSpans(r)
+	return hdr, h, err
+}
+
+// ReadSpans parses a trace and returns its header, history, and lifecycle
+// spans. Version 1 and 2 traces parse with nil spans; a version-3 trace's
+// span lines follow its event lines, each wrapped as {"span":{...}}.
+func ReadSpans(r io.Reader) (Header, model.History, []obs.Span, error) {
 	var hdr Header
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
-			return hdr, nil, fmt.Errorf("%w: %w", ErrBadTrace, err)
+			return hdr, nil, nil, fmt.Errorf("%w: %w", ErrBadTrace, err)
 		}
-		return hdr, nil, fmt.Errorf("%w: empty input", ErrBadTrace)
+		return hdr, nil, nil, fmt.Errorf("%w: empty input", ErrBadTrace)
 	}
 	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
-		return hdr, nil, fmt.Errorf("%w: header: %w", ErrBadTrace, err)
+		return hdr, nil, nil, fmt.Errorf("%w: header: %w", ErrBadTrace, err)
 	}
 	if hdr.Version < 1 || hdr.Version > FormatVersion {
-		return hdr, nil, fmt.Errorf("%w: unsupported version %d (this reader handles 1..%d)", ErrBadTrace, hdr.Version, FormatVersion)
+		return hdr, nil, nil, fmt.Errorf("%w: unsupported version %d (this reader handles 1..%d)", ErrBadTrace, hdr.Version, FormatVersion)
 	}
 	var h model.History
+	var spans []obs.Span
 	line := 1
 	for sc.Scan() {
 		line++
-		if len(sc.Bytes()) == 0 {
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		if hdr.Version >= 3 && bytes.HasPrefix(b, spanPrefix) {
+			var sl spanLine
+			if err := json.Unmarshal(b, &sl); err != nil {
+				return hdr, nil, nil, fmt.Errorf("%w: line %d: %w", ErrBadTrace, line, err)
+			}
+			if sl.Span == nil {
+				return hdr, nil, nil, fmt.Errorf("%w: line %d: span line without span object", ErrBadTrace, line)
+			}
+			spans = append(spans, *sl.Span)
 			continue
 		}
 		var e model.Event
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return hdr, nil, fmt.Errorf("%w: line %d: %w", ErrBadTrace, line, err)
+		if err := json.Unmarshal(b, &e); err != nil {
+			return hdr, nil, nil, fmt.Errorf("%w: line %d: %w", ErrBadTrace, line, err)
 		}
 		h = append(h, e)
 	}
 	if err := sc.Err(); err != nil {
-		return hdr, nil, fmt.Errorf("%w: %w", ErrBadTrace, err)
+		return hdr, nil, nil, fmt.Errorf("%w: %w", ErrBadTrace, err)
 	}
-	return hdr, h.Normalize(), nil
+	return hdr, h.Normalize(), spans, nil
 }
+
+// spanPrefix is how a span line begins as emitted by WriteSpans
+// (encoding/json renders the single-field wrapper deterministically).
+var spanPrefix = []byte(`{"span":`)
