@@ -135,6 +135,7 @@ func checkSpans(hdr trace.Header, spans []obs.Span) error {
 var spanKinds = []obs.SpanKind{
 	obs.SpanSend, obs.SpanFate, obs.SpanEnqueue, obs.SpanDeliver,
 	obs.SpanDrop, obs.SpanRetransmit, obs.SpanSuspect, obs.SpanCrashConfirm,
+	obs.SpanRestart,
 }
 
 // spanKindCounts renders " kind=n" pairs in lifecycle order.

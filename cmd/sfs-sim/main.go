@@ -62,6 +62,7 @@ func run(args []string, out io.Writer) int {
 		planFile = fs.String("plan-file", "", "load the network fault plan from this JSON file (see examples/plans; mutually exclusive with -plan)")
 		lintPlan = fs.Bool("validate-plan", false, "validate the plan (-plan or -plan-file) against -n and exit without simulating")
 		dumpPlan = fs.Bool("dump-plan", false, "print the plan (-plan or -plan-file) as plan-file JSON and exit without simulating")
+		recStr   = fs.String("recovery", "off", "crash-recovery mode for plan-scheduled process faults: off, amnesia, or durable")
 		reliable = fs.Bool("reliable", false, "interpose the reliable-delivery layer (acks, retransmission, dedup, in-order release) under every process")
 		retryInt = fs.Int64("retry-interval", 0, "initial retransmit interval in ticks with -reliable (0: layer default)")
 		maxRetry = fs.Int("max-retries", 0, "retransmissions per frame before the link gives up with -reliable (0: retry forever)")
@@ -94,14 +95,15 @@ func run(args []string, out io.Writer) int {
 		return 2
 	}
 
-	if *maxTime == 0 && (*hbEvery > 0 || (*reliable && *maxRetry == 0)) {
-		// Heartbeats and unbounded stubborn links re-arm forever; pick a
-		// horizon so the run terminates.
-		*maxTime = 5000
+	recMode, err := failstop.ParseRecoveryMode(*recStr)
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return 2
 	}
 	opts := failstop.Options{
 		N: *n, T: *t, Protocol: proto, Seed: *seed, MaxTime: *maxTime,
 		HeartbeatEvery: *hbEvery, HeartbeatTimeout: *hbTo,
+		Recovery: recMode,
 		Reliable: failstop.ReliableOptions{
 			Enabled: *reliable, RetryInterval: *retryInt, MaxRetries: *maxRetry,
 		},
@@ -144,7 +146,8 @@ func run(args []string, out io.Writer) int {
 			fmt.Fprintln(out, err)
 			return 1
 		}
-		fmt.Fprintf(out, "plan %q: %d rules, valid for n=%d\n", planLabel, len(opts.Faults.Rules), *n)
+		fmt.Fprintf(out, "plan %q: %d rules, %d proc rules, valid for n=%d\n",
+			planLabel, len(opts.Faults.Rules), len(opts.Faults.Procs), *n)
 		return 0
 	}
 	if *dumpPlan {
@@ -163,6 +166,14 @@ func run(args []string, out io.Writer) int {
 			return 2
 		}
 		return 0
+	}
+	if *maxTime == 0 && (*hbEvery > 0 || (*reliable && *maxRetry == 0) ||
+		(opts.Faults != nil && opts.Faults.UnboundedProcs() && recMode != failstop.RecoveryOff)) {
+		// Heartbeats, unbounded stubborn links, and unbounded restart storms
+		// under a recovering mode re-arm forever; pick a horizon so the run
+		// terminates.
+		*maxTime = 5000
+		opts.MaxTime = *maxTime
 	}
 	if *spans {
 		// The recorder is seeded with the simulation seed, so the sampled
@@ -202,6 +213,10 @@ func run(args []string, out io.Writer) int {
 		*n, *t, *protoStr, *seed, len(rep.History), rep.Sent, rep.Delivered, rep.Quiescent, rep.EndTime)
 	if opts.Faults != nil {
 		fmt.Fprintf(out, "faults: plan=%s dropped=%d duplicated=%d\n", planLabel, rep.Dropped, rep.Duplicated)
+	}
+	if recMode != failstop.RecoveryOff || rep.PlanCrashes > 0 {
+		fmt.Fprintf(out, "recovery: mode=%s plan-crashes=%d restarts=%d recovered=%d\n",
+			recMode, rep.PlanCrashes, rep.Restarts, rep.Recovered)
 	}
 	if *reliable {
 		fmt.Fprintf(out, "reliable: retransmits=%d acked-duplicates=%d\n", rep.Retransmits, rep.AckedDuplicates)

@@ -13,6 +13,7 @@
 //	sfs-sweep --plan flaky-quorum,healing-partition -seeds 100
 //	sfs-sweep -plan-file examples/plans/rolling-blackout.json -grid 5:2
 //	sfs-sweep --plan healing-partition -reliable both -max-time 3000
+//	sfs-sweep --plan restart-storm -recovery all -max-time 3000
 //	sfs-sweep --plan flaky-quorum -heartbeat 25 -hb-timeout 80 -max-time 5000
 //	sfs-sweep -list-schedules                     # built-in fault schedules
 //	sfs-sweep -list-plans                         # built-in fault plans
@@ -41,6 +42,7 @@ import (
 
 	"failstop/internal/core"
 	"failstop/internal/netadv"
+	"failstop/internal/recovery"
 	"failstop/internal/reliable"
 	"failstop/internal/sweep"
 )
@@ -61,6 +63,7 @@ func run(args []string, out io.Writer) int {
 		plans     = fs.String("plan", "", "comma-separated built-in network fault plans (empty: fault-free network)")
 		planFiles = fs.String("plan-file", "", "comma-separated JSON fault-plan files to add to the plan axis (see examples/plans)")
 		reliab    = fs.String("reliable", "off", "reliable-delivery axis: off, on, or both (grid every cell with and without the layer)")
+		recov     = fs.String("recovery", "off", "crash-recovery axis: off, amnesia, durable, or all (grid every cell over all three modes)")
 		maxRetry  = fs.Int("max-retries", 0, "retransmissions per frame before a reliable link gives up (0: retry forever, needs -max-time)")
 		hbEvery   = fs.Int64("heartbeat", 0, "heartbeat interval in ticks (0: no fd layer); adds a false-suspicion column, needs -max-time")
 		hbTimeout = fs.Int64("hb-timeout", 0, "heartbeat suspicion timeout in ticks (with -heartbeat)")
@@ -116,6 +119,10 @@ func run(args []string, out io.Writer) int {
 	}
 	var err error
 	if spec.Reliable, err = parseReliable(*reliab, *maxRetry); err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	if spec.Recovery, err = parseRecovery(*recov); err != nil {
 		fmt.Fprintln(out, err)
 		return 2
 	}
@@ -386,6 +393,20 @@ func parsePlanFiles(s string) ([]netadv.Generator, error) {
 		out = append(out, netadv.Fixed(plan))
 	}
 	return out, nil
+}
+
+func parseRecovery(mode string) ([]recovery.Mode, error) {
+	switch strings.TrimSpace(strings.ToLower(mode)) {
+	case "", "off":
+		return nil, nil
+	case "all":
+		return []recovery.Mode{recovery.Off, recovery.Amnesia, recovery.Durable}, nil
+	}
+	m, err := recovery.ParseMode(strings.TrimSpace(strings.ToLower(mode)))
+	if err != nil {
+		return nil, fmt.Errorf("bad -recovery %q (want off, amnesia, durable, or all)", mode)
+	}
+	return []recovery.Mode{m}, nil
 }
 
 func parseReliable(mode string, maxRetries int) ([]reliable.Options, error) {

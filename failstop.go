@@ -40,6 +40,7 @@ import (
 	"failstop/internal/obs"
 	"failstop/internal/obshttp"
 	"failstop/internal/quorum"
+	"failstop/internal/recovery"
 	"failstop/internal/reliable"
 	"failstop/internal/rewrite"
 	"failstop/internal/runtime"
@@ -80,6 +81,16 @@ type (
 	// backoff, receiver dedup and in-order release) interposed between the
 	// protocol and the — possibly faulty — network (see internal/reliable).
 	ReliableOptions = reliable.Options
+	// RecoveryMode selects what a process restarted by a fault plan's
+	// process rules remembers: RecoveryOff (restarts disabled, crashes are
+	// terminal), RecoveryAmnesia (restart blank), or RecoveryDurable
+	// (restart from the crash-time snapshot). See internal/recovery.
+	RecoveryMode = recovery.Mode
+	// RecoveryStore persists crash-time snapshots under durable recovery.
+	RecoveryStore = recovery.Store
+	// ProcFaultRule is one process-fault entry of a FaultPlan: a crash
+	// window (one-shot or periodic) with an optional restart.
+	ProcFaultRule = netadv.ProcRule
 	// Metric is one named observability reading; Metrics a name-sorted
 	// snapshot of them (see internal/obs).
 	Metric = obs.Metric
@@ -126,6 +137,20 @@ func NewTimeline(every int64, capacity int) *Timeline {
 // exposition format (what the live /metrics endpoint serves).
 func WritePrometheus(w io.Writer, ms Metrics) error { return obs.WritePrometheus(w, ms) }
 
+// Recovery modes for Options.Recovery / LiveOptions.Recovery.
+const (
+	// RecoveryOff disables restarts: a fault plan's process rules crash
+	// their victims terminally at the first window (the fail-stop reading).
+	RecoveryOff = recovery.Off
+	// RecoveryAmnesia restarts processes with zero state.
+	RecoveryAmnesia = recovery.Amnesia
+	// RecoveryDurable restarts processes from crash-time snapshots.
+	RecoveryDurable = recovery.Durable
+)
+
+// ParseRecoveryMode parses "off", "amnesia", or "durable" ("" is off).
+func ParseRecoveryMode(s string) (RecoveryMode, error) { return recovery.ParseMode(s) }
+
 // Protocol choices.
 const (
 	// SFS is the paper's §5 one-round quorum protocol (the default).
@@ -170,6 +195,12 @@ type Options struct {
 	// process re-arms forever unless MaxRetries bounds it, so Enabled with
 	// MaxRetries 0 requires a MaxTime horizon.
 	Reliable ReliableOptions
+	// Recovery selects how the fault plan's process rules (FaultPlan.Procs)
+	// behave: RecoveryOff makes every plan crash terminal, RecoveryAmnesia
+	// restarts the victims blank, RecoveryDurable restarts them from
+	// crash-time snapshots (detector and reliable-layer state). Plans with
+	// unbounded restart storms require MaxTime when restarts are enabled.
+	Recovery RecoveryMode
 	// NewApp, when non-nil, builds the application for each process.
 	NewApp func(p ProcID) App
 	// Metrics, when non-nil, additionally registers the run's counters
@@ -210,6 +241,9 @@ func (o Options) Validate() error {
 	if o.Reliable.Enabled && o.Reliable.MaxRetries == 0 && o.MaxTime <= 0 {
 		return fmt.Errorf("failstop: Options.Reliable retries forever (MaxRetries = 0); set MaxTime so runs with crashed peers terminate")
 	}
+	if o.Faults != nil && o.Faults.UnboundedProcs() && o.Recovery != RecoveryOff && o.MaxTime <= 0 {
+		return fmt.Errorf("failstop: Options.Faults plan %q restarts processes forever; set MaxTime so the run terminates", o.Faults.Name)
+	}
 	return nil
 }
 
@@ -240,6 +274,10 @@ func NewCluster(opts Options) *Cluster {
 		plane.Register(opts.Metrics)
 		link = plane.Decide
 	}
+	var lifetimes []recovery.Lifetime
+	if opts.Faults != nil {
+		lifetimes = opts.Faults.Lifetimes()
+	}
 	co := cluster.Options{
 		Sim: sim.Config{
 			N: opts.N, Seed: opts.Seed,
@@ -247,6 +285,7 @@ func NewCluster(opts Options) *Cluster {
 			MaxTime: opts.MaxTime,
 			Link:    link,
 			Metrics: opts.Metrics, Spans: opts.Spans, Timeline: opts.Timeline,
+			Lifetimes: lifetimes, Recovery: opts.Recovery,
 		},
 		Det:      core.Config{N: opts.N, T: opts.T, Protocol: opts.Protocol},
 		App:      opts.NewApp,
@@ -292,6 +331,11 @@ type Report struct {
 	// work: frames resent on timer, and received duplicates suppressed
 	// after re-acking (both 0 unless Options.Reliable is enabled).
 	Retransmits, AckedDuplicates int
+	// PlanCrashes, Restarts, and Recovered count the fault plan's process
+	// faults: crashes executed, restarts that followed (per
+	// Options.Recovery), and restarts that restored a non-empty durable
+	// snapshot. All 0 unless the plan has process rules.
+	PlanCrashes, Restarts, Recovered int
 	// EndTime is the virtual time at which the run ended.
 	EndTime int64
 	// Metrics is the run's full observability snapshot, name-sorted:
@@ -332,6 +376,9 @@ func (c *Cluster) Run() Report {
 		Duplicated:      res.Duplicated,
 		Retransmits:     res.Retransmits,
 		AckedDuplicates: res.AckedDuplicates,
+		PlanCrashes:     res.PlanCrashes,
+		Restarts:        res.Restarts,
+		Recovered:       res.Recovered,
 		EndTime:         res.EndTime,
 		Metrics:         metrics,
 		Spans:           spans,
@@ -385,7 +432,7 @@ func MaxTolerable(n int) int { return quorum.MaxTolerable(n) }
 
 // FaultPlanNames lists the built-in network fault plans: "split-brain",
 // "isolated-minority", "one-way-cut", "flaky-quorum", "healing-partition",
-// "buffering-partition", "moving-partition".
+// "buffering-partition", "moving-partition", "restart-storm".
 func FaultPlanNames() []string { return netadv.BuiltinNames() }
 
 // BuiltinFaultPlan instantiates the named built-in fault plan for a
@@ -436,6 +483,15 @@ type LiveOptions struct {
 	// retransmit timers running on real clocks (intervals are in ticks,
 	// converted via Tick).
 	Reliable ReliableOptions
+	// Recovery selects how the fault plan's process rules behave, with the
+	// same semantics as Options.Recovery. Unbounded restart storms are fine
+	// live: the run is bounded by Stop.
+	Recovery RecoveryMode
+	// RecoveryDir, when non-empty with RecoveryDurable, persists crash-time
+	// snapshots as files under the given directory (one per process)
+	// instead of the default in-memory store — state then survives restarts
+	// of the host program, not just of simulated processes.
+	RecoveryDir string
 	// NewApp, when non-nil, builds the application for each process.
 	NewApp func(p ProcID) App
 	// Metrics, when non-nil, additionally registers the live counters in
@@ -490,12 +546,25 @@ func NewLiveCluster(opts LiveOptions) *LiveCluster {
 	if err := opts.Reliable.Validate(); err != nil {
 		panic(fmt.Errorf("failstop: LiveOptions.Reliable: %w", err))
 	}
+	var lifetimes []recovery.Lifetime
+	if opts.Faults != nil {
+		lifetimes = opts.Faults.Lifetimes()
+	}
+	var store recovery.Store
+	if opts.Recovery == RecoveryDurable && opts.RecoveryDir != "" {
+		fs, err := recovery.NewFileStore(opts.RecoveryDir)
+		if err != nil {
+			panic(fmt.Errorf("failstop: LiveOptions.RecoveryDir: %w", err))
+		}
+		store = fs
+	}
 	net := runtime.New(runtime.Config{
 		N: opts.N, Seed: opts.Seed,
 		MinDelay: opts.MinDelay, MaxDelay: opts.MaxDelay,
 		Tick:    opts.Tick,
 		Link:    link,
 		Metrics: opts.Metrics, Spans: opts.Spans,
+		Lifetimes: lifetimes, Recovery: opts.Recovery, Store: store,
 	})
 	lc := &LiveCluster{
 		net:   net,
@@ -580,6 +649,13 @@ func (lc *LiveCluster) Stats() (dropped, duplicated int) { return lc.net.Stats()
 // LiveOptions.Reliable is enabled).
 func (lc *LiveCluster) ReliableStats() (retransmits, ackedDuplicates int) {
 	return lc.net.ReliableStats()
+}
+
+// RecoveryStats returns the process-fault counters so far: plan crashes
+// executed, restarts that followed, and restarts that restored a non-empty
+// durable snapshot (all 0 unless the fault plan has process rules).
+func (lc *LiveCluster) RecoveryStats() (planCrashes, restarts, recovered int) {
+	return lc.net.RecoveryStats()
 }
 
 // Metrics returns a name-sorted live snapshot of the cluster's counters:

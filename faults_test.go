@@ -74,7 +74,7 @@ func TestNewLiveClusterPanicsOnTooFewProcesses(t *testing.T) {
 
 func TestBuiltinFaultPlans(t *testing.T) {
 	names := failstop.FaultPlanNames()
-	if len(names) != 7 {
+	if len(names) != 8 {
 		t.Fatalf("FaultPlanNames() = %v", names)
 	}
 	for _, name := range names {

@@ -45,22 +45,39 @@ func bad(prop, format string, args ...any) Verdict {
 	return Verdict{Property: prop, Detail: fmt.Sprintf(format, args...)}
 }
 
-// FS1 checks strong completeness on the finite horizon: every crashed
-// process is detected by every process that has not crashed by the end of
-// the history. Meaningful on quiescent runs.
+// FS1 checks strong completeness on the finite horizon: every process that
+// is crashed when the history ends is detected by every process that is
+// not. Meaningful on quiescent runs.
+//
+// Crash-recovery histories (internal/recovery) make the down-at-end
+// distinction matter: a process that crashed but restarted is live again,
+// so it neither needs detecting nor is excused from detecting the
+// processes that stayed down — a restarted process is not "crashed" for
+// FS1 accounting. On restart-free histories DownAtEnd equals Crashed and
+// this is the paper's FS1 verbatim.
 //
 //	FS1: ∀r,i: r ⊨ □(CRASH_i ⇒ ∀j: ◇(CRASH_j ∨ FAILED_j(i)))
 func FS1(h model.History) Verdict {
-	n := h.Processes()
-	crashed := h.Crashed()
+	return FS1At(h, h.Processes())
+}
+
+// FS1At is FS1 with the membership size given explicitly. FS1 infers n
+// from the history, which is right when every process leaves a trace; in
+// crash-recovery scenarios a process can be entirely silent — it never
+// sends, detects, crashes, or restarts — and inference would silently
+// drop it, together with its obligation to detect every down process
+// (the property would then pass vacuously). Callers that know the true
+// membership pass it here; silent processes count as live.
+func FS1At(h model.History, n int) Verdict {
+	down := h.DownAtEnd()
 	// Walk processes in id order, not map order, so the counterexample a
 	// failing run reports is the same on every execution.
 	for i := model.ProcID(1); int(i) <= n; i++ {
-		if !crashed[i] {
+		if !down[i] {
 			continue
 		}
 		for j := model.ProcID(1); int(j) <= n; j++ {
-			if j == i || crashed[j] {
+			if j == i || down[j] {
 				continue
 			}
 			if h.FailedIndex(j, i) < 0 {

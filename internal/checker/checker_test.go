@@ -63,6 +63,43 @@ func TestFS1(t *testing.T) {
 	mustHold(t, FS1(model.History{model.Internal(1, "x", model.None)}))
 }
 
+// TestFS1At: explicit membership closes FS1's silent-process blind spot.
+// When every live process in a crash-recovery run leaves no trace, FS1's
+// inferred n drops them and the property passes vacuously; FS1At holds
+// the silent bystanders to their detection obligation.
+func TestFS1At(t *testing.T) {
+	// Only 1 and 2 act; 1 crashes, 2 detects, and (unbeknownst to the
+	// history) processes 3..5 exist but stay silent.
+	silent := model.History{
+		model.Crash(1),
+		model.Failed(2, 1),
+	}.Normalize()
+	mustHold(t, FS1(silent)) // inferred n=2: vacuously fine
+	mustViolate(t, FS1At(silent, 5))
+
+	// Once the bystanders detect too, the explicit check holds.
+	full := model.History{
+		model.Crash(1),
+		model.Failed(2, 1),
+		model.Failed(3, 1),
+		model.Failed(4, 1),
+		model.Failed(5, 1),
+	}.Normalize()
+	mustHold(t, FS1At(full, 5))
+
+	// A restarted process is live again: it is not excused from detecting,
+	// and it does not need detecting.
+	restarted := model.History{
+		model.Crash(1),
+		model.Crash(3),
+		model.Restart(3),
+		model.Failed(2, 1),
+		model.Failed(3, 1),
+	}.Normalize()
+	mustHold(t, FS1At(restarted, 3))
+	mustViolate(t, FS1At(restarted, 4)) // silent 4 never detected crash_1
+}
+
 func TestFS2(t *testing.T) {
 	good := model.History{
 		model.Crash(1),

@@ -28,6 +28,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -206,6 +207,7 @@ var (
 	_ node.Handler       = (*Detector)(nil)
 	_ node.Gate          = (*Detector)(nil)
 	_ node.CrashListener = (*Detector)(nil)
+	_ node.Restarter     = (*Detector)(nil)
 )
 
 // OnCrash implements node.CrashListener: it marks the detector dead (both
@@ -216,6 +218,120 @@ func (d *Detector) OnCrash(ctx node.Context) {
 	if l, ok := d.app.(AppCrashListener); ok {
 		l.OnCrash(ctx, d)
 	}
+}
+
+// detectorSnapshot is the durable-state wire form of a Detector
+// (internal/recovery): what the §5 layer remembers across a crash-restart
+// cycle under durable recovery. Everything is in sorted-slice form so equal
+// detector states encode to byte-identical snapshots. Two things are
+// deliberately transient and absent: deferred application sends and pending
+// piggybacked counts — both are in-flight work whose messages crash-time
+// semantics say are lost, not remembered.
+//
+//sfs:wire
+type detectorSnapshot struct {
+	Suspected []model.ProcID  `json:"suspected,omitempty"`
+	Detected  []model.ProcID  `json:"detected,omitempty"`
+	Counts    []countSnapshot `json:"counts,omitempty"`
+	Quorums   []countSnapshot `json:"quorums,omitempty"`
+}
+
+// countSnapshot is one target's sender set (for Counts) or quorum snapshot
+// (for Quorums), senders sorted.
+//
+//sfs:wire
+type countSnapshot struct {
+	Target  model.ProcID   `json:"target"`
+	Senders []model.ProcID `json:"senders"`
+}
+
+// Snapshot implements node.Restarter: it encodes the detector's protocol
+// state (suspicions, quorum counts, completed detections with their quorum
+// snapshots) at crash time. It does not mutate the detector.
+func (d *Detector) Snapshot() []byte {
+	snap := detectorSnapshot{
+		Suspected: sortedTrueKeys(d.suspected),
+		Detected:  d.DetectedSet(),
+	}
+	for _, target := range sortedMapKeys(d.counts) {
+		snap.Counts = append(snap.Counts, countSnapshot{
+			Target: target, Senders: sortedTrueKeys(d.counts[target]),
+		})
+	}
+	for _, target := range sortedMapKeys(d.quorums) {
+		members := make([]model.ProcID, len(d.quorums[target]))
+		copy(members, d.quorums[target])
+		snap.Quorums = append(snap.Quorums, countSnapshot{Target: target, Senders: members})
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		panic(fmt.Sprintf("core: encoding detector snapshot: %v", err))
+	}
+	return b
+}
+
+// OnRestart implements node.Restarter: the process comes back — blank under
+// amnesia (nil state), or remembering its snapshot under durable recovery.
+// Either way the crashed flag clears and Init re-runs the fd component and
+// app, which is what plain Init cannot do for a crashed detector. Restored
+// suspicions are NOT rebroadcast here: re-announcing them is the job of a
+// stubborn message layer (internal/reliable with durable state), which is
+// exactly the amnesia-vs-durable contrast experiment E15 measures. An
+// undecodable snapshot degrades to amnesia rather than wedging the restart.
+func (d *Detector) OnRestart(ctx node.Context, state []byte) {
+	d.crashed = false
+	d.suspected = make(map[model.ProcID]bool)
+	d.counts = make(map[model.ProcID]map[model.ProcID]bool)
+	d.detected = make(map[model.ProcID]bool)
+	d.quorums = make(map[model.ProcID][]model.ProcID)
+	d.deferred = nil
+	d.pending = nil
+	if len(state) > 0 {
+		var snap detectorSnapshot
+		if err := json.Unmarshal(state, &snap); err == nil {
+			for _, j := range snap.Suspected {
+				d.suspected[j] = true
+			}
+			for _, j := range snap.Detected {
+				d.detected[j] = true
+			}
+			for _, c := range snap.Counts {
+				set := make(map[model.ProcID]bool, len(c.Senders))
+				for _, s := range c.Senders {
+					set[s] = true
+				}
+				d.counts[c.Target] = set
+			}
+			for _, q := range snap.Quorums {
+				members := make([]model.ProcID, len(q.Senders))
+				copy(members, q.Senders)
+				d.quorums[q.Target] = members
+			}
+		}
+	}
+	d.Init(ctx)
+}
+
+// sortedTrueKeys returns the keys mapped to true, sorted.
+func sortedTrueKeys(m map[model.ProcID]bool) []model.ProcID {
+	var out []model.ProcID
+	for j, ok := range m {
+		if ok {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// sortedMapKeys returns m's keys, sorted.
+func sortedMapKeys[V any](m map[model.ProcID]V) []model.ProcID {
+	out := make([]model.ProcID, 0, len(m))
+	for j := range m {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
 }
 
 // NewDetector builds a detector with the given configuration, optional fd

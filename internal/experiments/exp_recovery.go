@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"failstop/internal/checker"
+	"failstop/internal/cluster"
+	"failstop/internal/core"
+	"failstop/internal/netadv"
+	"failstop/internal/recovery"
+	"failstop/internal/reliable"
+	"failstop/internal/sim"
+	"failstop/internal/stats"
+)
+
+// E15 measures which of Figure 1's properties survive crash-recovery, and
+// what a restarted process must remember for them to survive. The paper's
+// model is fail-stop — crash_p is final — so every property is stated
+// against processes that stay down. E15 deviates: the environment crashes
+// and restarts the witness process mid-detection, under all three recovery
+// modes (internal/recovery), across a restart-frequency x drop ladder.
+//
+// The scenario traps the only evidence of a crash inside the witness:
+// process 1 genuinely crashes, process 2 suspects it and broadcasts SUSP —
+// but a transient cut isolates 2 from everyone until after 2 itself is
+// crashed by the environment. The SUSP frames sit unacked in 2's reliable
+// endpoint; 2's suspicion lives only in its detector state. What happens
+// next is pure recovery policy:
+//
+//   - off: 2 never returns; the evidence dies with it. FS1 fails.
+//   - amnesia: 2 returns blank — no suspicion, no unacked frames, and the
+//     stubborn link's resend path has nothing to resend. FS1 fails.
+//   - durable: 2 returns with its snapshot; the restored endpoint re-arms
+//     its unacked SUSP frames and the stubborn retransmission completes
+//     the detection after the cut heals. FS1 holds.
+//
+// Safety (FS2, sFS2a-d) holds in every cell: restarts only remove or
+// replay evidence, they cannot forge a detection. That split — liveness
+// needs persistence, safety does not — is the YOLMT observation this
+// experiment pins down.
+func E15() Result {
+	const (
+		n, t  = 5, 2
+		seeds = 10
+	)
+	type scenario struct {
+		name string
+		// storm: 0 is the one-shot crash/restart; otherwise process 2
+		// crashes every storm ticks (bounded by Until) for 50 ticks.
+		storm int64
+		drop  float64
+	}
+	scenarios := []scenario{
+		{"one-shot", 0, 0},
+		{"one-shot drop 0.20", 0, 0.20},
+		{"storm /300", 300, 0},
+		{"storm /300 drop 0.20", 300, 0.20},
+		{"storm /150 drop 0.20", 150, 0.20},
+	}
+
+	type cellStats struct {
+		fs1, safety         int // runs on which each held
+		restarts, recovered int
+	}
+	run := func(sc scenario, mode recovery.Mode) cellStats {
+		var cs cellStats
+		for seed := int64(1); seed <= seeds; seed++ {
+			// The witness trap: cut 2 -> {3,4,5} from before the suspicion
+			// until after the environment crash, so the SUSP broadcast is
+			// still unacked when 2 goes down at tick 30.
+			plan := netadv.Plan{Name: "witness-trap"}
+			pairs := []netadv.Link{{From: 2, To: 3}, {From: 2, To: 4}, {From: 2, To: 5}}
+			plan.Rules = []netadv.Rule{{From: 15, Until: 60, Cut: true, Links: netadv.LinkSet{Pairs: pairs}}}
+			if sc.drop > 0 {
+				plan.Rules = append(plan.Rules, netadv.Rule{Drop: sc.drop})
+			}
+			if sc.storm > 0 {
+				plan.Procs = []netadv.ProcRule{{Proc: 2, CrashAt: 30, Period: sc.storm, ActiveFor: 50, Until: 1500}}
+			} else {
+				plan.Procs = []netadv.ProcRule{{Proc: 2, CrashAt: 30, RestartAt: 80}}
+			}
+			plane := netadv.NewPlane(plan, n, seed)
+			c := cluster.New(cluster.Options{
+				Sim: sim.Config{
+					N: n, Seed: seed, Link: plane.Decide,
+					Lifetimes: plan.Lifetimes(), Recovery: mode,
+				},
+				Det: core.Config{N: n, T: t},
+				// Bounded stubbornness, as in E13: enough rounds to outlive
+				// the tick-60 heal and every storm window, while letting
+				// runs drain.
+				Reliable: reliable.Options{Enabled: true, MaxRetries: 8},
+			})
+			c.CrashAt(15, 1)
+			c.SuspectAt(20, 2, 1)
+			res := c.Run()
+			cs.restarts += res.Restarts
+			cs.recovered += res.Recovered
+
+			ab := res.History.DropTags(core.TagSusp, reliable.TagAck)
+			// FS1At, not FS1: under off/amnesia the bystanders {3,4,5} are
+			// entirely silent, so inferring n from the history would drop
+			// them and pass FS1 vacuously.
+			if checker.FS1At(ab, n).Holds {
+				cs.fs1++
+			}
+			safe := checker.FS2(ab).Holds
+			for _, v := range []checker.Verdict{
+				checker.SFS2a(ab), checker.SFS2b(ab), checker.SFS2c(ab), checker.SFS2d(ab),
+			} {
+				safe = safe && v.Holds
+			}
+			if safe {
+				cs.safety++
+			}
+		}
+		return cs
+	}
+
+	frac := func(k int) string { return fmt.Sprintf("%d/%d", k, seeds) }
+	tbl := stats.NewTable("scenario", "recovery", "FS1", "FS2+sFS2a-d", "restarts", "recovered")
+	ok := true
+	for _, sc := range scenarios {
+		for _, mode := range []recovery.Mode{recovery.Off, recovery.Amnesia, recovery.Durable} {
+			cs := run(sc, mode)
+			tbl.Row(sc.name, mode.String(), frac(cs.fs1), frac(cs.safety), cs.restarts, cs.recovered)
+			// Safety survives every mode; FS1 survives exactly durable.
+			ok = ok && cs.safety == seeds
+			switch mode {
+			case recovery.Durable:
+				ok = ok && cs.fs1 == seeds && cs.recovered == cs.restarts && cs.restarts > 0
+			case recovery.Amnesia:
+				ok = ok && cs.fs1 == 0 && cs.recovered == 0 && cs.restarts > 0
+			case recovery.Off:
+				ok = ok && cs.fs1 == 0 && cs.restarts == 0
+			}
+		}
+	}
+
+	// The registry-level claim: at least one Figure 1 property (FS1) holds
+	// under durable recovery and fails under amnesia, in every cell.
+	return Result{
+		ID:    "E15",
+		Title: "Figure 1 properties under crash-recovery: amnesia vs. durable state across a restart-frequency x drop ladder",
+		Table: tbl.String(),
+		OK:    ok,
+		Notes: []string{
+			"crash_1@15; witness 2 suspects at 20 behind a 2->{3,4,5} cut (ticks 15..60); environment crashes 2 at 30; n=5 t=2; 10 seeds per cell",
+			"off: the witness never returns — FS1 fails (crash_1 undetected by the live majority)",
+			"amnesia: the witness returns blank; nothing resends the trapped SUSP frames — FS1 fails on every seed",
+			"durable: the restored endpoint re-arms its unacked frames and the stubborn link completes the detection — FS1 holds on every seed, across every storm frequency and drop rate",
+			"safety (FS2, sFS2a-d) holds in every cell: restarts remove or replay evidence, they cannot forge a detection",
+		},
+	}
+}

@@ -13,7 +13,7 @@ import (
 
 // Result is the outcome of one experiment.
 type Result struct {
-	// ID is the experiment identifier (E1..E14).
+	// ID is the experiment identifier (E1..E15).
 	ID string
 	// Title names the paper artifact being reproduced.
 	Title string
@@ -58,6 +58,7 @@ func Registry() map[string]Runner {
 		"E12": E12,
 		"E13": E13,
 		"E14": E14,
+		"E15": E15,
 		"A1":  A1,
 		"A2":  A2,
 		"A3":  A3,
@@ -65,7 +66,7 @@ func Registry() map[string]Runner {
 }
 
 // IDs returns the experiment ids in order: the paper artifacts E1..E12 and
-// the post-paper measurements E13..E14 first, then the ablations A1..A3.
+// the post-paper measurements E13..E15 first, then the ablations A1..A3.
 func IDs() []string {
 	reg := Registry()
 	ids := make([]string, 0, len(reg))

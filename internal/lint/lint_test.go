@@ -180,6 +180,7 @@ func TestDefaultClassify(t *testing.T) {
 		{"failstop/internal/sim", Deterministic},
 		{"failstop/internal/sweep", Deterministic},
 		{"failstop/internal/model", Deterministic},
+		{"failstop/internal/recovery", Deterministic},
 		{"failstop/internal/runtime", WallClock},
 		{"failstop/examples/livenet", WallClock},
 		{"failstop/cmd/sfs-sweep", WallClock},

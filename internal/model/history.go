@@ -148,12 +148,33 @@ func (h History) RecvIndex(id MsgID) int {
 	return -1
 }
 
-// Crashed returns the set of processes that crash in h.
+// Crashed returns the set of processes that crash in h at least once —
+// including processes that later restart. For the set still down when the
+// history ends, use DownAtEnd.
 func (h History) Crashed() map[ProcID]bool {
 	out := make(map[ProcID]bool)
 	for _, e := range h {
 		if e.Kind == KindCrash {
 			out[e.Proc] = true
+		}
+	}
+	return out
+}
+
+// DownAtEnd returns the set of processes that are crashed when the history
+// ends: a crash puts a process in the set, a restart (internal TagRestart
+// event) takes it out again. For histories without restarts this equals
+// Crashed. FS1-style completeness accounting uses this set on both sides:
+// a process that crashed but restarted is live again, so it neither needs
+// detecting nor is excused from detecting others.
+func (h History) DownAtEnd() map[ProcID]bool {
+	out := make(map[ProcID]bool)
+	for _, e := range h {
+		switch {
+		case e.Kind == KindCrash:
+			out[e.Proc] = true
+		case e.Kind == KindInternal && e.Tag == TagRestart:
+			delete(out, e.Proc)
 		}
 	}
 	return out
@@ -217,7 +238,12 @@ func violation(idx int, rule, format string, args ...any) error {
 //     dropped the message — loss does not leave the model); receiving a
 //     message the channel cursor has already passed does (reorder);
 //   - crash is final: a crashed process executes no further events, and
-//     crash_p occurs at most once;
+//     crash_p occurs at most once per lifetime. The single deviation from
+//     the paper's model is the crash-recovery restart event (an internal
+//     event tagged TagRestart): it may follow a crash and clears the
+//     process's crashed status, after which the process executes events —
+//     including another crash — again. A restart by a process that is not
+//     crashed is a violation;
 //   - detection is stable and single-shot: failed_i(j) occurs at most once
 //     per ordered pair (i, j).
 //
@@ -241,8 +267,13 @@ func (h History) Validate() error {
 		default:
 			return violation(idx, "kind", "event has invalid kind %d", int(e.Kind))
 		}
-		if crashed[e.Proc] {
-			return violation(idx, "crash-finality", "process %d executes %s after crashing", e.Proc, e)
+		if restart := e.Kind == KindInternal && e.Tag == TagRestart; crashed[e.Proc] {
+			if !restart {
+				return violation(idx, "crash-finality", "process %d executes %s after crashing", e.Proc, e)
+			}
+			crashed[e.Proc] = false
+		} else if restart {
+			return violation(idx, "restart-without-crash", "process %d restarts without a prior crash", e.Proc)
 		}
 		switch e.Kind {
 		case KindInternal:

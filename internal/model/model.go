@@ -127,6 +127,19 @@ func Internal(p ProcID, tag string, subject ProcID) Event {
 	return Event{Proc: p, Kind: KindInternal, Tag: tag, Target: subject}
 }
 
+// TagRestart is the internal-event tag recording that a crashed process
+// restarted (the crash-recovery deviation from the paper's model; see
+// internal/recovery). A restart event clears the process's crashed status
+// for history validation and for down-at-end accounting: the process
+// executes events again afterwards.
+const TagRestart = "restart"
+
+// Restart constructs the internal event recording that p restarted after a
+// crash. It is deliberately an internal event, not a new Kind: the paper's
+// four-kind model is untouched, and only recovery-aware consumers (history
+// validation, the FS1 checker's liveness accounting) interpret the tag.
+func Restart(p ProcID) Event { return Internal(p, TagRestart, None) }
+
 // String renders the event in the paper's notation, e.g. "failed_3(7)",
 // "send_1(2, m5[SUSP j=4])".
 func (e Event) String() string {

@@ -37,12 +37,13 @@ func ReadPlan(r io.Reader) (Plan, error) {
 	default:
 		return Plan{}, fmt.Errorf("netadv: reading past plan object: %w", err)
 	}
-	if len(p.Rules) == 0 {
+	if p.Empty() {
 		// `null`, `{}`, and `{"rules":[]}` all decode to the zero Plan — a
 		// silently fault-free network that a broken generation pipeline
 		// would never notice. A fault-free cell is spelled by omitting the
-		// plan, not by loading an empty one.
-		return Plan{}, fmt.Errorf("netadv: plan file has no rules (empty, null, or missing \"rules\")")
+		// plan, not by loading an empty one. A plan with only process-fault
+		// rules ("procs") is fine: restarts are faults too.
+		return Plan{}, fmt.Errorf("netadv: plan file has no rules or procs (empty, null, or missing both)")
 	}
 	return p, nil
 }
@@ -70,11 +71,11 @@ func ReadPlanFile(path string) (Plan, error) {
 // WritePlan writes the plan to w in the plan-file format (indented JSON,
 // trailing newline) — the canonical shape ReadPlan accepts, also used by
 // sfs-sim -dump-plan to turn a builtin into an editable starting point.
-// A rule-less plan is rejected symmetrically with ReadPlan: it would
-// produce a file no reader accepts.
+// An empty plan (no rules and no procs) is rejected symmetrically with
+// ReadPlan: it would produce a file no reader accepts.
 func WritePlan(w io.Writer, p Plan) error {
-	if len(p.Rules) == 0 {
-		return fmt.Errorf("netadv: refusing to write plan %q with no rules (a fault-free network is spelled by omitting the plan)", p.Name)
+	if p.Empty() {
+		return fmt.Errorf("netadv: refusing to write plan %q with no rules or procs (a fault-free network is spelled by omitting the plan)", p.Name)
 	}
 	b, err := json.MarshalIndent(p, "", "  ")
 	if err != nil {

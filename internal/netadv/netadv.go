@@ -23,11 +23,13 @@ package netadv
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"failstop/internal/model"
 	"failstop/internal/node"
 	"failstop/internal/obs"
+	"failstop/internal/recovery"
 )
 
 // Link is one directed channel from one process to another.
@@ -125,24 +127,112 @@ func (r Rule) noop() bool {
 		r.Reorder == 0 && r.JitterMax == 0 && r.QueueDelay == 0
 }
 
+// ProcRule is one process-fault entry of a plan's timeline: it crashes a
+// process at a scheduled time and optionally restarts it later — the
+// crash-recovery primitive of internal/recovery. Process faults are pure
+// schedule data: the hosts (internal/sim and internal/runtime) execute
+// them, not the Plane, because crashing a process is a lifecycle event,
+// not a per-message fate.
+//
+// One-shot rules (Period == 0) crash Proc at CrashAt and, when RestartAt
+// is nonzero, restart it at RestartAt; RestartAt == 0 is a terminal crash.
+// Periodic rules (Period > 0) are restart storms: Proc crashes at
+// CrashAt + k·Period and restarts ActiveFor ticks after each crash
+// (ActiveFor is the downtime window, mirroring Rule's periodic fields);
+// Until, when nonzero, bounds the crash times.
+//
+// What a restarted process remembers is not the plan's business: the host
+// applies its configured recovery mode (off/amnesia/durable) to every
+// restart the plan schedules.
+//
+//sfs:wire
+type ProcRule struct {
+	// Proc is the process the rule crashes and restarts.
+	Proc model.ProcID `json:"proc"`
+	// CrashAt is the (first) crash time in ticks.
+	CrashAt int64 `json:"crash_at"`
+	// RestartAt is the restart time for a one-shot rule; 0 means the crash
+	// is terminal. Invalid with a Period (ActiveFor drives periodic
+	// restarts).
+	RestartAt int64 `json:"restart_at,omitempty"`
+	// Period, when positive, repeats the crash every Period ticks.
+	Period int64 `json:"period,omitempty"`
+	// ActiveFor is the downtime after each periodic crash, in ticks.
+	// Required (0 < ActiveFor < Period) when Period is set: the process
+	// must come back up before its next scheduled crash.
+	ActiveFor int64 `json:"active_for,omitempty"`
+	// Until, when nonzero, is the last tick at which a periodic crash may
+	// fire. Invalid without a Period.
+	Until int64 `json:"until,omitempty"`
+}
+
+// terminal reports whether the rule leaves the process down forever.
+func (r ProcRule) terminal() bool { return r.Period == 0 && r.RestartAt == 0 }
+
+// Lifetime converts the rule into the host-facing normalized form.
+func (r ProcRule) Lifetime() recovery.Lifetime {
+	lt := recovery.Lifetime{Proc: r.Proc, Crash: r.CrashAt, Restart: r.RestartAt}
+	if r.Period > 0 {
+		lt.Restart = r.CrashAt + r.ActiveFor
+		lt.Period = r.Period
+		lt.Until = r.Until
+	}
+	return lt
+}
+
 // Plan is a declarative, seed-deterministic fault timeline for a cluster's
-// network. Plans are pure data: instantiate one per run with NewPlane
-// (they are also the plan-file format of sfs-sim -plan-file).
+// network and its processes. Plans are pure data: instantiate the network
+// part per run with NewPlane (the hosts execute the process part via
+// Lifetimes). Plans are also the plan-file format of sfs-sim -plan-file.
 //
 //sfs:wire
 type Plan struct {
 	// Name identifies the plan in reports and trace headers.
 	Name string `json:"name,omitempty"`
-	// Rules is the fault timeline. Rules are evaluated in order on every
-	// send; all active matching rules apply.
-	Rules []Rule `json:"rules"`
+	// Rules is the network fault timeline. Rules are evaluated in order on
+	// every send; all active matching rules apply.
+	Rules []Rule `json:"rules,omitempty"`
+	// Procs is the process fault timeline: scheduled crashes and restarts,
+	// executed by the hosts under their configured recovery mode.
+	Procs []ProcRule `json:"procs,omitempty"`
 }
 
-// Empty reports whether the plan imposes no faults.
-func (p Plan) Empty() bool { return len(p.Rules) == 0 }
+// Empty reports whether the plan imposes no faults at all.
+func (p Plan) Empty() bool { return len(p.Rules) == 0 && len(p.Procs) == 0 }
+
+// Lifetimes returns the plan's process-fault schedule in the normalized
+// host form, in plan order.
+func (p Plan) Lifetimes() []recovery.Lifetime {
+	if len(p.Procs) == 0 {
+		return nil
+	}
+	out := make([]recovery.Lifetime, len(p.Procs))
+	for i, r := range p.Procs {
+		out[i] = r.Lifetime()
+	}
+	return out
+}
+
+// UnboundedProcs reports whether any process-fault rule generates crashes
+// forever (periodic with no Until): such a plan never lets a run quiesce,
+// so hosts require an explicit horizon to execute it.
+func (p Plan) UnboundedProcs() bool {
+	for _, r := range p.Procs {
+		if r.Period > 0 && r.Until == 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // Validate reports the first problem with the plan for a cluster of n
-// processes, or nil.
+// processes, or nil. Process-fault rules are checked structurally:
+// restarts without a crash window, overlapping lifetimes for one process,
+// and storm windows that never bring the process back are all rejected.
+// One hazard is inherently dynamic and guarded by the hosts instead: a
+// scheduled restart of a process the protocol itself crashed (the §5
+// crash-on-own-SUSP victim) is skipped at run time — a protocol-level
+// crash is terminal by definition.
 func (p Plan) Validate(n int) error {
 	for i, r := range p.Rules {
 		if r.From < 0 {
@@ -217,6 +307,67 @@ func (p Plan) Validate(n int) error {
 		for _, l := range r.Links.Pairs {
 			if l.From < 1 || int(l.From) > n || l.To < 1 || int(l.To) > n {
 				return fmt.Errorf("netadv: rule %d of plan %q: link %d->%d outside 1..%d", i, p.Name, l.From, l.To, n)
+			}
+		}
+	}
+	byProc := make(map[model.ProcID][]int)
+	for i, r := range p.Procs {
+		if r.Proc < 1 || int(r.Proc) > n {
+			return fmt.Errorf("netadv: proc rule %d of plan %q: process %d outside 1..%d", i, p.Name, r.Proc, n)
+		}
+		if r.CrashAt < 0 {
+			return fmt.Errorf("netadv: proc rule %d of plan %q: negative CrashAt %d", i, p.Name, r.CrashAt)
+		}
+		if r.Period < 0 {
+			return fmt.Errorf("netadv: proc rule %d of plan %q: negative Period %d", i, p.Name, r.Period)
+		}
+		if r.Period == 0 {
+			if r.ActiveFor != 0 {
+				return fmt.Errorf("netadv: proc rule %d of plan %q: ActiveFor %d without a Period", i, p.Name, r.ActiveFor)
+			}
+			if r.Until != 0 {
+				return fmt.Errorf("netadv: proc rule %d of plan %q: Until %d without a Period (one-shot rules have nothing to bound)", i, p.Name, r.Until)
+			}
+			if r.RestartAt != 0 && r.RestartAt <= r.CrashAt {
+				return fmt.Errorf("netadv: proc rule %d of plan %q: RestartAt %d not after CrashAt %d", i, p.Name, r.RestartAt, r.CrashAt)
+			}
+		} else {
+			if r.RestartAt != 0 {
+				return fmt.Errorf("netadv: proc rule %d of plan %q: RestartAt %d with a Period (periodic windows restart ActiveFor ticks after each crash)", i, p.Name, r.RestartAt)
+			}
+			if r.ActiveFor <= 0 || r.ActiveFor >= r.Period {
+				return fmt.Errorf("netadv: proc rule %d of plan %q: Period %d needs ActiveFor in 1..%d, have %d (the process must restart before its next crash)", i, p.Name, r.Period, r.Period-1, r.ActiveFor)
+			}
+			if r.Until != 0 && r.Until < r.CrashAt {
+				return fmt.Errorf("netadv: proc rule %d of plan %q: Until %d before the first CrashAt %d", i, p.Name, r.Until, r.CrashAt)
+			}
+		}
+		byProc[r.Proc] = append(byProc[r.Proc], i)
+	}
+	// Cross-rule checks, per process in id order for deterministic errors.
+	for proc := model.ProcID(1); int(proc) <= n; proc++ {
+		idxs := byProc[proc]
+		if len(idxs) < 2 {
+			continue
+		}
+		for _, i := range idxs {
+			if p.Procs[i].Period > 0 {
+				return fmt.Errorf("netadv: proc rule %d of plan %q: process %d has a periodic rule and %d other rule(s); a storm must be the process's only rule", i, p.Name, proc, len(idxs)-1)
+			}
+		}
+		// All one-shot: lifetimes must be disjoint, and only the
+		// chronologically last may be terminal. Order by crash time — plan
+		// order need not be chronological.
+		sort.Slice(idxs, func(a, b int) bool {
+			return p.Procs[idxs[a]].CrashAt < p.Procs[idxs[b]].CrashAt
+		})
+		for k := 1; k < len(idxs); k++ {
+			prev, cur := p.Procs[idxs[k-1]], p.Procs[idxs[k]]
+			if prev.terminal() {
+				return fmt.Errorf("netadv: proc rule %d of plan %q: process %d crashes at %d after rule %d crashed it terminally", idxs[k], p.Name, proc, cur.CrashAt, idxs[k-1])
+			}
+			if cur.CrashAt <= prev.RestartAt {
+				return fmt.Errorf("netadv: proc rule %d of plan %q: process %d crashes at %d while rule %d holds it down until %d (overlapping lifetimes)", idxs[k], p.Name, proc, cur.CrashAt, idxs[k-1], prev.RestartAt)
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"failstop/internal/core"
 	"failstop/internal/model"
 	"failstop/internal/node"
+	"failstop/internal/recovery"
 )
 
 func TestLinkSetMatching(t *testing.T) {
@@ -194,6 +195,94 @@ func TestPlanValidate(t *testing.T) {
 	}
 }
 
+func TestProcRuleValidate(t *testing.T) {
+	bad := []struct {
+		name string
+		plan Plan
+		want string // substring of the error
+	}{
+		{"proc 0", Plan{Procs: []ProcRule{{Proc: 0, CrashAt: 10}}}, "outside 1..5"},
+		{"proc above n", Plan{Procs: []ProcRule{{Proc: 6, CrashAt: 10}}}, "outside 1..5"},
+		{"negative crash", Plan{Procs: []ProcRule{{Proc: 1, CrashAt: -1}}}, "negative CrashAt"},
+		{"negative period", Plan{Procs: []ProcRule{{Proc: 1, CrashAt: 5, Period: -2}}}, "negative Period"},
+		{"restart before crash", Plan{Procs: []ProcRule{{Proc: 1, CrashAt: 20, RestartAt: 10}}}, "not after CrashAt"},
+		{"restart equals crash", Plan{Procs: []ProcRule{{Proc: 1, CrashAt: 20, RestartAt: 20}}}, "not after CrashAt"},
+		{"active_for without period", Plan{Procs: []ProcRule{{Proc: 1, CrashAt: 5, ActiveFor: 10}}}, "without a Period"},
+		{"until without period", Plan{Procs: []ProcRule{{Proc: 1, CrashAt: 5, RestartAt: 9, Until: 100}}}, "without a Period"},
+		{"restart_at with period", Plan{Procs: []ProcRule{{Proc: 1, CrashAt: 5, RestartAt: 9, Period: 50, ActiveFor: 10}}}, "RestartAt 9 with a Period"},
+		{"period without active_for", Plan{Procs: []ProcRule{{Proc: 1, CrashAt: 5, Period: 50}}}, "ActiveFor"},
+		{"active_for fills period", Plan{Procs: []ProcRule{{Proc: 1, CrashAt: 5, Period: 50, ActiveFor: 50}}}, "ActiveFor"},
+		{"until before first crash", Plan{Procs: []ProcRule{{Proc: 1, CrashAt: 100, Period: 50, ActiveFor: 10, Until: 40}}}, "before the first CrashAt"},
+		{"storm plus one-shot", Plan{Procs: []ProcRule{
+			{Proc: 2, CrashAt: 5, Period: 50, ActiveFor: 10},
+			{Proc: 2, CrashAt: 500, RestartAt: 600},
+		}}, "only rule"},
+		{"crash after terminal crash", Plan{Procs: []ProcRule{
+			{Proc: 3, CrashAt: 10},
+			{Proc: 3, CrashAt: 50, RestartAt: 60},
+		}}, "terminally"},
+		{"overlapping lifetimes", Plan{Procs: []ProcRule{
+			{Proc: 3, CrashAt: 10, RestartAt: 50},
+			{Proc: 3, CrashAt: 40, RestartAt: 90},
+		}}, "overlapping"},
+		{"second crash at restart tick", Plan{Procs: []ProcRule{
+			{Proc: 3, CrashAt: 10, RestartAt: 50},
+			{Proc: 3, CrashAt: 50, RestartAt: 90},
+		}}, "overlapping"},
+	}
+	for _, tt := range bad {
+		err := tt.plan.Validate(5)
+		if err == nil {
+			t.Errorf("%s: plan validated despite being invalid: %+v", tt.name, tt.plan)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("%s: error %q does not mention %q", tt.name, err, tt.want)
+		}
+	}
+	ok := Plan{Procs: []ProcRule{
+		{Proc: 1, CrashAt: 10},                                         // terminal one-shot
+		{Proc: 2, CrashAt: 0, RestartAt: 30},                           // crash at time 0 is legal
+		{Proc: 3, CrashAt: 100, RestartAt: 150},                        // out of plan order vs the next rule
+		{Proc: 3, CrashAt: 10, RestartAt: 40},                          // chronological order is what matters
+		{Proc: 3, CrashAt: 200},                                        // terminal last lifetime
+		{Proc: 4, CrashAt: 50, Period: 100, ActiveFor: 30},             // unbounded storm
+		{Proc: 5, CrashAt: 50, Period: 100, ActiveFor: 99, Until: 500}, // bounded storm
+	}}
+	if err := ok.Validate(5); err != nil {
+		t.Errorf("valid proc plan rejected: %v", err)
+	}
+	if !ok.UnboundedProcs() {
+		t.Error("UnboundedProcs() = false with an unbounded storm present")
+	}
+	if bounded := (Plan{Procs: []ProcRule{{Proc: 1, CrashAt: 5, Period: 50, ActiveFor: 10, Until: 400}}}); bounded.UnboundedProcs() {
+		t.Error("UnboundedProcs() = true for a bounded storm")
+	}
+}
+
+func TestProcRuleLifetimes(t *testing.T) {
+	p := Plan{Procs: []ProcRule{
+		{Proc: 2, CrashAt: 10, RestartAt: 40},
+		{Proc: 3, CrashAt: 50},
+		{Proc: 4, CrashAt: 100, Period: 300, ActiveFor: 120, Until: 2000},
+	}}
+	if err := p.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Lifetimes()
+	want := []recovery.Lifetime{
+		{Proc: 2, Crash: 10, Restart: 40},
+		{Proc: 3, Crash: 50},
+		{Proc: 4, Crash: 100, Restart: 220, Period: 300, Until: 2000},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Lifetimes() = %+v, want %+v", got, want)
+	}
+	if lts := (Plan{Rules: []Rule{{Cut: true}}}).Lifetimes(); lts != nil {
+		t.Errorf("net-only plan has lifetimes: %+v", lts)
+	}
+}
+
 // TestOverlappingGroupsRejected pins the first validation bugfix end to
 // end: before it, NewPlane compiled groupOf last-wins, so {1,2},{2,3}
 // silently behaved as {1},{2,3} — process 2's links to 3 stopped matching.
@@ -240,7 +329,7 @@ func TestBuiltinsValidateAcrossGrid(t *testing.T) {
 
 func TestBuiltinLookup(t *testing.T) {
 	names := BuiltinNames()
-	want := []string{"buffering-partition", "flaky-quorum", "healing-partition", "isolated-minority", "moving-partition", "one-way-cut", "split-brain"}
+	want := []string{"buffering-partition", "flaky-quorum", "healing-partition", "isolated-minority", "moving-partition", "one-way-cut", "restart-storm", "split-brain"}
 	if !reflect.DeepEqual(names, want) {
 		t.Errorf("BuiltinNames() = %v, want %v", names, want)
 	}

@@ -66,6 +66,14 @@ func BuiltinNames() []string {
 //     window is lost for good. This is the adversarial-timing family of
 //     Gafni & Losa's "Time Is Not a Healer": no single partition lasts, yet
 //     some process is always unreachable.
+//   - "restart-storm": the crash-recovery workload (internal/recovery).
+//     The two highest-numbered processes crash and restart on staggered
+//     periodic windows forever: each is down for RestartStormDowntime ticks
+//     out of every RestartStormPeriod. Under recovery mode "off" the first
+//     window is terminal (the fail-stop reading of the storm); under
+//     "amnesia" the processes return blank; under "durable" they return
+//     with their snapshotted detector and reliable-layer state. The storm
+//     is unbounded, so runs need a horizon (sim MaxTime).
 func Builtins() []Generator {
 	return []Generator{
 		{Name: "split-brain", Make: func(n, t int) Plan {
@@ -120,12 +128,39 @@ func Builtins() []Generator {
 			}
 			return Plan{Name: "moving-partition", Rules: rules}
 		}},
+		{Name: "restart-storm", Make: func(n, t int) Plan {
+			procs := []ProcRule{{
+				Proc:      model.ProcID(n),
+				CrashAt:   100,
+				Period:    RestartStormPeriod,
+				ActiveFor: RestartStormDowntime,
+			}}
+			if n >= 3 {
+				// A second storm, staggered half a period, on the
+				// next-highest process: two processes cycle through
+				// downtime but never at the same phase.
+				procs = append(procs, ProcRule{
+					Proc:      model.ProcID(n - 1),
+					CrashAt:   100 + RestartStormPeriod/2,
+					Period:    RestartStormPeriod,
+					ActiveFor: RestartStormDowntime,
+				})
+			}
+			return Plan{Name: "restart-storm", Procs: procs}
+		}},
 	}
 }
 
 // MovingPartitionStride is how long the moving-partition builtin keeps each
 // process isolated before the cut rotates on, in ticks.
 const MovingPartitionStride = 60
+
+// Restart-storm builtin timing: each stormed process crashes every
+// RestartStormPeriod ticks and stays down for RestartStormDowntime of them.
+const (
+	RestartStormPeriod   = 400
+	RestartStormDowntime = 150
+)
 
 // halves splits 1..n into a majority half [1..ceil(n/2)] and the rest.
 func halves(n int) [][]model.ProcID {

@@ -84,3 +84,24 @@ type CrashListener interface {
 	// context is already dead: all Context methods are no-ops.
 	OnCrash(ctx Context)
 }
+
+// Restarter is optionally implemented by Handlers that participate in the
+// crash-recovery subsystem (internal/recovery). When an environment fault
+// plan crashes a process under durable recovery, the host calls Snapshot
+// and persists the result; when the process restarts, the host calls
+// OnRestart instead of Init — with the persisted snapshot under durable
+// recovery, or with nil state under amnesia. Handlers that do not
+// implement Restarter are restarted by calling Init again, which cannot
+// clear any crashed-flag the handler keeps for itself.
+type Restarter interface {
+	// Snapshot serializes the state the handler wants to survive a crash.
+	// It must not mutate the handler: hosts call it at crash time, before
+	// OnCrash.
+	Snapshot() []byte
+	// OnRestart re-initializes the handler after a restart. state is the
+	// bytes a prior Snapshot returned, or nil when nothing was persisted
+	// (amnesia, or a first crash that predates any snapshot). The handler
+	// must leave itself runnable: clear any internal crashed-flag, rebuild
+	// its state from the snapshot, and re-arm its timers.
+	OnRestart(ctx Context, state []byte)
+}

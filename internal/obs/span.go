@@ -24,6 +24,10 @@ const (
 	SpanRetransmit   SpanKind = "retransmit"
 	SpanSuspect      SpanKind = "suspect"
 	SpanCrashConfirm SpanKind = "crash-confirm"
+	// SpanRestart records a crash-recovery restart (internal/recovery):
+	// the note carries the recovery mode and, under durable recovery, the
+	// snapshot size restored. Detection-grade: never sampled out.
+	SpanRestart SpanKind = "restart"
 )
 
 // Known reports whether k is a kind this package defines. Readers use it
@@ -32,7 +36,7 @@ const (
 func (k SpanKind) Known() bool {
 	switch k {
 	case SpanSend, SpanFate, SpanEnqueue, SpanDeliver, SpanDrop,
-		SpanRetransmit, SpanSuspect, SpanCrashConfirm:
+		SpanRetransmit, SpanSuspect, SpanCrashConfirm, SpanRestart:
 		return true
 	}
 	return false

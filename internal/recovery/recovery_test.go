@@ -1,0 +1,102 @@
+package recovery
+
+import (
+	"encoding/json"
+	"testing"
+
+	"failstop/internal/model"
+)
+
+func TestModeRoundTrip(t *testing.T) {
+	for _, m := range []Mode{Off, Amnesia, Durable} {
+		parsed, err := ParseMode(m.String())
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", m.String(), err)
+		}
+		if parsed != m {
+			t.Fatalf("ParseMode(%q) = %v, want %v", m.String(), parsed, m)
+		}
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", m, err)
+		}
+		var back Mode
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != m {
+			t.Fatalf("json round trip of %v = %v", m, back)
+		}
+	}
+	if m, err := ParseMode(""); err != nil || m != Off {
+		t.Fatalf("ParseMode(\"\") = %v, %v; want Off", m, err)
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("ParseMode(bogus) did not fail")
+	}
+	if _, err := Mode(42).MarshalText(); err == nil {
+		t.Fatal("MarshalText of unknown mode did not fail")
+	}
+}
+
+func TestLifetimeUnbounded(t *testing.T) {
+	cases := []struct {
+		lt   Lifetime
+		want bool
+	}{
+		{Lifetime{Crash: 10}, false},
+		{Lifetime{Crash: 10, Restart: 20}, false},
+		{Lifetime{Crash: 10, Restart: 20, Period: 50}, true},
+		{Lifetime{Crash: 10, Restart: 20, Period: 50, Until: 500}, false},
+	}
+	for _, c := range cases {
+		if got := c.lt.Unbounded(); got != c.want {
+			t.Fatalf("Unbounded(%+v) = %v, want %v", c.lt, got, c.want)
+		}
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	s := NewMemStore()
+	if _, ok := s.Load(1); ok {
+		t.Fatal("empty store reported a snapshot")
+	}
+	buf := []byte("state-v1")
+	s.Save(1, buf)
+	buf[0] = 'X' // the store must have copied
+	got, ok := s.Load(1)
+	if !ok || string(got) != "state-v1" {
+		t.Fatalf("Load(1) = %q, %v; want state-v1", got, ok)
+	}
+	got[0] = 'Y' // mutating the loaded copy must not affect the store
+	again, _ := s.Load(1)
+	if string(again) != "state-v1" {
+		t.Fatalf("store aliased its buffer: %q", again)
+	}
+	s.Save(1, []byte("state-v2"))
+	if got, _ := s.Load(1); string(got) != "state-v2" {
+		t.Fatalf("Save did not replace: %q", got)
+	}
+}
+
+func TestFileStore(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(model.ProcID(3)); ok {
+		t.Fatal("empty file store reported a snapshot")
+	}
+	s.Save(3, []byte("durable"))
+	got, ok := s.Load(3)
+	if !ok || string(got) != "durable" {
+		t.Fatalf("Load(3) = %q, %v", got, ok)
+	}
+	s.Save(3, []byte("durable-2"))
+	if got, _ := s.Load(3); string(got) != "durable-2" {
+		t.Fatalf("Save did not replace: %q", got)
+	}
+	if s.Err() != nil {
+		t.Fatalf("unexpected sticky error: %v", s.Err())
+	}
+}

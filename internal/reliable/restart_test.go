@@ -1,0 +1,118 @@
+package reliable
+
+import (
+	"fmt"
+	"testing"
+
+	"failstop/internal/netadv"
+	"failstop/internal/node"
+	"failstop/internal/recovery"
+	"failstop/internal/sim"
+)
+
+// runRestartLink wires sender(1) -> receiver(2) endpoints over a lossy sim
+// network, crashes the sender mid-stream per the given one-shot lifetime,
+// and injects one send every 10 ticks. Sends that land in the downtime
+// window are dropped by the sim (a down process accepts no injections), so
+// the caller knows exactly which payloads entered the link.
+func runRestartLink(t *testing.T, seed int64, k int, mode recovery.Mode, lt recovery.Lifetime, rules ...netadv.Rule) (*recorder, *sim.Result) {
+	t.Helper()
+	plan := netadv.Plan{Name: "lossy", Rules: rules}
+	if err := plan.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	plane := netadv.NewPlane(plan, 2, seed)
+	s := sim.New(sim.Config{
+		N: 2, Seed: seed, MaxTime: 500000, Link: plane.Decide,
+		Lifetimes: []recovery.Lifetime{lt},
+		Recovery:  mode,
+	})
+	opts := Options{Enabled: true, RetryInterval: 25}
+	sender := Wrap(idle{}, opts)
+	rec := &recorder{}
+	s.SetHandler(1, sender)
+	s.SetHandler(2, Wrap(rec, opts))
+	for i := 1; i <= k; i++ {
+		payload := node.Payload{Tag: "APP", Data: []byte(fmt.Sprintf("m%03d", i))}
+		s.At(int64(i*10), 1, func(ctx node.Context) {
+			sender.Context(ctx).Send(2, payload)
+		})
+	}
+	return rec, s.Run()
+}
+
+// TestDurableRestartNoSeqRegression is the crash-recovery property test: a
+// durable sender restart never regresses the sequence numbers of the
+// stubborn link. Across seeds and a lossy network, the receiver releases
+// exactly the payloads that were accepted for sending (everything outside
+// the downtime window), each exactly once, in FIFO order — frames unacked
+// at the crash are restored from the snapshot and retransmitted, and
+// post-restart sends continue from the persisted next sequence number
+// instead of colliding with delivered ones.
+func TestDurableRestartNoSeqRegression(t *testing.T) {
+	const k = 40
+	// Sender is down for ticks [157, 203): injections at 160..200 (i=16..20)
+	// are lost, everything else must be released.
+	lt := recovery.Lifetime{Proc: 1, Crash: 157, Restart: 203}
+	rule := netadv.Rule{Drop: 0.3, JitterMax: 15}
+	for seed := int64(0); seed < 12; seed++ {
+		rec, res := runRestartLink(t, seed, k, recovery.Durable, lt, rule)
+		if res.Stop != sim.StopDrained {
+			t.Fatalf("seed %d: run hit the horizon (%v)", seed, res.Stop)
+		}
+		if res.Restarts != 1 || res.Recovered != 1 {
+			t.Fatalf("seed %d: Restarts=%d Recovered=%d, want 1/1", seed, res.Restarts, res.Recovered)
+		}
+		var want []string
+		for i := 1; i <= k; i++ {
+			if at := int64(i * 10); at < lt.Crash || at >= lt.Restart {
+				want = append(want, fmt.Sprintf("m%03d", i))
+			}
+		}
+		if len(rec.released) != len(want) {
+			t.Fatalf("seed %d: released %d payloads, want %d", seed, len(rec.released), len(want))
+		}
+		for i, p := range rec.released {
+			if string(p.Data) != want[i] {
+				t.Fatalf("seed %d: release %d = %q, want %q (duplicate or out-of-order after recovery)",
+					seed, i, p.Data, want[i])
+			}
+		}
+	}
+}
+
+// TestAmnesiaRestartLosesPostRestartSends documents the pathology durable
+// recovery exists to prevent: an amnesiac sender restarts with a fresh
+// sequence space, so its post-restart frames reuse sequence numbers the
+// receiver has already released and die as duplicates — until the reused
+// counter catches back up to the receiver's expectation. The sender
+// silently loses exactly as many new payloads as it had delivered before
+// the crash.
+func TestAmnesiaRestartLosesPostRestartSends(t *testing.T) {
+	lt := recovery.Lifetime{Proc: 1, Crash: 157, Restart: 203}
+	rec, res := runRestartLink(t, 3, 40, recovery.Amnesia, lt)
+	if res.Stop != sim.StopDrained {
+		t.Fatalf("run hit the horizon (%v)", res.Stop)
+	}
+	// Pre-crash sends i=1..15 (ticks 10..150) are released, then the first
+	// 15 post-restart sends (m021..m035, reused seqs 1..15) die as
+	// duplicates; delivery resumes at m036 (reused seq 16 = nextExpected).
+	var want []string
+	for i := 1; i <= 15; i++ {
+		want = append(want, fmt.Sprintf("m%03d", i))
+	}
+	for i := 36; i <= 40; i++ {
+		want = append(want, fmt.Sprintf("m%03d", i))
+	}
+	if len(rec.released) != len(want) {
+		t.Fatalf("amnesiac sender released %d payloads, want %d", len(rec.released), len(want))
+	}
+	for i, p := range rec.released {
+		if string(p.Data) != want[i] {
+			t.Fatalf("release %d = %q, want %q", i, p.Data, want[i])
+		}
+	}
+	if res.AckedDuplicates == 0 {
+		t.Error("no suppressed duplicates: the amnesia pathology did not manifest")
+	}
+}

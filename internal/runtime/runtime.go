@@ -30,6 +30,7 @@ import (
 	"failstop/internal/model"
 	"failstop/internal/node"
 	"failstop/internal/obs"
+	"failstop/internal/recovery"
 )
 
 // Config parameterizes a live network.
@@ -58,6 +59,21 @@ type Config struct {
 	// kinds and sampling rule as the simulator, so span sequences are
 	// comparable across backends.
 	Spans *obs.SpanRecorder
+	// Lifetimes schedules plan-driven process crashes and restarts with
+	// the same semantics as the simulator's Config.Lifetimes; times are in
+	// ticks. A down process loses every message that arrives during its
+	// downtime and its timers die with it. Unbounded lifetimes are fine
+	// here: live runs are bounded by Stop, not by a virtual horizon.
+	Lifetimes []recovery.Lifetime
+	// Recovery selects what a restarted process remembers: Off disables
+	// restarts entirely (every lifetime is terminal at its first crash),
+	// Amnesia restarts handlers blank, Durable restores the crash-time
+	// snapshot through Store.
+	Recovery recovery.Mode
+	// Store persists crash-time snapshots under Durable recovery. Nil
+	// defaults to a fresh in-memory store; pass a recovery.FileStore to
+	// survive whole-process restarts of the host program.
+	Store recovery.Store
 }
 
 // Net is a live network of processes. Attach handlers, Start, then Stop.
@@ -78,15 +94,19 @@ type Net struct {
 	cDropped     obs.Counter
 	cDuplicated  obs.Counter
 	cTimersFired obs.Counter
+	cPlanCrashes obs.Counter
+	cRestarts    obs.Counter
+	cRecovered   obs.Counter
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	wg      sync.WaitGroup
-	stopCh  chan struct{}
-	started bool
-	stopped bool
-	mu      sync.Mutex
+	wg          sync.WaitGroup
+	stopCh      chan struct{}
+	started     bool
+	stopped     bool
+	faultTimers []*time.Timer // outstanding lifetime crash/restart timers
+	mu          sync.Mutex
 }
 
 // New creates a live network.
@@ -102,6 +122,14 @@ func New(cfg Config) *Net {
 	}
 	if cfg.Tick == 0 {
 		cfg.Tick = time.Millisecond
+	}
+	for i, l := range cfg.Lifetimes {
+		if l.Proc < 1 || int(l.Proc) > cfg.N {
+			panic(fmt.Sprintf("runtime: lifetime %d names process %d of %d", i, l.Proc, cfg.N))
+		}
+	}
+	if cfg.Recovery == recovery.Durable && cfg.Store == nil {
+		cfg.Store = recovery.NewMemStore()
 	}
 	n := &Net{
 		cfg:      cfg,
@@ -119,6 +147,13 @@ func New(cfg Config) *Net {
 		reg.RegisterCounter("net_dropped_total", &n.cDropped)
 		reg.RegisterCounter("net_duplicated_total", &n.cDuplicated)
 		reg.RegisterCounter("net_timers_fired_total", &n.cTimersFired)
+		// Recovery counters only exist when lifetimes do, mirroring the
+		// simulator: fault-free registry snapshots stay byte-identical.
+		if len(cfg.Lifetimes) > 0 {
+			reg.RegisterCounter("net_plan_crashes_total", &n.cPlanCrashes)
+			reg.RegisterCounter("net_restarts_total", &n.cRestarts)
+			reg.RegisterCounter("net_recovered_total", &n.cRecovered)
+		}
 	}
 	return n
 }
@@ -151,6 +186,10 @@ func (n *Net) Start() {
 		n.wg.Add(1)
 		go n.procs[p].loop(&n.wg)
 	}
+	for i := range n.cfg.Lifetimes {
+		idx, l := i, n.cfg.Lifetimes[i]
+		n.afterTicks(l.Crash, func() { n.planCrash(idx, l.Crash) })
+	}
 }
 
 // Stop terminates the workers and waits for them to exit. Idempotent.
@@ -161,7 +200,12 @@ func (n *Net) Stop() {
 		return
 	}
 	n.stopped = true
+	timers := n.faultTimers
+	n.faultTimers = nil
 	n.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
 	close(n.stopCh)
 	for p := 1; p <= n.cfg.N; p++ {
 		n.procs[p].wake()
@@ -244,9 +288,133 @@ func (n *Net) Metrics() obs.Metrics {
 			obs.Metric{Name: "reliable_acked_duplicates_total", Kind: obs.KindCounter, Value: int64(d)},
 			obs.Metric{Name: "reliable_retransmits_total", Kind: obs.KindCounter, Value: int64(r)},
 		)
+	}
+	// Mirroring the simulator's snapshot: recovery metrics appear only when
+	// the run has lifetimes, keeping fault-free snapshots byte-stable.
+	if len(n.cfg.Lifetimes) > 0 {
+		ms = append(ms,
+			obs.Metric{Name: "net_plan_crashes_total", Kind: obs.KindCounter, Value: n.cPlanCrashes.Value()},
+			obs.Metric{Name: "net_recovered_total", Kind: obs.KindCounter, Value: n.cRecovered.Value()},
+			obs.Metric{Name: "net_restarts_total", Kind: obs.KindCounter, Value: n.cRestarts.Value()},
+		)
+	}
+	if hasReliable || len(n.cfg.Lifetimes) > 0 {
 		ms.Sort()
 	}
 	return ms
+}
+
+// RecoveryStats returns the process-fault counters: crashes executed from
+// Config.Lifetimes, restarts that followed, and restarts that restored a
+// non-empty durable snapshot. Safe to call while the network runs.
+func (n *Net) RecoveryStats() (planCrashes, restarts, recovered int) {
+	return int(n.cPlanCrashes.Value()), int(n.cRestarts.Value()), int(n.cRecovered.Value())
+}
+
+// afterTicks schedules fn after d ticks, retaining the timer so Stop can
+// cancel the fault plan's outstanding work. No-op once the net stopped.
+func (n *Net) afterTicks(d int64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	t := time.AfterFunc(time.Duration(d)*n.cfg.Tick, fn)
+	n.faultTimers = append(n.faultTimers, t)
+	n.mu.Unlock()
+}
+
+// planCrash routes one crash window of lifetime idx through the victim's
+// injection queue, so the crash serializes with its handler callbacks (a
+// durable snapshot must not race a half-applied message). The inject is
+// silently dropped if the process crashed terminally first — which also
+// stops the periodic chain, matching the simulator.
+func (n *Net) planCrash(idx int, at int64) {
+	l := n.cfg.Lifetimes[idx]
+	p := n.procs[l.Proc]
+	p.inject(func(node.Context) { n.executePlanCrash(idx, at, p, l) })
+}
+
+// executePlanCrash runs on the victim's worker: snapshot (durable), take
+// the process down, kill timers and queued work, record the crash, then
+// schedule the restart and the next periodic window.
+func (n *Net) executePlanCrash(idx int, at int64, p *proc, l recovery.Lifetime) {
+	mode := n.cfg.Recovery
+	if mode == recovery.Durable {
+		// Snapshot before OnCrash: the crash notification must not be able
+		// to perturb what the process will remember.
+		if r, ok := n.handlers[p.self].(node.Restarter); ok {
+			n.cfg.Store.Save(p.self, r.Snapshot())
+		}
+	}
+	p.mu.Lock()
+	p.down = true
+	p.revive = false
+	p.injects = nil
+	p.dueTimer = nil
+	for _, lt := range p.timers {
+		lt.gen++
+		if lt.timer != nil {
+			lt.timer.Stop()
+		}
+	}
+	p.mu.Unlock()
+	n.cPlanCrashes.Inc()
+	n.record(model.Crash(p.self))
+	if lis, ok := n.handlers[p.self].(node.CrashListener); ok {
+		lis.OnCrash(&liveCtx{p: p})
+	}
+	if downFor := l.Restart - l.Crash; mode != recovery.Off && downFor > 0 {
+		// Downtime is measured from the crash's execution, so a late crash
+		// still keeps the process down for the plan's full window.
+		n.afterTicks(downFor, func() {
+			p.mu.Lock()
+			if p.down {
+				p.revive = true
+			}
+			p.mu.Unlock()
+			p.wake()
+		})
+	}
+	if l.Period > 0 && mode != recovery.Off {
+		if next := at + l.Period; l.Until == 0 || next <= l.Until {
+			// The next window stays on the plan's absolute cadence.
+			n.afterTicks(next-n.nowTicks(), func() { n.planCrash(idx, next) })
+		}
+	}
+}
+
+// finishRestart runs on the worker once the revive flag is consumed: record
+// the restart, then hand the handler its crash-time snapshot (durable) or
+// re-initialize it blank.
+func (n *Net) finishRestart(p *proc) {
+	var st []byte
+	if n.cfg.Recovery == recovery.Durable {
+		st, _ = n.cfg.Store.Load(p.self)
+	}
+	n.record(model.Restart(p.self))
+	n.cRestarts.Inc()
+	if len(st) > 0 {
+		n.cRecovered.Inc()
+	}
+	// Restart spans are detection-grade, never sampled out — same rule as
+	// the simulator's.
+	if n.cfg.Spans != nil {
+		note := "recovery=" + n.cfg.Recovery.String()
+		if n.cfg.Recovery == recovery.Durable {
+			note = fmt.Sprintf("%s snapshot=%dB", note, len(st))
+		}
+		n.cfg.Spans.Record(obs.Span{Time: n.nowTicks(), Kind: obs.SpanRestart, Proc: p.self, Note: note})
+	}
+	ctx := &liveCtx{p: p}
+	if r, ok := n.handlers[p.self].(node.Restarter); ok {
+		r.OnRestart(ctx, st)
+	} else {
+		n.handlers[p.self].Init(ctx)
+	}
 }
 
 // reliableStats is implemented by handlers that wrap a reliable-delivery
@@ -293,6 +461,8 @@ type proc struct {
 	dueTimer []string              // timer names that have fired, in order
 	emitted  map[model.ProcID]bool // failed_self(j) already recorded
 	crashed  bool
+	down     bool // plan-crashed, restart possibly pending (crash-recovery)
+	revive   bool // restart timer elapsed; worker finishes the restart
 	wakeCh   chan struct{}
 
 	// curSpan frames the handler callback currently running on this
@@ -324,10 +494,11 @@ func (p *proc) wake() {
 	}
 }
 
-// inject schedules fn for serialized execution on p's worker.
+// inject schedules fn for serialized execution on p's worker. Injections
+// to crashed or down processes are dropped: there is nobody home.
 func (p *proc) inject(fn func(node.Context)) {
 	p.mu.Lock()
-	if p.crashed {
+	if p.crashed || p.down {
 		p.mu.Unlock()
 		return
 	}
@@ -369,6 +540,32 @@ func (p *proc) loop(wg *sync.WaitGroup) {
 func (p *proc) step() bool {
 	p.mu.Lock()
 	if p.crashed {
+		p.mu.Unlock()
+		return false
+	}
+	if p.down {
+		if p.revive {
+			p.revive = false
+			p.down = false
+			p.mu.Unlock()
+			p.net.finishRestart(p)
+			return true
+		}
+		// Arrival at a down process is loss, same rule as the simulator:
+		// discard every head that became ready, then go back to sleep.
+		now := time.Now()
+		for from, q := range p.queues {
+			for len(q) > 0 && !q[0].parked && !q[0].readyAt.After(now) {
+				if q[0].span != 0 {
+					p.net.cfg.Spans.Record(obs.Span{
+						Parent: q[0].span, Time: p.net.nowTicks(), Kind: obs.SpanDrop,
+						Proc: p.self, Peer: from, Msg: q[0].id, Note: "receiver down",
+					})
+				}
+				q = q[1:]
+			}
+			p.queues[from] = q
+		}
 		p.mu.Unlock()
 		return false
 	}
@@ -442,9 +639,9 @@ func (c *liveCtx) Send(to model.ProcID, pl node.Payload) {
 	p := c.p
 	net := p.net
 	p.mu.Lock()
-	crashed := p.crashed
+	dead := p.crashed || p.down
 	p.mu.Unlock()
-	if crashed {
+	if dead {
 		return
 	}
 	if to == p.self {
@@ -534,7 +731,7 @@ func (c *liveCtx) SetTimer(name string, delayTicks int64) {
 	p := c.p
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.crashed {
+	if p.crashed || p.down {
 		return
 	}
 	lt := p.timers[name]
@@ -575,7 +772,7 @@ func (c *liveCtx) CancelTimer(name string) {
 func (c *liveCtx) EmitFailed(j model.ProcID) {
 	p := c.p
 	p.mu.Lock()
-	if p.crashed || p.emitted[j] {
+	if p.crashed || p.down || p.emitted[j] {
 		p.mu.Unlock()
 		return
 	}
@@ -594,7 +791,7 @@ func (c *liveCtx) EmitFailed(j model.ProcID) {
 func (c *liveCtx) CrashSelf() {
 	p := c.p
 	p.mu.Lock()
-	if p.crashed {
+	if p.crashed || p.down {
 		p.mu.Unlock()
 		return
 	}
@@ -616,9 +813,9 @@ func (c *liveCtx) CrashSelf() {
 func (c *liveCtx) EmitInternal(tag string, subject model.ProcID) {
 	p := c.p
 	p.mu.Lock()
-	crashed := p.crashed
+	dead := p.crashed || p.down
 	p.mu.Unlock()
-	if crashed {
+	if dead {
 		return
 	}
 	p.net.record(model.Internal(p.self, tag, subject))

@@ -13,6 +13,7 @@ import (
 	"failstop/internal/model"
 	"failstop/internal/node"
 	"failstop/internal/obs"
+	"failstop/internal/recovery"
 )
 
 // floodHandler broadcasts to every peer on each of its first rounds timer
@@ -115,6 +116,45 @@ func TestObsAllocBudget(t *testing.T) {
 	if withObs > bare*1.05 {
 		t.Errorf("metrics-on hot path allocates %.0f/run, bare %.0f/run: over the 5%% budget", withObs, bare)
 	}
+}
+
+// BenchmarkSimRestartStorm prices the crash-recovery machinery: a flood
+// workload in which two processes cycle crash/restart on periodic
+// lifetimes under durable recovery, so each iteration pays for the down
+// transitions, snapshot save/restore round trips, in-flight delivery
+// drops, and timer-generation sweeps on top of the ordinary hot path.
+// CI exports this as BENCH_recovery.json.
+func BenchmarkSimRestartStorm(b *testing.B) {
+	const n, rounds = 10, 30
+	run := func(seed int64) *Result {
+		s := New(Config{
+			N: n, Seed: seed, MaxTime: 300,
+			Lifetimes: []recovery.Lifetime{
+				{Proc: n, Crash: 5, Restart: 15, Period: 20},
+				{Proc: n - 1, Crash: 10, Restart: 20, Period: 20},
+			},
+			Recovery: recovery.Durable,
+		})
+		for p := 1; p <= n-2; p++ {
+			s.SetHandler(model.ProcID(p), &floodHandler{rounds: rounds})
+		}
+		s.SetHandler(n-1, &counterHandler{})
+		s.SetHandler(n, &counterHandler{})
+		return s.Run()
+	}
+	want := run(1)
+	if want.Restarts == 0 || want.Recovered != want.Restarts {
+		b.Fatalf("Restarts=%d Recovered=%d, want equal and > 0", want.Restarts, want.Recovered)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := run(int64(i))
+		if res.Restarts == 0 {
+			b.Fatalf("seed %d: storm never restarted", i)
+		}
+	}
+	b.ReportMetric(float64(want.Restarts)*float64(b.N)/b.Elapsed().Seconds(), "restarts/s")
 }
 
 // BenchmarkSimTimerChurn isolates the timer path: one process re-arming

@@ -23,6 +23,15 @@
 // and are flagged by model.History.Validate — which is the point of the
 // lossy-links experiment family.
 //
+// Process faults: Config.Lifetimes schedules plan-driven crashes (and,
+// under Config.Recovery, restarts) of whole processes. A down process
+// loses every message that arrives during its downtime — links are
+// datagrams to a dead socket, not buffers — and its timers die with it.
+// A restart re-initializes the handler: blank under amnesia, from the
+// crash-time snapshot (node.Restarter) under durable recovery. Under
+// recovery mode Off every lifetime is terminal at its first crash, which
+// is the fail-stop reading of the same plan.
+//
 // Receive gating: handlers implementing node.Gate can refuse the message at
 // the head of a channel; the channel blocks until a later event of the
 // receiver changes the gate's answer. This is the mechanism by which the
@@ -39,6 +48,7 @@ import (
 	"failstop/internal/model"
 	"failstop/internal/node"
 	"failstop/internal/obs"
+	"failstop/internal/recovery"
 )
 
 // DelayFn chooses the delivery delay in ticks for a message sent at time at
@@ -80,6 +90,23 @@ type Config struct {
 	// message count, the largest link backlog, and the cumulative suspicion
 	// count as virtual time advances.
 	Timeline *obs.Timeline
+	// Lifetimes schedules plan-driven process crashes and restarts
+	// (typically netadv.Plan.Lifetimes()). Each lifetime crashes its
+	// process at Crash — and, when Period > 0, every Period ticks after
+	// that, with Until bounding the crash times — and restarts it
+	// Restart-Crash ticks after each crash when Recovery is not Off.
+	// A lifetime with Restart == 0, or any lifetime under Recovery Off,
+	// is terminal at its first crash. Unbounded lifetimes (Period > 0,
+	// Until == 0) require a MaxTime horizon; New panics otherwise.
+	Lifetimes []recovery.Lifetime
+	// Recovery selects what a restarted process remembers: Off disables
+	// restarts entirely, Amnesia restarts handlers blank (Init, or
+	// OnRestart with nil state), Durable restores the snapshot taken at
+	// crash time through Store.
+	Recovery recovery.Mode
+	// Store persists crash-time snapshots under Durable recovery. Nil
+	// defaults to a fresh in-memory store private to this run.
+	Store recovery.Store
 }
 
 type chanKey struct{ from, to model.ProcID }
@@ -103,6 +130,8 @@ const (
 	occDeliver occKind = iota + 1
 	occTimer
 	occInject
+	occPlanCrash
+	occRestart
 )
 
 type occurrence struct {
@@ -111,10 +140,11 @@ type occurrence struct {
 	kind occKind
 
 	ch   chanKey            // occDeliver
-	proc model.ProcID       // occTimer, occInject
+	proc model.ProcID       // occTimer, occInject, occPlanCrash, occRestart
 	name string             // occTimer
 	gen  int64              // occTimer: generation, stale timers are skipped
 	fn   func(node.Context) // occInject
+	lt   int                // occPlanCrash, occRestart: Config.Lifetimes index
 }
 
 // occHeap is a binary min-heap of occurrences ordered by (time, seq). It
@@ -261,6 +291,10 @@ type Result struct {
 	// and received duplicates suppressed after re-acking). Both are 0 when
 	// the layer is disabled.
 	Retransmits, AckedDuplicates int
+	// PlanCrashes counts crashes executed from Config.Lifetimes; Restarts
+	// counts the restarts that followed; Recovered counts restarts that
+	// restored a non-empty durable snapshot. All are 0 without lifetimes.
+	PlanCrashes, Restarts, Recovered int
 	// Blocked lists channels holding undelivered messages to live processes
 	// at the end of the run (gated or parked) plus channels into crashed
 	// processes. A run with gated entries did not reach protocol quiescence.
@@ -312,6 +346,7 @@ type Sim struct {
 	nextMsg  model.MsgID
 	history  model.History
 	crashed  []bool
+	down     []bool // plan-crashed, restart possibly pending (crash-recovery)
 	failed   map[[2]model.ProcID]bool
 	timerGen map[timerID]int64
 	ran      bool
@@ -324,6 +359,9 @@ type Sim struct {
 	cDropped     obs.Counter
 	cDuplicated  obs.Counter
 	cTimersFired obs.Counter
+	cPlanCrashes obs.Counter
+	cRestarts    obs.Counter
+	cRecovered   obs.Counter
 
 	curSpan    int64 // span framing the handler callback now running, or 0
 	inflight   int   // enqueued-but-undelivered message copies
@@ -346,6 +384,17 @@ func New(cfg Config) *Sim {
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 1 << 20
 	}
+	for i, l := range cfg.Lifetimes {
+		if l.Proc < 1 || int(l.Proc) > cfg.N {
+			panic(fmt.Sprintf("sim: lifetime %d names process %d of %d", i, l.Proc, cfg.N))
+		}
+		if l.Unbounded() && cfg.Recovery != recovery.Off && cfg.MaxTime <= 0 {
+			panic(fmt.Sprintf("sim: lifetime %d is unbounded (period %d, no until); set MaxTime", i, l.Period))
+		}
+	}
+	if cfg.Recovery == recovery.Durable && cfg.Store == nil {
+		cfg.Store = recovery.NewMemStore()
+	}
 	s := &Sim{
 		cfg:      cfg,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
@@ -355,6 +404,7 @@ func New(cfg Config) *Sim {
 		queue:    make(occHeap, 0, 4*cfg.N),
 		history:  make(model.History, 0, historyHint(cfg)),
 		crashed:  make([]bool, cfg.N+1),
+		down:     make([]bool, cfg.N+1),
 		failed:   make(map[[2]model.ProcID]bool),
 		timerGen: make(map[timerID]int64, cfg.N),
 	}
@@ -367,6 +417,14 @@ func New(cfg Config) *Sim {
 		reg.RegisterCounter("sim_dropped_total", &s.cDropped)
 		reg.RegisterCounter("sim_duplicated_total", &s.cDuplicated)
 		reg.RegisterCounter("sim_timers_fired_total", &s.cTimersFired)
+		// Recovery counters only exist when lifetimes do: runs without
+		// process faults keep their registry snapshots byte-identical to
+		// pre-recovery builds.
+		if len(cfg.Lifetimes) > 0 {
+			reg.RegisterCounter("sim_plan_crashes_total", &s.cPlanCrashes)
+			reg.RegisterCounter("sim_restarts_total", &s.cRestarts)
+			reg.RegisterCounter("sim_recovered_total", &s.cRecovered)
+		}
 	}
 	return s
 }
@@ -426,6 +484,9 @@ func (s *Sim) Run() *Result {
 	}
 
 	res := &Result{}
+	for i, l := range s.cfg.Lifetimes {
+		s.push(occurrence{time: l.Crash, kind: occPlanCrash, proc: l.Proc, lt: i})
+	}
 	for p := model.ProcID(1); int(p) <= s.cfg.N; p++ {
 		s.handlers[p].Init(s.ctxs[p])
 		s.afterEvent(p)
@@ -453,10 +514,14 @@ func (s *Sim) Run() *Result {
 		case occTimer:
 			s.fireTimer(o)
 		case occInject:
-			if !s.crashed[o.proc] {
+			if !s.crashed[o.proc] && !s.down[o.proc] {
 				o.fn(s.ctxs[o.proc])
 				s.afterEvent(o.proc)
 			}
+		case occPlanCrash:
+			s.planCrash(o)
+		case occRestart:
+			s.restart(o)
 		}
 	}
 
@@ -466,6 +531,9 @@ func (s *Sim) Run() *Result {
 	res.Delivered = int(s.cDelivered.Value())
 	res.Dropped = int(s.cDropped.Value())
 	res.Duplicated = int(s.cDuplicated.Value())
+	res.PlanCrashes = int(s.cPlanCrashes.Value())
+	res.Restarts = int(s.cRestarts.Value())
+	res.Recovered = int(s.cRecovered.Value())
 	res.Blocked = s.blockedChannels()
 	hasReliable := false
 	for p := 1; p <= s.cfg.N; p++ {
@@ -498,6 +566,17 @@ func (s *Sim) snapshotMetrics(res *Result, hasReliable bool) obs.Metrics {
 			obs.Metric{Name: "reliable_acked_duplicates_total", Kind: obs.KindCounter, Value: int64(res.AckedDuplicates)},
 			obs.Metric{Name: "reliable_retransmits_total", Kind: obs.KindCounter, Value: int64(res.Retransmits)},
 		)
+	}
+	// Like the registry, the snapshot grows recovery metrics only when the
+	// run actually had lifetimes, keeping fault-free snapshots byte-stable.
+	if len(s.cfg.Lifetimes) > 0 {
+		ms = append(ms,
+			obs.Metric{Name: "sim_plan_crashes_total", Kind: obs.KindCounter, Value: s.cPlanCrashes.Value()},
+			obs.Metric{Name: "sim_recovered_total", Kind: obs.KindCounter, Value: s.cRecovered.Value()},
+			obs.Metric{Name: "sim_restarts_total", Kind: obs.KindCounter, Value: s.cRestarts.Value()},
+		)
+	}
+	if hasReliable || len(s.cfg.Lifetimes) > 0 {
 		ms.Sort()
 	}
 	return ms
@@ -554,7 +633,9 @@ func (s *Sim) blockedChannels() []BlockedChannel {
 		c := s.chans[k]
 		reason := ReasonGated
 		switch {
-		case s.crashed[k.to]:
+		// A process that is down at the end of the run is as gone as a
+		// crashed one: its leftovers are expected, not a liveness failure.
+		case s.crashed[k.to] || s.down[k.to]:
 			reason = ReasonReceiverCrashed
 		case c.queue[0].readyAt < 0:
 			reason = ReasonParked
@@ -586,6 +667,21 @@ func (s *Sim) deliver(k chanKey) {
 		s.push(occurrence{time: head.readyAt, kind: occDeliver, ch: k})
 		return
 	}
+	if s.down[k.to] {
+		// The message arrives while the receiver is down: it is lost, the
+		// way a datagram to a dead socket is. Messages still in flight may
+		// yet land after a restart, so loss is decided per arrival, here.
+		c.queue = c.queue[1:]
+		s.inflight--
+		if head.span != 0 {
+			s.cfg.Spans.Record(obs.Span{
+				Parent: head.span, Time: s.now, Kind: obs.SpanDrop,
+				Proc: k.to, Peer: k.from, Msg: head.id, Note: "receiver down",
+			})
+		}
+		s.scheduleHead(k)
+		return
+	}
 	h := s.handlers[k.to]
 	if g, ok := h.(node.Gate); ok && !g.Accepts(k.from, head.payload) {
 		c.gated = true
@@ -614,7 +710,7 @@ func (s *Sim) deliver(k chanKey) {
 // afterEvent re-evaluates gated channels into p after any event of p: the
 // gate's answer may have changed (e.g. a detection completed).
 func (s *Sim) afterEvent(p model.ProcID) {
-	if s.crashed[p] {
+	if s.crashed[p] || s.down[p] {
 		return
 	}
 	var keys []chanKey
@@ -658,7 +754,7 @@ func (s *Sim) scheduleHead(k chanKey) {
 }
 
 func (s *Sim) fireTimer(o occurrence) {
-	if s.crashed[o.proc] {
+	if s.crashed[o.proc] || s.down[o.proc] {
 		return
 	}
 	key := timerID{proc: o.proc, name: o.name}
@@ -677,6 +773,82 @@ func (s *Sim) fireTimer(o occurrence) {
 type timerID struct {
 	proc model.ProcID
 	name string
+}
+
+// planCrash executes one crash window of a lifetime: snapshot (durable),
+// take the process down, kill its timers, record the crash, and schedule
+// the matching restart and — for periodic lifetimes — the next window.
+// A process that already crashed terminally (CrashSelf) or is still down
+// from an earlier window skips the whole window, restart included.
+func (s *Sim) planCrash(o occurrence) {
+	l := s.cfg.Lifetimes[o.lt]
+	p := l.Proc
+	if s.crashed[p] || s.down[p] {
+		return
+	}
+	mode := s.cfg.Recovery
+	if l.Period > 0 && mode != recovery.Off {
+		if next := o.time + l.Period; l.Until == 0 || next <= l.Until {
+			s.push(occurrence{time: next, kind: occPlanCrash, proc: p, lt: o.lt})
+		}
+	}
+	if mode == recovery.Durable {
+		// Snapshot before OnCrash: the crash notification must not be able
+		// to perturb what the process will remember.
+		if r, ok := s.handlers[p].(node.Restarter); ok {
+			s.cfg.Store.Save(p, r.Snapshot())
+		}
+	}
+	if downFor := l.Restart - l.Crash; mode != recovery.Off && downFor > 0 {
+		s.push(occurrence{time: o.time + downFor, kind: occRestart, proc: p, lt: o.lt})
+	}
+	s.down[p] = true
+	s.cPlanCrashes.Inc()
+	//sfs:allow detmaprange each timer generation is bumped independently
+	for k := range s.timerGen {
+		if k.proc == p {
+			s.timerGen[k]++ // outstanding timer occurrences become stale
+		}
+	}
+	s.record(model.Crash(p))
+	if lis, ok := s.handlers[p].(node.CrashListener); ok {
+		lis.OnCrash(s.ctxs[p])
+	}
+}
+
+// restart brings a down process back: record the restart event, then hand
+// the handler its crash-time snapshot (node.Restarter, durable) or
+// re-initialize it blank (amnesia, or a handler with no restart support).
+func (s *Sim) restart(o occurrence) {
+	p := o.proc
+	if s.crashed[p] || !s.down[p] {
+		return
+	}
+	s.down[p] = false
+	var st []byte
+	if s.cfg.Recovery == recovery.Durable {
+		st, _ = s.cfg.Store.Load(p)
+	}
+	s.record(model.Restart(p))
+	s.cRestarts.Inc()
+	if len(st) > 0 {
+		s.cRecovered.Inc()
+	}
+	// Restart spans are detection-grade: rare, and exactly what recovery
+	// experiments grep for — never sampled out.
+	if s.cfg.Spans != nil {
+		note := "recovery=" + s.cfg.Recovery.String()
+		if s.cfg.Recovery == recovery.Durable {
+			note = fmt.Sprintf("%s snapshot=%dB", note, len(st))
+		}
+		s.cfg.Spans.Record(obs.Span{Time: s.now, Kind: obs.SpanRestart, Proc: p, Note: note})
+	}
+	if r, ok := s.handlers[p].(node.Restarter); ok {
+		r.OnRestart(s.ctxs[p], st)
+	} else {
+		s.handlers[p].Init(s.ctxs[p])
+	}
+	s.afterEvent(p)
 }
 
 func (s *Sim) record(e model.Event) {
@@ -718,7 +890,7 @@ func (c *procCtx) Now() int64         { return c.s.now }
 
 func (c *procCtx) Send(to model.ProcID, p node.Payload) {
 	s := c.s
-	if s.crashed[c.p] {
+	if s.crashed[c.p] || s.down[c.p] {
 		return
 	}
 	if to == c.p {
@@ -809,7 +981,7 @@ func (c *procCtx) Send(to model.ProcID, p node.Payload) {
 
 func (c *procCtx) SetTimer(name string, delay int64) {
 	s := c.s
-	if s.crashed[c.p] {
+	if s.crashed[c.p] || s.down[c.p] {
 		return
 	}
 	key := timerID{proc: c.p, name: name}
@@ -827,7 +999,7 @@ func (c *procCtx) CancelTimer(name string) {
 
 func (c *procCtx) EmitFailed(j model.ProcID) {
 	s := c.s
-	if s.crashed[c.p] {
+	if s.crashed[c.p] || s.down[c.p] {
 		return
 	}
 	key := [2]model.ProcID{c.p, j}
@@ -840,7 +1012,7 @@ func (c *procCtx) EmitFailed(j model.ProcID) {
 
 func (c *procCtx) CrashSelf() {
 	s := c.s
-	if s.crashed[c.p] {
+	if s.crashed[c.p] || s.down[c.p] {
 		return
 	}
 	s.record(model.Crash(c.p))
@@ -852,7 +1024,7 @@ func (c *procCtx) CrashSelf() {
 
 func (c *procCtx) EmitInternal(tag string, subject model.ProcID) {
 	s := c.s
-	if s.crashed[c.p] {
+	if s.crashed[c.p] || s.down[c.p] {
 		return
 	}
 	s.record(model.Internal(c.p, tag, subject))

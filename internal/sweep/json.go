@@ -113,6 +113,9 @@ func cellAccumulator(c *CellResult) *accumulator {
 		duplicated:  c.Duplicated,
 		retransmits: c.Retransmits,
 		ackedDups:   c.AckedDuplicates,
+		planCrashes: c.PlanCrashes,
+		restarts:    c.Restarts,
+		recovered:   c.Recovered,
 		holds:       c.Holds,
 		metrics:     c.Metrics,
 		obsTotals:   c.Obs,

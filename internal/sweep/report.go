@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"failstop/internal/recovery"
 	"failstop/internal/sim"
 	"failstop/internal/stats"
 )
@@ -47,6 +48,13 @@ type CellResult struct {
 	// counters over all runs of the cell (0 for cells without the layer).
 	Retransmits     int `json:"retransmits"`
 	AckedDuplicates int `json:"acked_duplicates"`
+	// PlanCrashes, Restarts, and Recovered total the crash-recovery
+	// subsystem's counters over all runs of the cell: plan-scheduled
+	// crashes executed, restarts executed, and restarts that restored a
+	// non-empty durable snapshot (0 for cells without process faults).
+	PlanCrashes int `json:"plan_crashes"`
+	Restarts    int `json:"restarts"`
+	Recovered   int `json:"recovered"`
 	// Holds counts, per property, the checked runs on which it held.
 	Holds map[string]int `json:"holds"`
 	// Metrics counts, per custom metric, the runs on which it was true.
@@ -153,7 +161,7 @@ func (r *Report) PropertyTable() string {
 // plan), and any custom metrics.
 func (r *Report) CellTable() string {
 	var allMetrics []map[string]int
-	faulty, rel := false, false
+	faulty, rel, rec := false, false, false
 	for i := range r.Cells {
 		allMetrics = append(allMetrics, r.Cells[i].Metrics)
 		if r.Cells[i].Cell.Plan != "" {
@@ -161,6 +169,9 @@ func (r *Report) CellTable() string {
 		}
 		if r.Cells[i].Cell.Reliable {
 			rel = true
+		}
+		if r.Cells[i].Cell.Recovery != recovery.Off {
+			rec = true
 		}
 	}
 	names := metricNames(allMetrics...)
@@ -170,6 +181,9 @@ func (r *Report) CellTable() string {
 	}
 	if rel {
 		headers = append(headers, "retransmits", "acked-dup")
+	}
+	if rec {
+		headers = append(headers, "crashes", "restarts", "recovered")
 	}
 	headers = append(headers, names...)
 	tbl := stats.NewTable(headers...)
@@ -185,6 +199,9 @@ func (r *Report) CellTable() string {
 		}
 		if rel {
 			row = append(row, c.Retransmits, c.AckedDuplicates)
+		}
+		if rec {
+			row = append(row, c.PlanCrashes, c.Restarts, c.Recovered)
 		}
 		for _, m := range names {
 			row = append(row, fmt.Sprintf("%d/%d", c.Metrics[m], c.Runs))
@@ -226,6 +243,9 @@ type accumulator struct {
 	duplicated  int
 	retransmits int
 	ackedDups   int
+	planCrashes int
+	restarts    int
+	recovered   int
 	holds       map[string]int
 	metrics     map[string]int
 	obsTotals   map[string]int64
@@ -271,6 +291,9 @@ func (a *accumulator) add(rec runRecord) {
 	a.duplicated += rec.duplicated
 	a.retransmits += rec.retransmits
 	a.ackedDups += rec.ackedDups
+	a.planCrashes += rec.planCrashes
+	a.restarts += rec.restarts
+	a.recovered += rec.recovered
 	if rec.verdicts != nil {
 		a.checked++
 		for _, v := range rec.verdicts {
@@ -317,6 +340,9 @@ func (a *accumulator) merge(b *accumulator) {
 	a.duplicated += b.duplicated
 	a.retransmits += b.retransmits
 	a.ackedDups += b.ackedDups
+	a.planCrashes += b.planCrashes
+	a.restarts += b.restarts
+	a.recovered += b.recovered
 	//sfs:allow detmaprange commutative sum into a map; emission renders via the sorted Properties list
 	for k, v := range b.holds {
 		a.holds[k] += v
@@ -361,6 +387,9 @@ func (a *accumulator) result() CellResult {
 		Duplicated:        a.duplicated,
 		Retransmits:       a.retransmits,
 		AckedDuplicates:   a.ackedDups,
+		PlanCrashes:       a.planCrashes,
+		Restarts:          a.restarts,
+		Recovered:         a.recovered,
 		Holds:             a.holds,
 		Metrics:           a.metrics,
 		Obs:               a.obsTotals,

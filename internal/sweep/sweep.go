@@ -37,6 +37,7 @@ import (
 	"failstop/internal/node"
 	"failstop/internal/obs"
 	"failstop/internal/quorum"
+	"failstop/internal/recovery"
 	"failstop/internal/reliable"
 	"failstop/internal/sim"
 )
@@ -124,6 +125,11 @@ type Cell struct {
 	// Reliable reports whether the cell runs with the reliable-delivery
 	// layer (ack + retransmission) interposed under the protocol.
 	Reliable bool `json:"reliable"`
+	// Recovery is the crash-recovery mode the cell's process-fault rules
+	// run under (off: environment crashes are terminal; amnesia/durable:
+	// crashed processes restart per the plan). Off for cells without
+	// process faults.
+	Recovery recovery.Mode `json:"recovery,omitempty"`
 }
 
 // String renders the cell identity compactly.
@@ -140,6 +146,9 @@ func (c Cell) String() string {
 	}
 	if c.Reliable {
 		s += " rel"
+	}
+	if c.Recovery != recovery.Off {
+		s += " rec=" + c.Recovery.String()
 	}
 	return s
 }
@@ -190,6 +199,11 @@ type Spec struct {
 	// other cell runs with and without retransmission. Default: one
 	// disabled entry.
 	Reliable []reliable.Options
+	// Recovery lists the crash-recovery modes to grid over; meaningful
+	// only alongside plans with process-fault rules (which drive crashes
+	// and restarts). Default: {recovery.Off}. Plans whose process faults
+	// recur forever require MaxTime when any listed mode is not Off.
+	Recovery []recovery.Mode
 	// Seeds is the seed range. Default: {Start: 0, Count: 1}.
 	Seeds SeedRange
 	// Shard restricts execution to one deterministic 1/Count slice of the
@@ -264,6 +278,9 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Reliable) == 0 {
 		s.Reliable = []reliable.Options{{}}
 	}
+	if len(s.Recovery) == 0 {
+		s.Recovery = []recovery.Mode{recovery.Off}
+	}
 	if s.Seeds.Count == 0 {
 		s.Seeds.Count = 1
 	}
@@ -321,8 +338,19 @@ func (s Spec) Validate() error {
 		// ids) must fail the sweep with one clear error, not panic a worker
 		// goroutine mid-run.
 		for _, nt := range s.Grid {
-			if err := pg.Make(nt.N, nt.T).Validate(nt.N); err != nil {
+			p := pg.Make(nt.N, nt.T)
+			if err := p.Validate(nt.N); err != nil {
 				return fmt.Errorf("sweep: plan %q at %v: %w", pg.Name, nt, err)
+			}
+			if p.UnboundedProcs() && s.MaxTime == 0 {
+				for _, m := range s.Recovery {
+					if m != recovery.Off {
+						// Under Off the first crash window is terminal, so the
+						// run still quiesces; a recovering mode restarts the
+						// process forever.
+						return fmt.Errorf("sweep: plan %q restarts processes forever under recovery mode %v; set Spec.MaxTime so runs terminate", pg.Name, m)
+					}
+				}
 			}
 		}
 	}
@@ -373,16 +401,19 @@ func (s Spec) cells() []cellSpec {
 				for _, sched := range s.Schedules {
 					for _, pg := range s.Plans {
 						for _, ro := range s.Reliable {
-							out = append(out, cellSpec{
-								cell: Cell{
-									NT: nt, Protocol: proto, QuorumDelta: qd,
-									Schedule: sched.Name, Plan: pg.Name,
-									Reliable: ro.Enabled,
-								},
-								sched: sched,
-								plan:  pg,
-								rel:   ro,
-							})
+							for _, rm := range s.Recovery {
+								out = append(out, cellSpec{
+									cell: Cell{
+										NT: nt, Protocol: proto, QuorumDelta: qd,
+										Schedule: sched.Name, Plan: pg.Name,
+										Reliable: ro.Enabled,
+										Recovery: rm,
+									},
+									sched: sched,
+									plan:  pg,
+									rel:   ro,
+								})
+							}
 						}
 					}
 				}
@@ -435,9 +466,12 @@ func defaultRun(spec Spec, cs cellSpec, seed int64) RunOutput {
 	}
 	var link node.LinkFn
 	var plane *netadv.Plane
+	var lifetimes []recovery.Lifetime
 	if cs.plan.Make != nil {
-		plane = netadv.NewPlane(cs.plan.Make(cell.NT.N, cell.NT.T), cell.NT.N, seed)
+		pl := cs.plan.Make(cell.NT.N, cell.NT.T)
+		plane = netadv.NewPlane(pl, cell.NT.N, seed)
 		link = plane.Decide
+		lifetimes = pl.Lifetimes()
 	}
 	qsize := 0
 	if cell.QuorumDelta != 0 {
@@ -456,7 +490,8 @@ func defaultRun(spec Spec, cs cellSpec, seed int64) RunOutput {
 			MinDelay: spec.MinDelay, MaxDelay: spec.MaxDelay,
 			Delay: delay, Link: link,
 			MaxTime: spec.MaxTime, MaxEvents: spec.MaxEvents,
-			Timeline: timeline,
+			Timeline:  timeline,
+			Lifetimes: lifetimes, Recovery: cell.Recovery,
 		},
 		Det: core.Config{
 			N: cell.NT.N, T: cell.NT.T,
@@ -546,6 +581,9 @@ type runRecord struct {
 	duplicated  int
 	retransmits int
 	ackedDups   int
+	planCrashes int
+	restarts    int
+	recovered   int
 	events      float64
 	endTime     float64
 	verdicts    []checker.Verdict // nil when unchecked
@@ -710,6 +748,9 @@ func execute(spec Spec, cs cellSpec, cellIdx int, seed int64) runRecord {
 		duplicated:  res.Duplicated,
 		retransmits: res.Retransmits,
 		ackedDups:   res.AckedDuplicates,
+		planCrashes: res.PlanCrashes,
+		restarts:    res.Restarts,
+		recovered:   res.Recovered,
 		events:      float64(len(res.History)),
 		endTime:     float64(res.EndTime),
 		metrics:     out.Metrics,

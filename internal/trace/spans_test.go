@@ -125,7 +125,7 @@ func TestSpanPropertyRoundTrip(t *testing.T) {
 		}
 		known := []obs.SpanKind{obs.SpanSend, obs.SpanFate, obs.SpanEnqueue,
 			obs.SpanDeliver, obs.SpanDrop, obs.SpanRetransmit,
-			obs.SpanSuspect, obs.SpanCrashConfirm}
+			obs.SpanSuspect, obs.SpanCrashConfirm, obs.SpanRestart}
 		spans := make([]obs.Span, n)
 		for i := 0; i < n; i++ {
 			note := notes[i]

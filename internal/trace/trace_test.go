@@ -142,6 +142,12 @@ func TestFaultPlanRoundTrip(t *testing.T) {
 			}},
 			{QueueDelay: 15, Links: netadv.LinkSet{Pairs: []netadv.Link{{From: 1, To: 3}}}},
 		},
+		// Process-fault rules (the crash-recovery subsystem) must survive
+		// too: a one-shot crash/restart pair and a bounded periodic storm.
+		Procs: []netadv.ProcRule{
+			{Proc: 2, CrashAt: 50, RestartAt: 120},
+			{Proc: 3, CrashAt: 30, Period: 200, ActiveFor: 60, Until: 900},
+		},
 	}
 	var buf bytes.Buffer
 	hdr := Header{N: 3, T: 1, Plan: plan.Name, FaultPlan: &plan}
