@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"failstop"
+	"failstop/internal/model"
 	"failstop/internal/obs"
 	"failstop/internal/trace"
 )
@@ -59,11 +60,30 @@ func run(args []string, out io.Writer) int {
 	}
 	fmt.Fprintf(out, "trace: n=%d t=%d protocol=%s seed=%d events=%d\n",
 		hdr.N, hdr.T, hdr.Protocol, hdr.Seed, len(h))
-	if err := h.Validate(); err != nil {
-		fmt.Fprintf(out, "history INVALID: %v\n", err)
-		return 1
+	// A trace recorded under a Byzantine fault plan legitimately deviates
+	// from the §2 model on the victims' links (garbled payloads, replay
+	// ghosts); the embedded plan says exactly where, so tampering there is
+	// scripted, not trace corruption.
+	victims := map[model.ProcID]bool{}
+	if hdr.FaultPlan != nil {
+		for _, r := range hdr.FaultPlan.Byz {
+			victims[r.Victim] = true
+		}
 	}
-	fmt.Fprintln(out, "history: valid")
+	if len(victims) == 0 {
+		if err := h.Validate(); err != nil {
+			fmt.Fprintf(out, "history INVALID: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(out, "history: valid")
+	} else {
+		tampered, err := h.ValidateUnderByz(victims)
+		if err != nil {
+			fmt.Fprintf(out, "history INVALID: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "history: valid (%d receives tampered by the scripted Byzantine plan)\n", tampered)
+	}
 	if len(spans) > 0 || hdr.SpanCount > 0 {
 		if err := checkSpans(hdr, spans); err != nil {
 			fmt.Fprintf(out, "spans INVALID: %v\n", err)
@@ -74,7 +94,10 @@ func run(args []string, out io.Writer) int {
 	bad := 0
 	for _, v := range failstop.CheckAll(h, *suspTag, *tFlag) {
 		fmt.Fprintf(out, "  %s\n", v)
-		if !v.Holds {
+		// FS2 (strong accuracy) need not hold on §5-protocol runs — that is
+		// the paper's Figure 1 split and E2's claim — so, as in sfs-sim, a
+		// FS2 violation is reported but does not fail the check.
+		if !v.Holds && v.Property != "FS2" {
 			bad++
 		}
 	}

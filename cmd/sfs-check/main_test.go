@@ -68,6 +68,57 @@ func TestCheckWritesWitness(t *testing.T) {
 	}
 }
 
+// TestCheckByzantineTrace: a trace recorded under a Byzantine fault plan
+// carries scripted garbling/replays on the victims' links; with the plan
+// embedded in the header, the check tolerates exactly those and still
+// passes — and without the plan the same history is rejected as garbled.
+func TestCheckByzantineTrace(t *testing.T) {
+	plan, err := failstop.BuiltinFaultPlan("byzantine-minority", 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := failstop.NewCluster(failstop.Options{
+		N: 5, T: 2, Seed: 1, MaxTime: 5000,
+		Faults:    &plan,
+		Byzantine: failstop.ByzantineOptions{Enabled: true},
+	})
+	c.SuspectAt(30, 5, 3) // a victim lies; the plan mutates it in flight
+	rep := c.Run()
+
+	dir := t.TempDir()
+	write := func(name string, hdr trace.Header) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.Write(f, hdr, rep.History); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	withPlan := write("byz.json", trace.Header{N: 5, T: 2, Protocol: "sfs", Seed: 1, Plan: plan.Name, FaultPlan: &plan})
+	var out bytes.Buffer
+	if code := run([]string{"-in", withPlan}, &out); code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "tampered by the scripted Byzantine plan") {
+		t.Errorf("missing tampering note:\n%s", out.String())
+	}
+
+	// The same history without the embedded plan is just a corrupt trace.
+	bare := write("bare.json", trace.Header{N: 5, T: 2, Protocol: "sfs", Seed: 1})
+	out.Reset()
+	if code := run([]string{"-in", bare}, &out); code != 1 {
+		t.Fatalf("plan-less exit = %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "history INVALID") {
+		t.Errorf("plan-less trace must fail validation:\n%s", out.String())
+	}
+}
+
 func TestCheckMissingAndBadInputs(t *testing.T) {
 	var out bytes.Buffer
 	if code := run(nil, &out); code != 2 {

@@ -10,6 +10,7 @@
 //	sfs-sim -n 5 -t 2 -crash 1@5 -suspect 2:1@20 -heartbeat 0
 //	sfs-sim -n 5 -t 2 -suspect 4:1@20 -plan split-brain   # network adversary
 //	sfs-sim -n 5 -t 2 -crash 1@15 -suspect 5:1@20 -plan healing-partition -reliable
+//	sfs-sim -n 5 -t 2 -suspect 5:3@30 -plan byzantine-minority -byz   # forged traffic, masked
 //	sfs-sim -n 5 -t 2 -suspect 2:1@100 -plan-file examples/plans/rolling-blackout.json
 //	sfs-sim -n 5 -plan-file my-plan.json -validate-plan   # lint a plan file
 //	sfs-sim -n 5 -t 2 -plan split-brain -dump-plan        # builtin -> plan file
@@ -64,6 +65,7 @@ func run(args []string, out io.Writer) int {
 		dumpPlan = fs.Bool("dump-plan", false, "print the plan (-plan or -plan-file) as plan-file JSON and exit without simulating")
 		recStr   = fs.String("recovery", "off", "crash-recovery mode for plan-scheduled process faults: off, amnesia, or durable")
 		reliable = fs.Bool("reliable", false, "interpose the reliable-delivery layer (acks, retransmission, dedup, in-order release) under every process")
+		byzFlag  = fs.Bool("byz", false, "interpose the Byzantine validation layer (per-sender MACs, echo quorums, replay watermark) under every process; convictions are masked into crashes")
 		retryInt = fs.Int64("retry-interval", 0, "initial retransmit interval in ticks with -reliable (0: layer default)")
 		maxRetry = fs.Int("max-retries", 0, "retransmissions per frame before the link gives up with -reliable (0: retry forever)")
 		outPath  = fs.String("o", "", "write the recorded trace to this file (JSON lines)")
@@ -107,6 +109,7 @@ func run(args []string, out io.Writer) int {
 		Reliable: failstop.ReliableOptions{
 			Enabled: *reliable, RetryInterval: *retryInt, MaxRetries: *maxRetry,
 		},
+		Byzantine: failstop.ByzantineOptions{Enabled: *byzFlag},
 	}
 	planLabel := *planName
 	switch {
@@ -146,8 +149,8 @@ func run(args []string, out io.Writer) int {
 			fmt.Fprintln(out, err)
 			return 1
 		}
-		fmt.Fprintf(out, "plan %q: %d rules, %d proc rules, valid for n=%d\n",
-			planLabel, len(opts.Faults.Rules), len(opts.Faults.Procs), *n)
+		fmt.Fprintf(out, "plan %q: %d rules, %d proc rules, %d byz rules, valid for n=%d\n",
+			planLabel, len(opts.Faults.Rules), len(opts.Faults.Procs), len(opts.Faults.Byz), *n)
 		return 0
 	}
 	if *dumpPlan {
@@ -220,6 +223,10 @@ func run(args []string, out io.Writer) int {
 	}
 	if *reliable {
 		fmt.Fprintf(out, "reliable: retransmits=%d acked-duplicates=%d\n", rep.Retransmits, rep.AckedDuplicates)
+	}
+	if *byzFlag || (opts.Faults != nil && len(opts.Faults.Byz) > 0) {
+		fmt.Fprintf(out, "byzantine: detected=%d masked=%d corrupted=%d equivocated=%d replayed=%d\n",
+			rep.ByzDetected, rep.ByzMasked, rep.Corrupted, rep.Equivocated, rep.Replayed)
 	}
 	if *spans {
 		fmt.Fprintf(out, "spans: %d recorded (rate %g)\n", len(rep.Spans), *spanRate)

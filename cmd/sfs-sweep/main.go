@@ -14,6 +14,7 @@
 //	sfs-sweep -plan-file examples/plans/rolling-blackout.json -grid 5:2
 //	sfs-sweep --plan healing-partition -reliable both -max-time 3000
 //	sfs-sweep --plan restart-storm -recovery all -max-time 3000
+//	sfs-sweep --plan byzantine-minority -byz both -max-time 3000
 //	sfs-sweep --plan flaky-quorum -heartbeat 25 -hb-timeout 80 -max-time 5000
 //	sfs-sweep -list-schedules                     # built-in fault schedules
 //	sfs-sweep -list-plans                         # built-in fault plans
@@ -40,6 +41,7 @@ import (
 	"strconv"
 	"strings"
 
+	"failstop/internal/byz"
 	"failstop/internal/core"
 	"failstop/internal/netadv"
 	"failstop/internal/recovery"
@@ -64,6 +66,7 @@ func run(args []string, out io.Writer) int {
 		planFiles = fs.String("plan-file", "", "comma-separated JSON fault-plan files to add to the plan axis (see examples/plans)")
 		reliab    = fs.String("reliable", "off", "reliable-delivery axis: off, on, or both (grid every cell with and without the layer)")
 		recov     = fs.String("recovery", "off", "crash-recovery axis: off, amnesia, durable, or all (grid every cell over all three modes)")
+		byzMode   = fs.String("byz", "off", "Byzantine validation-interposer axis: off, on, or both (grid every cell with and without misbehavior masking)")
 		maxRetry  = fs.Int("max-retries", 0, "retransmissions per frame before a reliable link gives up (0: retry forever, needs -max-time)")
 		hbEvery   = fs.Int64("heartbeat", 0, "heartbeat interval in ticks (0: no fd layer); adds a false-suspicion column, needs -max-time")
 		hbTimeout = fs.Int64("hb-timeout", 0, "heartbeat suspicion timeout in ticks (with -heartbeat)")
@@ -123,6 +126,10 @@ func run(args []string, out io.Writer) int {
 		return 2
 	}
 	if spec.Recovery, err = parseRecovery(*recov); err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	if spec.Byzantine, err = parseByzantine(*byzMode); err != nil {
 		fmt.Fprintln(out, err)
 		return 2
 	}
@@ -420,6 +427,19 @@ func parseReliable(mode string, maxRetries int) ([]reliable.Options, error) {
 		return []reliable.Options{{}, on}, nil
 	}
 	return nil, fmt.Errorf("bad -reliable %q (want off, on, or both)", mode)
+}
+
+func parseByzantine(mode string) ([]byz.Options, error) {
+	on := byz.Options{Enabled: true}
+	switch strings.TrimSpace(strings.ToLower(mode)) {
+	case "off", "":
+		return nil, nil
+	case "on":
+		return []byz.Options{on}, nil
+	case "both":
+		return []byz.Options{{}, on}, nil
+	}
+	return nil, fmt.Errorf("bad -byz %q (want off, on, or both)", mode)
 }
 
 func parseInts(s string) ([]int, error) {

@@ -30,6 +30,7 @@ import (
 	"io"
 	"time"
 
+	"failstop/internal/byz"
 	"failstop/internal/checker"
 	"failstop/internal/cluster"
 	"failstop/internal/core"
@@ -81,6 +82,14 @@ type (
 	// backoff, receiver dedup and in-order release) interposed between the
 	// protocol and the — possibly faulty — network (see internal/reliable).
 	ReliableOptions = reliable.Options
+	// ByzantineOptions configures the optional Byzantine validation
+	// interposer (per-sender MACs, echo/witness broadcast-consistency
+	// quorums, a replay watermark) that masks misbehaving senders into
+	// crashes via the §5 protocol (see internal/byz).
+	ByzantineOptions = byz.Options
+	// ByzFaultRule is one Byzantine entry of a FaultPlan: per-victim payload
+	// corruption, equivocation, and replay.
+	ByzFaultRule = netadv.ByzRule
 	// RecoveryMode selects what a process restarted by a fault plan's
 	// process rules remembers: RecoveryOff (restarts disabled, crashes are
 	// terminal), RecoveryAmnesia (restart blank), or RecoveryDurable
@@ -195,6 +204,15 @@ type Options struct {
 	// process re-arms forever unless MaxRetries bounds it, so Enabled with
 	// MaxRetries 0 requires a MaxTime horizon.
 	Reliable ReliableOptions
+	// Byzantine, when Enabled, interposes the validation layer under every
+	// process: outgoing payloads are sealed with a deterministic per-sender
+	// MAC, configured broadcast tags are released only after a witness
+	// quorum corroborates a consistent payload, and senders convicted of
+	// misbehavior (bad MAC, equivocation, stale replay) are masked — their
+	// traffic is discarded and the culprit is suspected through the §5
+	// protocol, demoting the Byzantine fault to a crash. Pair it with a
+	// FaultPlan carrying Byz rules (e.g. the byzantine-minority builtin).
+	Byzantine ByzantineOptions
 	// Recovery selects how the fault plan's process rules (FaultPlan.Procs)
 	// behave: RecoveryOff makes every plan crash terminal, RecoveryAmnesia
 	// restarts the victims blank, RecoveryDurable restarts them from
@@ -237,6 +255,9 @@ func (o Options) Validate() error {
 	}
 	if err := o.Reliable.Validate(); err != nil {
 		return fmt.Errorf("failstop: Options.Reliable: %w", err)
+	}
+	if err := o.Byzantine.Validate(); err != nil {
+		return fmt.Errorf("failstop: Options.Byzantine: %w", err)
 	}
 	if o.Reliable.Enabled && o.Reliable.MaxRetries == 0 && o.MaxTime <= 0 {
 		return fmt.Errorf("failstop: Options.Reliable retries forever (MaxRetries = 0); set MaxTime so runs with crashed peers terminate")
@@ -287,9 +308,10 @@ func NewCluster(opts Options) *Cluster {
 			Metrics: opts.Metrics, Spans: opts.Spans, Timeline: opts.Timeline,
 			Lifetimes: lifetimes, Recovery: opts.Recovery,
 		},
-		Det:      core.Config{N: opts.N, T: opts.T, Protocol: opts.Protocol},
-		App:      opts.NewApp,
-		Reliable: opts.Reliable,
+		Det:       core.Config{N: opts.N, T: opts.T, Protocol: opts.Protocol},
+		App:       opts.NewApp,
+		Reliable:  opts.Reliable,
+		Byzantine: opts.Byzantine,
 	}
 	if opts.HeartbeatEvery > 0 {
 		co.FD = func(ProcID) core.Component {
@@ -336,6 +358,14 @@ type Report struct {
 	// Options.Recovery), and restarts that restored a non-empty durable
 	// snapshot. All 0 unless the plan has process rules.
 	PlanCrashes, Restarts, Recovered int
+	// ByzDetected and ByzMasked count the validation interposer's work:
+	// misbehavior convictions across all processes, and frames discarded
+	// from convicted senders (both 0 unless Options.Byzantine is enabled).
+	ByzDetected, ByzMasked int
+	// Corrupted, Equivocated, and Replayed count the fault plan's Byzantine
+	// fates: payloads mutated, equivocation variants substituted, and ghost
+	// frames re-injected (all 0 unless the plan has Byz rules).
+	Corrupted, Equivocated, Replayed int
 	// EndTime is the virtual time at which the run ended.
 	EndTime int64
 	// Metrics is the run's full observability snapshot, name-sorted:
@@ -353,7 +383,7 @@ type Report struct {
 // Run executes the simulation and checks the paper's properties.
 func (c *Cluster) Run() Report {
 	res := c.inner.Run()
-	ab := res.History.DropTags(core.TagSusp, fd.TagHeartbeat, reliable.TagAck)
+	ab := res.History.DropTags(core.TagSusp, fd.TagHeartbeat, reliable.TagAck, byz.TagEcho)
 	verdicts := checker.SFS(ab)
 	verdicts = append(verdicts, checker.FS2(ab))
 	verdicts = append(verdicts, checker.WitnessProperty(res.History, core.TagSusp, c.opts.T))
@@ -364,6 +394,10 @@ func (c *Cluster) Run() Report {
 	var spans []Span
 	if c.opts.Spans != nil {
 		spans = c.opts.Spans.Spans()
+	}
+	var corrupted, equivocated, replayed int64
+	if c.plane != nil {
+		corrupted, equivocated, replayed = c.plane.ByzFates()
 	}
 	return Report{
 		History:         res.History,
@@ -379,6 +413,11 @@ func (c *Cluster) Run() Report {
 		PlanCrashes:     res.PlanCrashes,
 		Restarts:        res.Restarts,
 		Recovered:       res.Recovered,
+		ByzDetected:     res.ByzDetected,
+		ByzMasked:       res.ByzMasked,
+		Corrupted:       int(corrupted),
+		Equivocated:     int(equivocated),
+		Replayed:        int(replayed),
 		EndTime:         res.EndTime,
 		Metrics:         metrics,
 		Spans:           spans,
@@ -432,7 +471,8 @@ func MaxTolerable(n int) int { return quorum.MaxTolerable(n) }
 
 // FaultPlanNames lists the built-in network fault plans: "split-brain",
 // "isolated-minority", "one-way-cut", "flaky-quorum", "healing-partition",
-// "buffering-partition", "moving-partition", "restart-storm".
+// "buffering-partition", "moving-partition", "byzantine-minority",
+// "restart-storm".
 func FaultPlanNames() []string { return netadv.BuiltinNames() }
 
 // BuiltinFaultPlan instantiates the named built-in fault plan for a
@@ -483,6 +523,10 @@ type LiveOptions struct {
 	// retransmit timers running on real clocks (intervals are in ticks,
 	// converted via Tick).
 	Reliable ReliableOptions
+	// Byzantine, when Enabled, interposes the validation layer under every
+	// process — identical semantics to the simulated backend (see
+	// Options.Byzantine).
+	Byzantine ByzantineOptions
 	// Recovery selects how the fault plan's process rules behave, with the
 	// same semantics as Options.Recovery. Unbounded restart storms are fine
 	// live: the run is bounded by Stop.
@@ -515,6 +559,7 @@ type LiveCluster struct {
 	net   *runtime.Net
 	dets  []*core.Detector
 	eps   []*reliable.Endpoint // nil entries when the layer is off
+	bzs   []*byz.Endpoint      // nil entries when the interposer is off
 	plane *netadv.Plane        // nil without LiveOptions.Faults
 	opts  LiveOptions
 	msrv  *obshttp.Server // nil unless MetricsAddr is set and Start ran
@@ -546,6 +591,9 @@ func NewLiveCluster(opts LiveOptions) *LiveCluster {
 	if err := opts.Reliable.Validate(); err != nil {
 		panic(fmt.Errorf("failstop: LiveOptions.Reliable: %w", err))
 	}
+	if err := opts.Byzantine.Validate(); err != nil {
+		panic(fmt.Errorf("failstop: LiveOptions.Byzantine: %w", err))
+	}
 	var lifetimes []recovery.Lifetime
 	if opts.Faults != nil {
 		lifetimes = opts.Faults.Lifetimes()
@@ -570,6 +618,7 @@ func NewLiveCluster(opts LiveOptions) *LiveCluster {
 		net:   net,
 		dets:  make([]*core.Detector, opts.N+1),
 		eps:   make([]*reliable.Endpoint, opts.N+1),
+		bzs:   make([]*byz.Endpoint, opts.N+1),
 		plane: plane,
 		opts:  opts,
 	}
@@ -581,8 +630,17 @@ func NewLiveCluster(opts LiveOptions) *LiveCluster {
 		d := core.NewDetector(core.Config{N: opts.N, T: opts.T, Protocol: opts.Protocol}, nil, app)
 		lc.dets[p] = d
 		var h node.Handler = d
+		if opts.Byzantine.Enabled {
+			bz := byz.Wrap(d, opts.Byzantine)
+			bz.SetSpans(opts.Spans)
+			bz.SetConvict(func(ctx node.Context, culprit ProcID) {
+				d.Suspect(ctx, culprit)
+			})
+			lc.bzs[p] = bz
+			h = bz
+		}
 		if opts.Reliable.Enabled {
-			ep := reliable.Wrap(d, opts.Reliable)
+			ep := reliable.Wrap(h, opts.Reliable)
 			ep.SetSpans(opts.Spans)
 			lc.eps[p] = ep
 			h = ep
@@ -624,9 +682,15 @@ func (lc *LiveCluster) Stop() {
 func (lc *LiveCluster) Suspect(i, j ProcID) {
 	d := lc.dets[i]
 	ep := lc.eps[i]
+	bz := lc.bzs[i]
 	lc.net.Do(i, func(ctx node.Context) {
+		// Mirror the wrap order: the reliable layer is outermost, so its
+		// context wraps first and the interposer's sends flow through it.
 		if ep != nil {
 			ctx = ep.Context(ctx)
+		}
+		if bz != nil {
+			ctx = bz.Context(ctx)
 		}
 		d.Suspect(ctx, j)
 	})
@@ -656,6 +720,13 @@ func (lc *LiveCluster) ReliableStats() (retransmits, ackedDuplicates int) {
 // durable snapshot (all 0 unless the fault plan has process rules).
 func (lc *LiveCluster) RecoveryStats() (planCrashes, restarts, recovered int) {
 	return lc.net.RecoveryStats()
+}
+
+// ByzStats returns the validation interposer's counters so far: misbehavior
+// convictions and frames discarded from convicted senders (both 0 unless
+// LiveOptions.Byzantine is enabled).
+func (lc *LiveCluster) ByzStats() (detected, masked int) {
+	return lc.net.ByzStats()
 }
 
 // Metrics returns a name-sorted live snapshot of the cluster's counters:

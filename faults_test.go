@@ -74,7 +74,7 @@ func TestNewLiveClusterPanicsOnTooFewProcesses(t *testing.T) {
 
 func TestBuiltinFaultPlans(t *testing.T) {
 	names := failstop.FaultPlanNames()
-	if len(names) != 8 {
+	if len(names) != 9 {
 		t.Fatalf("FaultPlanNames() = %v", names)
 	}
 	for _, name := range names {
@@ -534,4 +534,102 @@ func TestQueueDelayCrossBackend(t *testing.T) {
 			t.Errorf("live: gap %d on link 1->2 = %d ticks, want >= %d (shaping lost)", i, g, delay-8)
 		}
 	}
+}
+
+// checkByzantineSemantics asserts what both backends must agree on for the
+// byzantine-minority plan at n=5, t=2 with the interposer enabled: the
+// plan's victims (the corruptor 5 and the equivocator 4) are convicted by
+// the honest majority, and — via the §5 masking path — demoted to crashed
+// processes that some honest process completes a detection of. No honest
+// process is ever convicted, so no honest detection of 1..3 may complete.
+func checkByzantineSemantics(t *testing.T, backend string, h failstop.History, detected int) {
+	t.Helper()
+	if detected == 0 {
+		t.Errorf("%s: interposer enabled under Byzantine traffic but convicted nothing", backend)
+	}
+	for _, victim := range []failstop.ProcID{4, 5} {
+		found := false
+		for _, honest := range []failstop.ProcID{1, 2, 3} {
+			if h.FailedIndex(honest, victim) >= 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: Byzantine victim %d was never demoted to a detected crash", backend, victim)
+		}
+	}
+	for _, honest := range []failstop.ProcID{1, 2, 3} {
+		for _, accuser := range []failstop.ProcID{1, 2, 3, 4, 5} {
+			if accuser != honest && h.FailedIndex(accuser, honest) >= 0 {
+				t.Errorf("%s: honest process %d was detected as failed by %d", backend, honest, accuser)
+			}
+		}
+	}
+}
+
+// TestByzantineCrossBackend: the deterministic simulator and the live
+// goroutine runtime agree on Byzantine fate semantics. The victims' own
+// SUSP broadcasts are what the plan corrupts and equivocates; with the
+// validation interposer on, both backends convict exactly the victims and
+// crash them out of the membership.
+func TestByzantineCrossBackend(t *testing.T) {
+	plan, err := failstop.BuiltinFaultPlan("byzantine-minority", 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulated backend.
+	c := failstop.NewCluster(failstop.Options{
+		N: 5, T: 2, Seed: 3, MaxTime: 5000, Faults: &plan,
+		Byzantine: failstop.ByzantineOptions{Enabled: true},
+	})
+	c.SuspectAt(20, 4, 1)
+	c.SuspectAt(24, 5, 2)
+	rep := c.Run()
+	checkByzantineSemantics(t, "sim", rep.History, rep.ByzDetected)
+	if rep.Corrupted == 0 {
+		t.Error("sim: plan corrupted nothing")
+	}
+	if rep.Equivocated == 0 {
+		t.Error("sim: plan equivocated nothing")
+	}
+
+	// Live backend, same plan and interposer.
+	lc := failstop.NewLiveCluster(failstop.LiveOptions{
+		N: 5, T: 2, Seed: 3, Faults: &plan,
+		Byzantine: failstop.ByzantineOptions{Enabled: true},
+		MinDelay:  50 * time.Microsecond, MaxDelay: 500 * time.Microsecond,
+		Tick: 100 * time.Microsecond,
+	})
+	lc.Start()
+	// The plan's rules activate at tick 10 (1ms of 100µs ticks). Let the
+	// window open before injecting, as SuspectAt(20, ...) does on the
+	// simulated backend — an earlier SUSP would cross the wire unmutated.
+	time.Sleep(20 * time.Millisecond)
+	lc.Suspect(4, 1)
+	lc.Suspect(5, 2)
+	deadline := time.Now().Add(5 * time.Second)
+	demoted := func() bool {
+		h := lc.History()
+		for _, victim := range []failstop.ProcID{4, 5} {
+			found := false
+			for _, honest := range []failstop.ProcID{1, 2, 3} {
+				if h.FailedIndex(honest, victim) >= 0 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	for !demoted() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	lc.Stop()
+	detected, _ := lc.ByzStats()
+	checkByzantineSemantics(t, "live", lc.History(), detected)
 }

@@ -1,0 +1,249 @@
+// End-to-end tests of the validation layer over the deterministic simulator
+// and the fault plane's Byzantine rules. They live in the external test
+// package so importing internal/netadv (which imports this package for the
+// sealing primitives) does not cycle.
+package byz_test
+
+import (
+	"testing"
+
+	"failstop/internal/byz"
+	"failstop/internal/model"
+	"failstop/internal/netadv"
+	"failstop/internal/node"
+	"failstop/internal/sim"
+)
+
+// recorder is an inner handler that records every released payload.
+type recorder struct {
+	released []node.Payload
+	from     []model.ProcID
+}
+
+func (r *recorder) Init(node.Context) {}
+func (r *recorder) OnMessage(_ node.Context, from model.ProcID, p node.Payload) {
+	r.released = append(r.released, p)
+	r.from = append(r.from, from)
+}
+func (r *recorder) OnTimer(node.Context, string) {}
+
+// harness wires n byz endpoints over a sim whose network follows the given
+// plan. Convictions are recorded per (convicting process, culprit, reason).
+type harness struct {
+	sim       *sim.Sim
+	plane     *netadv.Plane
+	eps       []*byz.Endpoint
+	recs      []*recorder
+	convicted []conviction
+}
+
+type conviction struct {
+	by, culprit model.ProcID
+}
+
+func newHarness(t *testing.T, n int, seed int64, plan netadv.Plan) *harness {
+	t.Helper()
+	if err := plan.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	plane := netadv.NewPlane(plan, n, seed)
+	s := sim.New(sim.Config{N: n, Seed: seed, MaxTime: 100000, Link: plane.Decide})
+	h := &harness{sim: s, plane: plane, eps: make([]*byz.Endpoint, n+1), recs: make([]*recorder, n+1)}
+	for p := model.ProcID(1); int(p) <= n; p++ {
+		rec := &recorder{}
+		ep := byz.Wrap(rec, byz.Options{Enabled: true})
+		self := p
+		ep.SetConvict(func(_ node.Context, culprit model.ProcID) {
+			h.convicted = append(h.convicted, conviction{by: self, culprit: culprit})
+		})
+		h.eps[p] = ep
+		h.recs[p] = rec
+		s.SetHandler(p, ep)
+	}
+	return h
+}
+
+// broadcastAt injects a broadcast of p from proc at tick t, sealed through
+// the sender's endpoint.
+func (h *harness) broadcastAt(t int64, proc model.ProcID, p node.Payload) {
+	ep := h.eps[proc]
+	h.sim.At(t, proc, func(ctx node.Context) {
+		wrapped := ep.Context(ctx)
+		for q := model.ProcID(1); int(q) <= ctx.N(); q++ {
+			if q != proc {
+				wrapped.Send(q, p)
+			}
+		}
+	})
+}
+
+func (h *harness) convictionsOf(culprit model.ProcID) int {
+	got := 0
+	for _, c := range h.convicted {
+		if c.culprit == culprit {
+			got++
+		}
+	}
+	return got
+}
+
+var susp = node.Payload{Tag: "SUSP", Subject: 2, Data: []byte(`{"suspect":2}`)}
+
+// TestHonestBroadcastReleases: over a fault-free network a held-class
+// broadcast gathers its witness quorum and is released everywhere, with no
+// convictions and the original payload intact.
+func TestHonestBroadcastReleases(t *testing.T) {
+	h := newHarness(t, 3, 1, netadv.Plan{Name: "clean"})
+	h.broadcastAt(10, 1, susp)
+	res := h.sim.Run()
+	if res.Stop != sim.StopDrained {
+		t.Fatalf("run did not drain: %v", res.Stop)
+	}
+	for p := 2; p <= 3; p++ {
+		rec := h.recs[p]
+		if len(rec.released) != 1 {
+			t.Fatalf("proc %d released %d payloads, want 1", p, len(rec.released))
+		}
+		got := rec.released[0]
+		if got.Tag != susp.Tag || got.Subject != susp.Subject || string(got.Data) != string(susp.Data) {
+			t.Errorf("proc %d released %+v, want %+v", p, got, susp)
+		}
+		if rec.from[0] != 1 {
+			t.Errorf("proc %d released from %d, want 1", p, rec.from[0])
+		}
+	}
+	if len(h.convicted) != 0 {
+		t.Errorf("honest run convicted: %v", h.convicted)
+	}
+	if res.ByzDetected != 0 {
+		t.Errorf("ByzDetected = %d, want 0", res.ByzDetected)
+	}
+}
+
+// TestNonHeldTagPassesWithoutEchoes: a tag outside EchoTags is released on
+// arrival; the only traffic is the n-1 sealed frames themselves.
+func TestNonHeldTagPassesWithoutEchoes(t *testing.T) {
+	h := newHarness(t, 3, 1, netadv.Plan{Name: "clean"})
+	h.broadcastAt(10, 1, node.Payload{Tag: "APP", Data: []byte("hello")})
+	res := h.sim.Run()
+	if res.Delivered != 2 {
+		t.Errorf("delivered %d messages, want exactly the 2 broadcast frames (no echoes)", res.Delivered)
+	}
+	for p := 2; p <= 3; p++ {
+		if len(h.recs[p].released) != 1 {
+			t.Errorf("proc %d released %d payloads, want 1", p, len(h.recs[p].released))
+		}
+	}
+}
+
+// TestCorruptionConvictsBadMAC: the fault plane mutates the victim's frames
+// without fixing the MAC, so every receiver convicts the victim and nothing
+// forged is ever released.
+func TestCorruptionConvictsBadMAC(t *testing.T) {
+	h := newHarness(t, 3, 1, netadv.Plan{
+		Name: "corrupt",
+		Byz:  []netadv.ByzRule{{Victim: 1, Corrupt: 1}},
+	})
+	h.broadcastAt(10, 1, susp)
+	res := h.sim.Run()
+	if got := h.convictionsOf(1); got != 2 {
+		t.Errorf("victim convicted by %d receivers, want 2", got)
+	}
+	for p := 2; p <= 3; p++ {
+		if len(h.recs[p].released) != 0 {
+			t.Errorf("proc %d released %d forged payloads", p, len(h.recs[p].released))
+		}
+	}
+	if res.ByzDetected != 2 {
+		t.Errorf("ByzDetected = %d, want 2", res.ByzDetected)
+	}
+	if c, _, _ := h.plane.ByzFates(); c == 0 {
+		t.Error("plane counted no corruptions")
+	}
+}
+
+// TestEquivocationConvicts: the plane reseals a different variant per
+// receiver group — every frame authenticates, and only the echo quorum's
+// digest conflict catches the split. No variant may be released.
+func TestEquivocationConvicts(t *testing.T) {
+	h := newHarness(t, 3, 1, netadv.Plan{
+		Name: "equiv",
+		Byz:  []netadv.ByzRule{{Victim: 1, Equivocate: [][]model.ProcID{{2}, {3}}}},
+	})
+	h.broadcastAt(10, 1, susp)
+	h.sim.Run()
+	if got := h.convictionsOf(1); got == 0 {
+		t.Error("equivocation was never convicted")
+	}
+	for p := 2; p <= 3; p++ {
+		if len(h.recs[p].released) != 0 {
+			t.Errorf("proc %d released %d equivocated payloads", p, len(h.recs[p].released))
+		}
+	}
+	if _, e, _ := h.plane.ByzFates(); e == 0 {
+		t.Error("plane counted no equivocations")
+	}
+}
+
+// TestReplayBeyondHorizonConvicts: a ghost copy re-injected past the replay
+// horizon re-delivers a spent sequence number and convicts the sender;
+// within the horizon it is absorbed as a benign duplicate.
+func TestReplayBeyondHorizonConvicts(t *testing.T) {
+	stale := newHarness(t, 3, 1, netadv.Plan{
+		Name: "stale-replay",
+		Byz:  []netadv.ByzRule{{Victim: 1, Tags: []string{"APP"}, Replay: 1, ReplayDelay: 400}},
+	})
+	stale.broadcastAt(10, 1, node.Payload{Tag: "APP", Data: []byte("m1")})
+	stale.broadcastAt(20, 1, node.Payload{Tag: "APP", Data: []byte("m2")})
+	stale.sim.Run()
+	if got := stale.convictionsOf(1); got != 2 {
+		t.Errorf("stale replay convicted by %d receivers, want 2", got)
+	}
+	if _, _, r := stale.plane.ByzFates(); r == 0 {
+		t.Error("plane counted no replays")
+	}
+
+	fresh := newHarness(t, 3, 2, netadv.Plan{
+		Name: "fresh-replay",
+		Byz:  []netadv.ByzRule{{Victim: 1, Tags: []string{"APP"}, Replay: 1, ReplayDelay: 5}},
+	})
+	fresh.broadcastAt(10, 1, node.Payload{Tag: "APP", Data: []byte("m1")})
+	fresh.broadcastAt(20, 1, node.Payload{Tag: "APP", Data: []byte("m2")})
+	fresh.sim.Run()
+	if len(fresh.convicted) != 0 {
+		t.Errorf("fresh duplicate within the horizon convicted: %v", fresh.convicted)
+	}
+	if _, _, r := fresh.plane.ByzFates(); r == 0 {
+		t.Error("plane injected no ghost copies")
+	}
+	for p := 2; p <= 3; p++ {
+		if got := len(fresh.recs[p].released); got != 2 {
+			t.Errorf("proc %d released %d payloads, want 2 (ghosts absorbed)", p, got)
+		}
+	}
+}
+
+// TestMaskedSenderTrafficDiscarded: after conviction the culprit's later
+// frames are dropped at the layer and counted as masked.
+func TestMaskedSenderTrafficDiscarded(t *testing.T) {
+	h := newHarness(t, 3, 1, netadv.Plan{
+		Name: "corrupt-window",
+		Byz:  []netadv.ByzRule{{Victim: 1, Until: 50, Corrupt: 1}},
+	})
+	h.broadcastAt(10, 1, susp)
+	// Past the rule's window the victim sends honestly — but it is already
+	// masked everywhere, so nothing is released.
+	h.broadcastAt(200, 1, node.Payload{Tag: "APP", Data: []byte("late")})
+	res := h.sim.Run()
+	for p := 2; p <= 3; p++ {
+		if len(h.recs[p].released) != 0 {
+			t.Errorf("proc %d released traffic from a masked sender", p)
+		}
+		if !h.eps[p].Masked(1) {
+			t.Errorf("proc %d did not mask the victim", p)
+		}
+	}
+	if res.ByzMasked == 0 {
+		t.Error("no frames counted as masked")
+	}
+}

@@ -1,0 +1,195 @@
+package byz
+
+import (
+	"strings"
+	"testing"
+
+	"failstop/internal/model"
+	"failstop/internal/node"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string // substring of the error; "" means valid
+	}{
+		{"zero value", Options{}, ""},
+		{"enabled defaults", Options{Enabled: true}, ""},
+		{"explicit sane", Options{Enabled: true, EchoTags: []string{"SUSP", "APP"}, Witnesses: 2, ReplayHorizon: 50}, ""},
+		{"hold nothing", Options{Enabled: true, EchoTags: []string{}}, ""},
+		{"negative witnesses", Options{Witnesses: -1}, "negative Witnesses"},
+		{"negative horizon", Options{ReplayHorizon: -5}, "negative ReplayHorizon"},
+		{"empty echo tag", Options{EchoTags: []string{""}}, "empty tag"},
+		{"echoing echoes", Options{EchoTags: []string{TagEcho}}, "recurse"},
+		{"duplicate echo tag", Options{EchoTags: []string{"SUSP", "SUSP"}}, "duplicate tag"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.opts.Validate()
+			if tt.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestWrapPanicsOnInvalidOptions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Wrap accepted invalid options")
+		}
+	}()
+	Wrap(sink{}, Options{Witnesses: -1})
+}
+
+// sink is an inner handler that does nothing.
+type sink struct{}
+
+func (sink) Init(node.Context)                                  {}
+func (sink) OnMessage(node.Context, model.ProcID, node.Payload) {}
+func (sink) OnTimer(node.Context, string)                       {}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	p := node.Payload{Tag: "SUSP", Subject: 3, Data: []byte(`{"x":1}`)}
+	body := sealBody(2, 7, 4, p)
+	if !Sealed(body) {
+		t.Fatal("sealed body not recognized as sealed")
+	}
+	seq, bid, data, ok := openBody(2, p.Tag, p.Subject, body)
+	if !ok {
+		t.Fatal("authentic frame rejected")
+	}
+	if seq != 7 || bid != 4 || string(data) != `{"x":1}` {
+		t.Errorf("openBody = (%d, %d, %q), want (7, 4, %q)", seq, bid, data, p.Data)
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	p := node.Payload{Tag: "SUSP", Subject: 3, Data: []byte(`{"x":1}`)}
+	body := sealBody(2, 7, 4, p)
+	cases := []struct {
+		name    string
+		sender  model.ProcID
+		tag     string
+		subject model.ProcID
+		mutate  func([]byte) []byte
+	}{
+		{"flipped data byte", 2, "SUSP", 3, func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)-1] ^= 0x01
+			return out
+		}},
+		{"rotated subject", 2, "SUSP", 4, nil},
+		{"changed tag", 2, "HB", 3, nil},
+		{"claimed by another sender", 1, "SUSP", 3, nil},
+		{"flipped seq", 2, "SUSP", 3, func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[8] ^= 0x01
+			return out
+		}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			b := body
+			if tt.mutate != nil {
+				b = tt.mutate(body)
+			}
+			if _, _, _, ok := openBody(tt.sender, tt.tag, tt.subject, b); ok {
+				t.Error("tampered frame authenticated")
+			}
+		})
+	}
+}
+
+// TestResealSignsTheLie: a resealed variant authenticates under the new
+// subject — the equivocation primitive the MAC cannot catch.
+func TestResealSignsTheLie(t *testing.T) {
+	p := node.Payload{Tag: "SUSP", Subject: 3, Data: []byte(`{"x":1}`)}
+	body := sealBody(2, 7, 4, p)
+	forged, ok := Reseal(body, 2, "SUSP", 4)
+	if !ok {
+		t.Fatal("Reseal rejected a sealed body")
+	}
+	if _, _, _, ok := openBody(2, "SUSP", 4, forged); !ok {
+		t.Error("resealed variant failed authentication; the sender must be able to sign its own lies")
+	}
+	if _, _, _, ok := openBody(2, "SUSP", 3, forged); ok {
+		t.Error("resealed variant still authenticates under the original subject")
+	}
+	if _, ok := Reseal([]byte("unsealed"), 2, "SUSP", 4); ok {
+		t.Error("Reseal accepted unsealed data")
+	}
+}
+
+// byzFakeCtx is a minimal host context for endpoint-level tests.
+type byzFakeCtx struct {
+	self  model.ProcID
+	n     int
+	sends []struct {
+		to model.ProcID
+		p  node.Payload
+	}
+}
+
+func (c *byzFakeCtx) Self() model.ProcID { return c.self }
+func (c *byzFakeCtx) N() int             { return c.n }
+func (c *byzFakeCtx) Now() int64         { return 0 }
+func (c *byzFakeCtx) Send(to model.ProcID, p node.Payload) {
+	c.sends = append(c.sends, struct {
+		to model.ProcID
+		p  node.Payload
+	}{to, p})
+}
+func (c *byzFakeCtx) SetTimer(string, int64)            {}
+func (c *byzFakeCtx) CancelTimer(string)                {}
+func (c *byzFakeCtx) EmitFailed(model.ProcID)           {}
+func (c *byzFakeCtx) CrashSelf()                        {}
+func (c *byzFakeCtx) EmitInternal(string, model.ProcID) {}
+
+// TestSnapshotRestartRoundTrip: a durable restart restores the masked set
+// and the counters, so the reincarnation neither trusts a convicted process
+// nor reuses sequence numbers.
+func TestSnapshotRestartRoundTrip(t *testing.T) {
+	ctx := &byzFakeCtx{self: 1, n: 3}
+	e := Wrap(sink{}, Options{Enabled: true})
+	e.Init(ctx)
+	// Spend some sequence numbers and broadcast ids.
+	e.Context(ctx).Send(2, node.Payload{Tag: "APP", Data: []byte("a")})
+	e.Context(ctx).Send(3, node.Payload{Tag: "APP", Data: []byte("a")})
+	e.Context(ctx).Send(2, node.Payload{Tag: "APP", Data: []byte("b")})
+	e.convictWith(ctx, 3, "bad-mac")
+
+	snap := e.Snapshot()
+	fresh := Wrap(sink{}, Options{Enabled: true})
+	fresh.OnRestart(ctx, snap)
+	if !fresh.Masked(3) {
+		t.Error("restart forgot the masked set")
+	}
+	sent := len(ctx.sends)
+	fresh.Context(ctx).Send(2, node.Payload{Tag: "APP", Data: []byte("c")})
+	body := ctx.sends[sent].p.Data
+	seq, bid, _, ok := openBody(1, "APP", model.None, body)
+	if !ok {
+		t.Fatal("restarted endpoint sent an unauthenticatable frame")
+	}
+	if seq != 3 {
+		t.Errorf("post-restart seq to peer 2 = %d, want 3 (counters must not regress)", seq)
+	}
+	if bid != 3 {
+		t.Errorf("post-restart bid = %d, want 3 (new content, counter restored at 2)", bid)
+	}
+
+	// Amnesia: nil state resets everything.
+	amnesiac := Wrap(sink{}, Options{Enabled: true})
+	amnesiac.OnRestart(ctx, nil)
+	if amnesiac.Masked(3) {
+		t.Error("amnesiac restart kept the masked set")
+	}
+}

@@ -103,6 +103,25 @@ func FS2(h model.History) Verdict {
 	return ok("FS2")
 }
 
+// Accuracy checks ground-truth accuracy against an external allow-set: every
+// detection targets a process in allowed — typically the plan's scheduled
+// crash victims plus its Byzantine victims. This is the Byzantine analogue
+// of FS2: under an active adversary the recorded crash order races the
+// detection that masked the misbehavior (the victim crashes on its own
+// completed SUSP, which may serialize after other processes' failed events),
+// so FS2's crash-precedes-detection reading is unachievable even when every
+// conviction is correct. What must hold instead is that nobody innocent is
+// ever detected.
+func Accuracy(h model.History, allowed map[model.ProcID]bool) Verdict {
+	for _, d := range h.Detections() {
+		if !allowed[d.Detected] {
+			return bad("Accuracy", "failed_%d(%d) at index %d detects a process that neither crashed by plan nor misbehaved",
+				d.Detector, d.Detected, d.Index)
+		}
+	}
+	return ok("Accuracy")
+}
+
 // SFS2a checks that every detected process eventually crashes:
 //
 //	sFS2a: ∀r,i,j: r ⊨ □(FAILED_i(j) ⇒ ◇CRASH_j)

@@ -5,6 +5,7 @@
 package cluster
 
 import (
+	"failstop/internal/byz"
 	"failstop/internal/core"
 	"failstop/internal/model"
 	"failstop/internal/node"
@@ -26,6 +27,13 @@ type Options struct {
 	// (ack + timed retransmission, dedup, in-order release) between every
 	// detector and the simulator's faulty network.
 	Reliable reliable.Options
+	// Byzantine, when Enabled, interposes a validation endpoint (per-sender
+	// MACs, echo/witness broadcast consistency, replay watermark) between
+	// every detector and the network; convictions are masked into crashes
+	// by suspecting the culprit through the §5 protocol. When Reliable is
+	// also enabled the interposer sits inside the reliable layer (the
+	// reliable framing is outermost on the wire).
+	Byzantine byz.Options
 }
 
 // Cluster is a wired simulation ready to run.
@@ -35,6 +43,7 @@ type Cluster struct {
 	// Detectors holds the per-process detectors, indexed 1..N (index 0 nil).
 	Detectors []*core.Detector
 	endpoints []*reliable.Endpoint // nil entries when the layer is off
+	byzants   []*byz.Endpoint      // nil entries when the interposer is off
 	n         int
 }
 
@@ -49,6 +58,7 @@ func New(opts Options) *Cluster {
 		Sim:       s,
 		Detectors: make([]*core.Detector, n+1),
 		endpoints: make([]*reliable.Endpoint, n+1),
+		byzants:   make([]*byz.Endpoint, n+1),
 		n:         n,
 	}
 	for p := model.ProcID(1); int(p) <= n; p++ {
@@ -63,8 +73,20 @@ func New(opts Options) *Cluster {
 		d := core.NewDetector(opts.Det, fd, app)
 		c.Detectors[p] = d
 		var h node.Handler = d
+		if opts.Byzantine.Enabled {
+			bz := byz.Wrap(d, opts.Byzantine)
+			bz.SetSpans(opts.Sim.Spans)
+			// Masking: a conviction becomes a §5 suspicion of the culprit,
+			// which crashes it on its own completed detection — the
+			// Byzantine process is demoted to a crashed one.
+			bz.SetConvict(func(ctx node.Context, culprit model.ProcID) {
+				d.Suspect(ctx, culprit)
+			})
+			c.byzants[p] = bz
+			h = bz
+		}
 		if opts.Reliable.Enabled {
-			ep := reliable.Wrap(d, opts.Reliable)
+			ep := reliable.Wrap(h, opts.Reliable)
 			ep.SetSpans(opts.Sim.Spans)
 			c.endpoints[p] = ep
 			h = ep
@@ -84,9 +106,15 @@ func (c *Cluster) N() int { return c.n }
 func (c *Cluster) SuspectAt(t int64, i, j model.ProcID) {
 	d := c.Detectors[i]
 	ep := c.endpoints[i]
+	bz := c.byzants[i]
 	c.Sim.At(t, i, func(ctx node.Context) {
+		// Mirror the wrap order: the reliable layer is outermost, so its
+		// context wraps first and the interposer's sends flow through it.
 		if ep != nil {
 			ctx = ep.Context(ctx)
+		}
+		if bz != nil {
+			ctx = bz.Context(ctx)
 		}
 		d.Suspect(ctx, j)
 	})

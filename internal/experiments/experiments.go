@@ -59,6 +59,7 @@ func Registry() map[string]Runner {
 		"E13": E13,
 		"E14": E14,
 		"E15": E15,
+		"E16": E16,
 		"A1":  A1,
 		"A2":  A2,
 		"A3":  A3,
@@ -66,7 +67,7 @@ func Registry() map[string]Runner {
 }
 
 // IDs returns the experiment ids in order: the paper artifacts E1..E12 and
-// the post-paper measurements E13..E15 first, then the ablations A1..A3.
+// the post-paper measurements E13..E16 first, then the ablations A1..A3.
 func IDs() []string {
 	reg := Registry()
 	ids := make([]string, 0, len(reg))

@@ -29,10 +29,10 @@ func TestAllExperimentsReproduce(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(ids))
+	if len(ids) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(ids))
 	}
-	if ids[0] != "E1" || ids[14] != "E15" || ids[15] != "A1" || ids[17] != "A3" {
+	if ids[0] != "E1" || ids[15] != "E16" || ids[16] != "A1" || ids[18] != "A3" {
 		t.Errorf("ordering wrong: %v", ids)
 	}
 }
@@ -56,7 +56,7 @@ func TestResultString(t *testing.T) {
 // number, then A-ablations by number.
 func TestAllOrder(t *testing.T) {
 	ids := IDs()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "A1", "A2", "A3"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "A1", "A2", "A3"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs = %v", ids)
 	}

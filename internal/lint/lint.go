@@ -62,6 +62,7 @@ var DeterministicPackages = []string{
 	"failstop/internal/sweep",
 	"failstop/internal/model",
 	"failstop/internal/reliable",
+	"failstop/internal/byz",
 	"failstop/internal/recovery",
 	"failstop/internal/checker",
 	"failstop/internal/adversary",

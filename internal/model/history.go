@@ -250,6 +250,23 @@ func violation(idx int, rule, format string, args ...any) error {
 // Validate returns nil for a valid history, or an error wrapping both
 // ErrInvalidHistory and a *ValidationError describing the first violation.
 func (h History) Validate() error {
+	_, err := h.validate(nil)
+	return err
+}
+
+// ValidateUnderByz validates h as Validate does, except that the three
+// wire-level violations a scripted Byzantine sender produces — a payload
+// that differs between send and receive (garble), a ghost re-receive of
+// an already-received message (replay), and the FIFO overtake a delayed
+// ghost causes — are tolerated when the message's sender is one of the
+// fault plan's Byzantine victims. Every other rule, and every rule for
+// honest senders, is enforced unchanged. It returns how many receive
+// events were tolerated as scripted tampering.
+func (h History) ValidateUnderByz(victims map[ProcID]bool) (tampered int, err error) {
+	return h.validate(victims)
+}
+
+func (h History) validate(byzSenders map[ProcID]bool) (tampered int, err error) {
 	type chanKey struct{ from, to ProcID }
 	sendIdx := make(map[MsgID]int)         // message id -> send event index
 	recvSeen := make(map[MsgID]bool)       // message id -> received already
@@ -260,20 +277,20 @@ func (h History) Validate() error {
 
 	for idx, e := range h {
 		if e.Proc == None {
-			return violation(idx, "actor", "event %s has no actor process", e)
+			return tampered, violation(idx, "actor", "event %s has no actor process", e)
 		}
 		switch e.Kind {
 		case KindSend, KindRecv, KindCrash, KindFailed, KindInternal:
 		default:
-			return violation(idx, "kind", "event has invalid kind %d", int(e.Kind))
+			return tampered, violation(idx, "kind", "event has invalid kind %d", int(e.Kind))
 		}
 		if restart := e.Kind == KindInternal && e.Tag == TagRestart; crashed[e.Proc] {
 			if !restart {
-				return violation(idx, "crash-finality", "process %d executes %s after crashing", e.Proc, e)
+				return tampered, violation(idx, "crash-finality", "process %d executes %s after crashing", e.Proc, e)
 			}
 			crashed[e.Proc] = false
 		} else if restart {
-			return violation(idx, "restart-without-crash", "process %d restarts without a prior crash", e.Proc)
+			return tampered, violation(idx, "restart-without-crash", "process %d restarts without a prior crash", e.Proc)
 		}
 		switch e.Kind {
 		case KindInternal:
@@ -281,33 +298,46 @@ func (h History) Validate() error {
 			// actor/finality checks above.
 		case KindSend:
 			if e.Peer == None || e.Msg == 0 {
-				return violation(idx, "send", "send event %s lacks destination or message id", e)
+				return tampered, violation(idx, "send", "send event %s lacks destination or message id", e)
 			}
 			if prev, dup := sendIdx[e.Msg]; dup {
-				return violation(idx, "unique-msg", "message m%d sent twice (first at %d)", e.Msg, prev)
+				return tampered, violation(idx, "unique-msg", "message m%d sent twice (first at %d)", e.Msg, prev)
 			}
 			sendIdx[e.Msg] = idx
 			k := chanKey{from: e.Proc, to: e.Peer}
 			sendOrder[k] = append(sendOrder[k], e.Msg)
 		case KindRecv:
 			if e.Peer == None || e.Msg == 0 {
-				return violation(idx, "recv", "receive event %s lacks source or message id", e)
+				return tampered, violation(idx, "recv", "receive event %s lacks source or message id", e)
 			}
 			si, ok := sendIdx[e.Msg]
 			if !ok {
-				return violation(idx, "recv-before-send", "message m%d received but never sent earlier", e.Msg)
+				return tampered, violation(idx, "recv-before-send", "message m%d received but never sent earlier", e.Msg)
 			}
+			fromByz := byzSenders[e.Peer]
 			if recvSeen[e.Msg] {
-				return violation(idx, "unique-recv", "message m%d received twice", e.Msg)
+				if fromByz {
+					// A replay ghost: the plan re-injected an already
+					// delivered wire payload on the victim's link.
+					tampered++
+					continue
+				}
+				return tampered, violation(idx, "unique-recv", "message m%d received twice", e.Msg)
 			}
 			s := h[si]
 			if s.Proc != e.Peer || s.Peer != e.Proc {
-				return violation(idx, "channel", "message m%d sent on C_{%d,%d} but received as if on C_{%d,%d}",
+				return tampered, violation(idx, "channel", "message m%d sent on C_{%d,%d} but received as if on C_{%d,%d}",
 					e.Msg, s.Proc, s.Peer, e.Peer, e.Proc)
 			}
 			if s.Tag != e.Tag || s.Target != e.Target {
-				return violation(idx, "garble", "message m%d payload differs between send (%s) and receive (%s)",
-					e.Msg, s.payload(), e.payload())
+				if !fromByz {
+					return tampered, violation(idx, "garble", "message m%d payload differs between send (%s) and receive (%s)",
+						e.Msg, s.payload(), e.payload())
+				}
+				// Scripted corruption or equivocation on the victim's link:
+				// the send records what the victim passed in, the receive
+				// what the plan put on the wire.
+				tampered++
 			}
 			k := chanKey{from: e.Peer, to: e.Proc}
 			cur := recvCursor[k]
@@ -323,7 +353,14 @@ func (h History) Validate() error {
 				}
 			}
 			if pos < 0 {
-				return violation(idx, "fifo", "message m%d received out of FIFO order on C_{%d,%d}", e.Msg, e.Peer, e.Proc)
+				if fromByz {
+					// A delayed replay ghost of a never-delivered original
+					// lands behind the channel cursor.
+					tampered++
+					recvSeen[e.Msg] = true
+					continue
+				}
+				return tampered, violation(idx, "fifo", "message m%d received out of FIFO order on C_{%d,%d}", e.Msg, e.Peer, e.Proc)
 			}
 			recvCursor[k] = pos + 1
 			recvSeen[e.Msg] = true
@@ -331,16 +368,16 @@ func (h History) Validate() error {
 			crashed[e.Proc] = true
 		case KindFailed:
 			if e.Target == None {
-				return violation(idx, "failed", "failed event of %d lacks a target", e.Proc)
+				return tampered, violation(idx, "failed", "failed event of %d lacks a target", e.Proc)
 			}
 			key := [2]ProcID{e.Proc, e.Target}
 			if detected[key] {
-				return violation(idx, "failed-once", "failed_%d(%d) executed twice", e.Proc, e.Target)
+				return tampered, violation(idx, "failed-once", "failed_%d(%d) executed twice", e.Proc, e.Target)
 			}
 			detected[key] = true
 		}
 	}
-	return nil
+	return tampered, nil
 }
 
 // String renders the history one event per line, in the paper's notation.

@@ -130,6 +130,73 @@ func TestValidateRejectsInvalidHistories(t *testing.T) {
 	}
 }
 
+// TestValidateUnderByz: the three wire-level deviations a scripted
+// Byzantine sender produces are tolerated (and counted) for victims, and
+// still rejected for everyone else.
+func TestValidateUnderByz(t *testing.T) {
+	victims := map[ProcID]bool{3: true}
+	tests := []struct {
+		name     string
+		h        History
+		tampered int    // want, when valid
+		rule     string // want rejection, when not
+	}{
+		{name: "garble from victim", h: History{
+			Send(3, 2, 1, "a", None),
+			Recv(2, 3, 1, "b", None),
+		}, tampered: 1},
+		{name: "garble from honest sender", h: History{
+			Send(1, 2, 1, "a", None),
+			Recv(2, 1, 1, "b", None),
+		}, rule: "garble"},
+		{name: "replay ghost from victim", h: History{
+			Send(3, 2, 1, "a", None),
+			Recv(2, 3, 1, "a", None),
+			Recv(2, 3, 1, "a", None),
+		}, tampered: 1},
+		{name: "replay ghost from honest sender", h: History{
+			Send(1, 2, 1, "a", None),
+			Recv(2, 1, 1, "a", None),
+			Recv(2, 1, 1, "a", None),
+		}, rule: "unique-recv"},
+		{name: "stale ghost behind the cursor", h: History{
+			Send(3, 2, 1, "a", None),
+			Send(3, 2, 2, "b", None),
+			Recv(2, 3, 2, "b", None), // m1's original lost; cursor passes it
+			Recv(2, 3, 1, "a", None), // ghost of m1 lands late
+		}, tampered: 1},
+		{name: "fifo violation from honest sender", h: History{
+			Send(1, 2, 1, "a", None),
+			Send(1, 2, 2, "b", None),
+			Recv(2, 1, 2, "b", None),
+			Recv(2, 1, 1, "a", None),
+		}, rule: "fifo"},
+		{name: "clean history counts zero", h: twoProcExchange(), tampered: 0},
+		{name: "non-wire rules still enforced for victims", h: History{
+			Crash(3),
+			Send(3, 2, 1, "a", None),
+		}, rule: "crash-finality"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tampered, err := tt.h.Normalize().ValidateUnderByz(victims)
+			if tt.rule == "" {
+				if err != nil {
+					t.Fatalf("ValidateUnderByz() = %v, want nil", err)
+				}
+				if tampered != tt.tampered {
+					t.Errorf("tampered = %d, want %d", tampered, tt.tampered)
+				}
+				return
+			}
+			var verr *ValidationError
+			if !errors.As(err, &verr) || verr.Rule != tt.rule {
+				t.Errorf("err = %v, want rule %q", err, tt.rule)
+			}
+		})
+	}
+}
+
 func TestValidationErrorFormat(t *testing.T) {
 	e := &ValidationError{Index: 3, Rule: "fifo", Desc: "boom"}
 	if got := e.Error(); got != "invalid history at event 3: fifo: boom" {

@@ -3,6 +3,7 @@ package netadv
 import (
 	"testing"
 
+	"failstop/internal/model"
 	"failstop/internal/node"
 )
 
@@ -29,5 +30,66 @@ func BenchmarkDecideFaulty(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pl.Decide(1, 2, p, int64(i))
+	}
+}
+
+// BenchmarkDecideByzQuiet prices the tax Byzantine rules levy on traffic
+// they never touch: the plan carries a corruptor and an equivocator, but
+// the benchmark's frames miss every selector. CI exports this (with
+// BenchmarkDecideByzFaulty) as BENCH_byz.json.
+func BenchmarkDecideByzQuiet(b *testing.B) {
+	pl := NewPlane(Plan{Byz: []ByzRule{
+		{Victim: 5, Tags: []string{"SUSP"}, Corrupt: 1},
+		{Victim: 4, Tags: []string{"SUSP"}, Equivocate: [][]model.ProcID{{1, 2}, {3, 6}}},
+	}}, 10, 1)
+	p := node.Payload{Tag: "APP"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pl.Decide(1, 2, p, int64(i))
+	}
+}
+
+// BenchmarkDecideByzFaulty measures the mutation path itself: every frame
+// is the victim's, matches the rule, and gets corrupted and replayed.
+func BenchmarkDecideByzFaulty(b *testing.B) {
+	pl := NewPlane(Plan{Byz: []ByzRule{
+		{Victim: 5, Corrupt: 1, Replay: 0.2, ReplayDelay: 50},
+	}}, 10, 1)
+	p := node.Payload{Tag: "SUSP", Subject: 3, Data: []byte(`{"suspect":3}`)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pl.Decide(5, 2, p, int64(i))
+	}
+}
+
+// TestByzDecideAllocBudget is the CI gate behind BENCH_byz.json: a plan
+// that carries Byzantine rules may add at most 5% allocations to the
+// decision path of traffic those rules never match — the fault plane's
+// fast path must not pay for a feature the frame doesn't use.
+func TestByzDecideAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	const frames = 200
+	run := func(pl *Plane) func() {
+		p := node.Payload{Tag: "APP"}
+		return func() {
+			for i := 0; i < frames; i++ {
+				pl.Decide(1, 2, p, int64(i))
+			}
+		}
+	}
+	bare := NewPlane(Plan{Rules: []Rule{{From: 1 << 40, Cut: true}}}, 10, 1)
+	withByz := NewPlane(Plan{
+		Rules: []Rule{{From: 1 << 40, Cut: true}},
+		Byz: []ByzRule{
+			{Victim: 5, Tags: []string{"SUSP"}, Corrupt: 1},
+			{Victim: 4, Tags: []string{"SUSP"}, Equivocate: [][]model.ProcID{{1, 2}, {3, 6}}},
+		},
+	}, 10, 1)
+	base := testing.AllocsPerRun(20, run(bare))
+	got := testing.AllocsPerRun(20, run(withByz))
+	if got > base*1.05+1 {
+		t.Errorf("byz-rule plan allocates %.0f/run on unmatched traffic, bare plan %.0f/run: over the 5%% budget", got, base)
 	}
 }

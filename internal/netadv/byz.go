@@ -1,0 +1,307 @@
+package netadv
+
+import (
+	"fmt"
+	"strconv"
+
+	"failstop/internal/byz"
+	"failstop/internal/model"
+	"failstop/internal/node"
+)
+
+// ByzRule is one Byzantine-fault entry of a plan's timeline: it makes one
+// process's outgoing traffic actively malicious — corrupted, equivocating,
+// or replayed — rather than merely lossy. The victim process itself runs
+// the protocol honestly; the plane forges its wire traffic, which is
+// indistinguishable to every receiver from the victim being Byzantine.
+//
+// Like every netadv fate, Byzantine fates are seed-deterministic pure
+// functions of (rule, link, per-link message index): sweeps stay
+// byte-identical across worker counts and shard/merge, and the live
+// runtime assigns the same fates the simulator does for each link's send
+// sequence.
+//
+//sfs:wire
+type ByzRule struct {
+	// Victim is the process whose outgoing traffic the rule forges.
+	Victim model.ProcID `json:"victim"`
+	// From and Until bound the active window in ticks, as for Rule.
+	From  int64 `json:"from,omitempty"`
+	Until int64 `json:"until,omitempty"`
+	// Tags restricts the rule to messages with these payload tags (e.g.
+	// only the quorum protocol's "j failed" traffic). Empty = all messages.
+	Tags []string `json:"tags,omitempty"`
+	// Corrupt is the probability a matching message's payload is mutated
+	// in place: the subject field is rotated to name a different process
+	// (or, for subject-less payloads, a data byte is flipped) without
+	// fixing up any authentication — under the internal/byz interposer the
+	// frame then fails its MAC check.
+	Corrupt float64 `json:"corrupt,omitempty"`
+	// Equivocate splits the victim's receivers into groups that see
+	// different variants of each matching message: group 0 (and every
+	// unlisted receiver) gets the true payload, group g gets the subject
+	// rotated by g — and, for sealed frames, resealed under the victim's
+	// key, so each variant authenticates and only a broadcast-consistency
+	// cross-check (the interposer's echo quorum) can catch the split.
+	// At least two groups; members must be distinct and exclude the victim.
+	Equivocate [][]model.ProcID `json:"equivocate,omitempty"`
+	// Replay is the probability that, alongside a matching message, the
+	// plane re-injects the previously transmitted matching wire payload on
+	// the same link as a ghost copy.
+	Replay float64 `json:"replay,omitempty"`
+	// ReplayDelay delays each ghost copy this many ticks beyond the host's
+	// base delay. Choose it above the interposer's replay horizon to model
+	// a stale replay (convicted) rather than a fresh duplicate (absorbed).
+	ReplayDelay int64 `json:"replay_delay,omitempty"`
+}
+
+// noop reports whether the rule forges nothing at all.
+func (b ByzRule) noop() bool {
+	return b.Corrupt == 0 && len(b.Equivocate) == 0 && b.Replay == 0
+}
+
+// validateByz checks the plan's Byzantine rules; part of Plan.Validate.
+func (p Plan) validateByz(n int) error {
+	for i, b := range p.Byz {
+		if b.Victim < 1 || int(b.Victim) > n {
+			return fmt.Errorf("netadv: byz rule %d of plan %q: victim %d outside 1..%d", i, p.Name, b.Victim, n)
+		}
+		if b.From < 0 {
+			return fmt.Errorf("netadv: byz rule %d of plan %q: negative From %d", i, p.Name, b.From)
+		}
+		if b.Until != 0 && b.Until <= b.From {
+			return fmt.Errorf("netadv: byz rule %d of plan %q: Until %d not after From %d", i, p.Name, b.Until, b.From)
+		}
+		for _, pr := range [...]struct {
+			name string
+			v    float64
+		}{{"Corrupt", b.Corrupt}, {"Replay", b.Replay}} {
+			if pr.v < 0 || pr.v > 1 {
+				return fmt.Errorf("netadv: byz rule %d of plan %q: %s=%v outside [0,1]", i, p.Name, pr.name, pr.v)
+			}
+		}
+		if b.ReplayDelay < 0 {
+			return fmt.Errorf("netadv: byz rule %d of plan %q: negative ReplayDelay %d", i, p.Name, b.ReplayDelay)
+		}
+		if b.ReplayDelay != 0 && b.Replay == 0 {
+			return fmt.Errorf("netadv: byz rule %d of plan %q: ReplayDelay %d without Replay", i, p.Name, b.ReplayDelay)
+		}
+		if b.noop() {
+			return fmt.Errorf("netadv: byz rule %d of plan %q: no effect (none of Corrupt/Equivocate/Replay set)", i, p.Name)
+		}
+		seenTag := make(map[string]bool, len(b.Tags))
+		for _, tag := range b.Tags {
+			if tag == "" {
+				// Payload tags are never empty, so the entry can never match.
+				return fmt.Errorf("netadv: byz rule %d of plan %q: empty tag never matches any message", i, p.Name)
+			}
+			if seenTag[tag] {
+				return fmt.Errorf("netadv: byz rule %d of plan %q: duplicate tag %q", i, p.Name, tag)
+			}
+			seenTag[tag] = true
+		}
+		if len(b.Equivocate) == 1 {
+			return fmt.Errorf("netadv: byz rule %d of plan %q: Equivocate needs at least 2 groups (one group has no one to disagree with)", i, p.Name)
+		}
+		seen := make(map[model.ProcID]int)
+		for gi, g := range b.Equivocate {
+			if len(g) == 0 {
+				return fmt.Errorf("netadv: byz rule %d of plan %q: equivocation group %d is empty", i, p.Name, gi)
+			}
+			for _, proc := range g {
+				if proc < 1 || int(proc) > n {
+					return fmt.Errorf("netadv: byz rule %d of plan %q: process %d outside 1..%d", i, p.Name, proc, n)
+				}
+				if proc == b.Victim {
+					return fmt.Errorf("netadv: byz rule %d of plan %q: victim %d cannot be its own receiver group member", i, p.Name, proc)
+				}
+				if prev, dup := seen[proc]; dup {
+					if prev == gi {
+						return fmt.Errorf("netadv: byz rule %d of plan %q: process %d listed twice in equivocation group %d", i, p.Name, proc, gi)
+					}
+					return fmt.Errorf("netadv: byz rule %d of plan %q: process %d in both equivocation group %d and group %d", i, p.Name, proc, prev, gi)
+				}
+				seen[proc] = gi
+			}
+		}
+		// A rule whose whole window sits inside an unconditional all-link
+		// Cut can never put a forged frame on the wire.
+		for ri, r := range p.Rules {
+			if !r.Cut || r.Period != 0 || !r.Links.Empty() {
+				continue
+			}
+			windowCovered := r.From <= b.From && (r.Until == 0 || (b.Until != 0 && b.Until <= r.Until))
+			if !windowCovered {
+				continue
+			}
+			tagsCovered := len(r.Tags) == 0
+			if !tagsCovered && len(b.Tags) > 0 {
+				cut := make(map[string]bool, len(r.Tags))
+				for _, t := range r.Tags {
+					cut[t] = true
+				}
+				tagsCovered = true
+				for _, t := range b.Tags {
+					if !cut[t] {
+						tagsCovered = false
+						break
+					}
+				}
+			}
+			if tagsCovered {
+				return fmt.Errorf("netadv: byz rule %d of plan %q: its window lies inside rule %d's unconditional Cut, so it can never fire", i, p.Name, ri)
+			}
+		}
+	}
+	return nil
+}
+
+// compiledByz is a ByzRule with its selectors resolved into constant-time
+// lookups.
+type compiledByz struct {
+	ByzRule
+	tags    map[string]bool
+	groupOf map[model.ProcID]int // receiver -> equivocation group
+}
+
+func (cb *compiledByz) activeAt(at int64) bool {
+	return at >= cb.From && (cb.Until == 0 || at < cb.Until)
+}
+
+func (cb *compiledByz) matches(from model.ProcID, tag string) bool {
+	if from != cb.Victim {
+		return false
+	}
+	return len(cb.tags) == 0 || cb.tags[tag]
+}
+
+// byzKey identifies one Byzantine rule's replay memory on one directed
+// link.
+type byzKey struct {
+	rule int
+	link Link
+}
+
+// applyByz applies the plan's Byzantine rules to one decided message,
+// composing onto dec. Dropped messages put nothing on the wire, so there
+// is nothing to forge or remember. Fates derive from a per-rule lazy
+// stream over (seed, rule, link, index) — separate from the network rules'
+// shared stream, so adding Byzantine rules to a plan never shifts the
+// fates its existing rules assign.
+func (pl *Plane) applyByz(dec *node.LinkDecision, from, to model.ProcID, p node.Payload, link Link, idx uint64, at int64) {
+	if len(pl.byzRules) == 0 || dec.Drop {
+		return
+	}
+	wire := p // what actually goes on the wire, mutations composed
+	anyReplay := false
+	for bi := range pl.byzRules {
+		cb := &pl.byzRules[bi]
+		if !cb.activeAt(at) || !cb.matches(from, p.Tag) {
+			continue
+		}
+		brng := newByzStream(pl.seed, bi, link, idx)
+		corruptRoll := brng.float64()
+		replayRoll := brng.float64()
+		delta := 1 + int(brng.uint64()%uint64(pl.n-1))
+		if g, ok := cb.groupOf[to]; ok && g > 0 {
+			// Equivocation: this receiver's group sees the subject rotated
+			// by the group index, resealed so the variant authenticates.
+			wire = equivocatePayload(wire, from, g, pl.n)
+			dec.Replace = &node.Replacement{Payload: wire, Note: "equiv=g" + strconv.Itoa(g)}
+			pl.cEquivocated.Inc()
+		} else if cb.Corrupt > 0 && corruptRoll < cb.Corrupt {
+			// Corruption: mutate without resealing — an authenticated frame
+			// then fails its MAC check at the receiver.
+			wire = corruptPayload(wire, delta, pl.n)
+			dec.Replace = &node.Replacement{Payload: wire, Note: "corrupt"}
+			pl.cCorrupted.Inc()
+		}
+		if cb.Replay > 0 && replayRoll < cb.Replay {
+			pl.mu.Lock()
+			mem, ok := pl.replayMem[byzKey{rule: bi, link: link}]
+			pl.mu.Unlock()
+			if ok {
+				dec.Replay = &node.ReplayedCopy{Payload: mem, Delay: cb.ReplayDelay}
+				pl.cReplayed.Inc()
+			}
+			anyReplay = true
+		}
+		if cb.Replay > 0 {
+			anyReplay = true
+		}
+	}
+	if !anyReplay {
+		return
+	}
+	// Remember what actually went on the wire, per (rule, link), for the
+	// rule's future replays.
+	pl.mu.Lock()
+	for bi := range pl.byzRules {
+		cb := &pl.byzRules[bi]
+		if cb.Replay > 0 && cb.activeAt(at) && cb.matches(from, p.Tag) {
+			pl.replayMem[byzKey{rule: bi, link: link}] = wire
+		}
+	}
+	pl.mu.Unlock()
+}
+
+// equivocatePayload is variant g of a broadcast payload: the subject
+// rotated by g and, when the payload is sealed by the internal/byz layer
+// (directly or under a reliable-layer frame), resealed under the sender's
+// key — the Byzantine sender signs its own lies, so only the echo quorum's
+// consistency cross-check can catch the split.
+func equivocatePayload(p node.Payload, sender model.ProcID, g, n int) node.Payload {
+	ns := rotateSubject(p.Subject, g, n)
+	if off, ok := sealedBodyOffset(p.Data); ok {
+		if resealed, ok2 := byz.Reseal(p.Data[off:], sender, p.Tag, ns); ok2 {
+			data := append(append([]byte(nil), p.Data[:off]...), resealed...)
+			return node.Payload{Tag: p.Tag, Subject: ns, Data: data}
+		}
+	}
+	return node.Payload{Tag: p.Tag, Subject: ns, Data: p.Data}
+}
+
+// corruptPayload mutates one field deterministically: the subject rotates
+// to name a different process; subject-less payloads get a data byte
+// flipped; empty payloads get a subject forged from nothing.
+func corruptPayload(p node.Payload, delta, n int) node.Payload {
+	out := p
+	switch {
+	case p.Subject != model.None:
+		out.Subject = rotateSubject(p.Subject, delta, n)
+	case len(p.Data) > 0:
+		data := append([]byte(nil), p.Data...)
+		data[len(data)-1] ^= 0x01
+		out.Data = data
+	default:
+		out.Subject = model.ProcID(delta)
+	}
+	return out
+}
+
+// rotateSubject maps s to another process id, delta steps around 1..n.
+func rotateSubject(s model.ProcID, delta, n int) model.ProcID {
+	return model.ProcID(((int(s)-1+delta)%n+n)%n + 1)
+}
+
+// sealedBodyOffset locates a byz-sealed body inside wire data: sealed
+// directly, or sealed under the link layer's framing (node.WireBodyFn).
+func sealedBodyOffset(data []byte) (off int, ok bool) {
+	if byz.Sealed(data) {
+		return 0, true
+	}
+	if node.WireBodyFn != nil {
+		if off, ok := node.WireBodyFn(data); ok && byz.Sealed(data[off:]) {
+			return off, true
+		}
+	}
+	return 0, false
+}
+
+// newByzStream seeds one Byzantine rule's lazy fate stream for one message:
+// a distinct salt and the rule index keep it independent of the network
+// rules' shared stream and of every other Byzantine rule.
+func newByzStream(seed int64, rule int, l Link, idx uint64) stream {
+	const byzSalt = 0x7c3d1e9a55f20b64
+	return newStream(int64(mix(uint64(seed)^byzSalt^uint64(rule)*0x9e3779b97f4a7c15)), l, idx)
+}

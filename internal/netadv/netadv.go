@@ -195,10 +195,15 @@ type Plan struct {
 	// Procs is the process fault timeline: scheduled crashes and restarts,
 	// executed by the hosts under their configured recovery mode.
 	Procs []ProcRule `json:"procs,omitempty"`
+	// Byz is the Byzantine fault timeline: per-victim payload corruption,
+	// equivocation, and replay (see ByzRule).
+	Byz []ByzRule `json:"byz,omitempty"`
 }
 
 // Empty reports whether the plan imposes no faults at all.
-func (p Plan) Empty() bool { return len(p.Rules) == 0 && len(p.Procs) == 0 }
+func (p Plan) Empty() bool {
+	return len(p.Rules) == 0 && len(p.Procs) == 0 && len(p.Byz) == 0
+}
 
 // Lifetimes returns the plan's process-fault schedule in the normalized
 // host form, in plan order.
@@ -371,7 +376,7 @@ func (p Plan) Validate(n int) error {
 			}
 		}
 	}
-	return nil
+	return p.validateByz(n)
 }
 
 // compiledRule is a Rule with its link and tag selectors resolved into
@@ -439,10 +444,11 @@ func (cr *compiledRule) matches(from, to model.ProcID, tag string) bool {
 // and the seed. A Plane is goroutine-safe and implements node.LinkFn via
 // its Decide method.
 type Plane struct {
-	plan  Plan
-	n     int
-	seed  int64
-	rules []compiledRule
+	plan     Plan
+	n        int
+	seed     int64
+	rules    []compiledRule
+	byzRules []compiledByz
 
 	mu  sync.Mutex
 	seq map[Link]uint64
@@ -451,6 +457,9 @@ type Plane struct {
 	// occupies the link for QueueDelay ticks, so the current queue depth is
 	// ceil((busyUntil - now) / QueueDelay).
 	busyUntil map[busyKey]int64
+	// replayMem remembers, per (Replay rule, link), the last matching wire
+	// payload — the frame a Byzantine replay re-injects.
+	replayMem map[byzKey]node.Payload
 
 	// Fate counters, incremented once per decided message from the final
 	// decision (never per rule), so composed rules do not double-count.
@@ -460,6 +469,11 @@ type Plane struct {
 	cDuplicated obs.Counter
 	cReordered  obs.Counter
 	cShapedWait obs.Counter // total extra-delay ticks assigned
+	// Byzantine fate counters, registered and reported only for plans that
+	// carry Byz rules (so byz-free runs keep byte-identical metrics).
+	cCorrupted   obs.Counter
+	cEquivocated obs.Counter
+	cReplayed    obs.Counter
 }
 
 // busyKey identifies one shaping rule's queue on one directed link.
@@ -478,6 +492,7 @@ func NewPlane(plan Plan, n int, seed int64) *Plane {
 	pl := &Plane{
 		plan: plan, n: n, seed: seed,
 		seq: make(map[Link]uint64), busyUntil: make(map[busyKey]int64),
+		replayMem: make(map[byzKey]node.Payload),
 	}
 	for _, r := range plan.Rules {
 		cr := compiledRule{Rule: r}
@@ -503,6 +518,24 @@ func NewPlane(plan Plan, n int, seed int64) *Plane {
 		}
 		pl.rules = append(pl.rules, cr)
 	}
+	for _, b := range plan.Byz {
+		cb := compiledByz{ByzRule: b}
+		if len(b.Tags) > 0 {
+			cb.tags = make(map[string]bool, len(b.Tags))
+			for _, t := range b.Tags {
+				cb.tags[t] = true
+			}
+		}
+		if len(b.Equivocate) > 0 {
+			cb.groupOf = make(map[model.ProcID]int)
+			for gi, g := range b.Equivocate {
+				for _, proc := range g {
+					cb.groupOf[proc] = gi
+				}
+			}
+		}
+		pl.byzRules = append(pl.byzRules, cb)
+	}
 	return pl
 }
 
@@ -518,18 +551,38 @@ func (pl *Plane) Register(reg *obs.Registry) {
 	reg.RegisterCounter("plane_duplicated_total", &pl.cDuplicated)
 	reg.RegisterCounter("plane_reordered_total", &pl.cReordered)
 	reg.RegisterCounter("plane_extra_delay_ticks_total", &pl.cShapedWait)
+	if len(pl.plan.Byz) > 0 {
+		reg.RegisterCounter("plane_byz_corrupted_total", &pl.cCorrupted)
+		reg.RegisterCounter("plane_byz_equivocated_total", &pl.cEquivocated)
+		reg.RegisterCounter("plane_byz_replayed_total", &pl.cReplayed)
+	}
 }
 
 // Metrics returns a name-sorted snapshot of the plane's fate counters.
+// Byzantine counters appear only for plans that carry Byz rules.
 func (pl *Plane) Metrics() obs.Metrics {
-	return obs.Metrics{
+	var ms obs.Metrics
+	if len(pl.plan.Byz) > 0 {
+		ms = obs.Metrics{
+			{Name: "plane_byz_corrupted_total", Kind: obs.KindCounter, Value: pl.cCorrupted.Value()},
+			{Name: "plane_byz_equivocated_total", Kind: obs.KindCounter, Value: pl.cEquivocated.Value()},
+			{Name: "plane_byz_replayed_total", Kind: obs.KindCounter, Value: pl.cReplayed.Value()},
+		}
+	}
+	return append(ms, obs.Metrics{
 		{Name: "plane_decided_total", Kind: obs.KindCounter, Value: pl.cDecided.Value()},
 		{Name: "plane_dropped_total", Kind: obs.KindCounter, Value: pl.cDropped.Value()},
 		{Name: "plane_duplicated_total", Kind: obs.KindCounter, Value: pl.cDuplicated.Value()},
 		{Name: "plane_extra_delay_ticks_total", Kind: obs.KindCounter, Value: pl.cShapedWait.Value()},
 		{Name: "plane_held_ticks_total", Kind: obs.KindCounter, Value: pl.cHeld.Value()},
 		{Name: "plane_reordered_total", Kind: obs.KindCounter, Value: pl.cReordered.Value()},
-	}
+	}...)
+}
+
+// ByzFates returns how many messages the plane has corrupted, equivocated,
+// and replayed so far.
+func (pl *Plane) ByzFates() (corrupted, equivocated, replayed int64) {
+	return pl.cCorrupted.Value(), pl.cEquivocated.Value(), pl.cReplayed.Value()
 }
 
 // count tallies the final decision of one message. It reads no PRNG state,
@@ -568,7 +621,7 @@ func (pl *Plane) Decide(from, to model.ProcID, p node.Payload, at int64) node.Li
 	pl.seq[link] = idx + 1
 	pl.mu.Unlock()
 
-	// Fast path: no rule is active and matching.
+	// Fast path: no rule (network or Byzantine) is active and matching.
 	anyMatch := false
 	for i := range pl.rules {
 		if pl.rules[i].activeAt(at) && pl.rules[i].matches(from, to, p.Tag) {
@@ -576,50 +629,60 @@ func (pl *Plane) Decide(from, to model.ProcID, p node.Payload, at int64) node.Li
 			break
 		}
 	}
-	if !anyMatch {
+	anyByz := false
+	for i := range pl.byzRules {
+		if pl.byzRules[i].activeAt(at) && pl.byzRules[i].matches(from, p.Tag) {
+			anyByz = true
+			break
+		}
+	}
+	if !anyMatch && !anyByz {
 		pl.count(dec, 0)
 		return dec
 	}
 
 	var held int64
-	rng := newStream(pl.seed, link, idx)
-	for i := range pl.rules {
-		cr := &pl.rules[i]
-		// Consume the stream identically whether or not the rule is active,
-		// so a rule expiring does not shift the fates other rules assign to
-		// later messages on the link.
-		drop := rng.float64()
-		dup := rng.float64()
-		reord := rng.float64()
-		jit := rng.uint64()
-		if !cr.activeAt(at) || !cr.matches(from, to, p.Tag) {
-			continue
-		}
-		if cr.Cut || drop < cr.Drop {
-			dec.Drop = true
-		}
-		if cr.Hold {
-			// Deliver no earlier than the heal (the end of the current
-			// window): the base delay is >= 0, so pushing the extra delay to
-			// (heal - at) suffices.
-			if hold := cr.healAt(at) - at; hold > dec.ExtraDelay {
-				dec.ExtraDelay = hold
-				held = hold
+	if anyMatch {
+		rng := newStream(pl.seed, link, idx)
+		for i := range pl.rules {
+			cr := &pl.rules[i]
+			// Consume the stream identically whether or not the rule is
+			// active, so a rule expiring does not shift the fates other rules
+			// assign to later messages on the link.
+			drop := rng.float64()
+			dup := rng.float64()
+			reord := rng.float64()
+			jit := rng.uint64()
+			if !cr.activeAt(at) || !cr.matches(from, to, p.Tag) {
+				continue
+			}
+			if cr.Cut || drop < cr.Drop {
+				dec.Drop = true
+			}
+			if cr.Hold {
+				// Deliver no earlier than the heal (the end of the current
+				// window): the base delay is >= 0, so pushing the extra delay
+				// to (heal - at) suffices.
+				if hold := cr.healAt(at) - at; hold > dec.ExtraDelay {
+					dec.ExtraDelay = hold
+					held = hold
+				}
+			}
+			if dup < cr.Duplicate {
+				dec.Duplicates++
+			}
+			if reord < cr.Reorder {
+				dec.Reorder = true
+			}
+			if cr.JitterMax > 0 {
+				dec.ExtraDelay += int64(jit % uint64(cr.JitterMax+1))
+			}
+			if cr.QueueDelay > 0 {
+				dec.ExtraDelay += pl.shape(i, link, at, cr.QueueDelay)
 			}
 		}
-		if dup < cr.Duplicate {
-			dec.Duplicates++
-		}
-		if reord < cr.Reorder {
-			dec.Reorder = true
-		}
-		if cr.JitterMax > 0 {
-			dec.ExtraDelay += int64(jit % uint64(cr.JitterMax+1))
-		}
-		if cr.QueueDelay > 0 {
-			dec.ExtraDelay += pl.shape(i, link, at, cr.QueueDelay)
-		}
 	}
+	pl.applyByz(&dec, from, to, p, link, idx, at)
 	pl.count(dec, held)
 	return dec
 }

@@ -66,6 +66,16 @@ func BuiltinNames() []string {
 //     window is lost for good. This is the adversarial-timing family of
 //     Gafni & Losa's "Time Is Not a Healer": no single partition lasts, yet
 //     some process is always unreachable.
+//   - "byzantine-minority": the Byzantine workload (internal/byz). From
+//     tick 10 the t highest-numbered processes turn traitor on the quorum
+//     protocol's "j failed" traffic: victims alternate between equivocators
+//     — each matching broadcast shows the two halves of the victim's
+//     receivers different subjects, resealed so both variants authenticate,
+//     plus a stale replay of the previous matching frame ByzReplayDelay
+//     ticks late — and corruptors, whose every matching frame is mutated
+//     without resealing and fails its MAC check. With the internal/byz
+//     interposer on, every victim is convicted and masked into a crash;
+//     with it off, forged SUSP traffic feeds the detectors directly.
 //   - "restart-storm": the crash-recovery workload (internal/recovery).
 //     The two highest-numbered processes crash and restart on staggered
 //     periodic windows forever: each is down for RestartStormDowntime ticks
@@ -128,6 +138,36 @@ func Builtins() []Generator {
 			}
 			return Plan{Name: "moving-partition", Rules: rules}
 		}},
+		{Name: "byzantine-minority", Make: func(n, t int) Plan {
+			victims := minority(n, t)
+			rules := make([]ByzRule, 0, len(victims))
+			for i, v := range victims {
+				if i%2 == 0 && n >= 3 {
+					// Equivocator: split the victim's receivers in half and
+					// show each half a different (validly resealed) subject;
+					// replay the previous matching frame past any reasonable
+					// replay horizon.
+					rules = append(rules, ByzRule{
+						Victim:      v,
+						From:        10,
+						Tags:        []string{core.TagSusp},
+						Equivocate:  receiverHalves(n, v),
+						Replay:      1,
+						ReplayDelay: ByzReplayDelay,
+					})
+				} else {
+					// Corruptor: every matching frame mutated without a
+					// reseal — dead on arrival at any MAC check.
+					rules = append(rules, ByzRule{
+						Victim:  v,
+						From:    10,
+						Tags:    []string{core.TagSusp},
+						Corrupt: 1,
+					})
+				}
+			}
+			return Plan{Name: "byzantine-minority", Byz: rules}
+		}},
 		{Name: "restart-storm", Make: func(n, t int) Plan {
 			procs := []ProcRule{{
 				Proc:      model.ProcID(n),
@@ -161,6 +201,25 @@ const (
 	RestartStormPeriod   = 400
 	RestartStormDowntime = 150
 )
+
+// ByzReplayDelay is how late the byzantine-minority builtin's replayed
+// frames arrive beyond the base delay, in ticks — chosen well past the
+// interposer's default replay horizon (byz.DefaultReplayHorizon), so the
+// ghosts register as stale replays rather than fresh duplicates.
+const ByzReplayDelay = 400
+
+// receiverHalves splits {1..n} \ {v} — the equivocating victim v's
+// receivers — into two halves, lower-numbered half first.
+func receiverHalves(n int, v model.ProcID) [][]model.ProcID {
+	recv := make([]model.ProcID, 0, n-1)
+	for p := 1; p <= n; p++ {
+		if model.ProcID(p) != v {
+			recv = append(recv, model.ProcID(p))
+		}
+	}
+	half := (len(recv) + 1) / 2
+	return [][]model.ProcID{recv[:half], recv[half:]}
+}
 
 // halves splits 1..n into a majority half [1..ceil(n/2)] and the rest.
 func halves(n int) [][]model.ProcID {

@@ -33,6 +33,30 @@ type LinkDecision struct {
 	// current channel tail instead of after it — a pairwise FIFO violation.
 	// It has no effect when the channel holds at most one message.
 	Reorder bool
+	// Replace, when non-nil, substitutes the payload every delivered copy
+	// carries — a Byzantine wire fault. The send event still records the
+	// original payload: the sender executed that send; the network lied.
+	Replace *Replacement
+	// Replay, when non-nil, additionally injects a ghost copy of an earlier
+	// wire payload on the same link, delayed by Replay.Delay beyond the
+	// host's base delay — a Byzantine replay. The ghost is enqueued at the
+	// channel tail and does not count as a duplicate of the current message.
+	Replay *ReplayedCopy
+}
+
+// Replacement is the payload the network substitutes for every delivered
+// copy of a message, with a short note ("corrupt", "equiv=g1") for fault-
+// fate trace spans.
+type Replacement struct {
+	Payload Payload
+	Note    string
+}
+
+// ReplayedCopy is a previously transmitted wire payload the network
+// re-injects on the link, Delay ticks beyond the host's base delay.
+type ReplayedCopy struct {
+	Payload Payload
+	Delay   int64
 }
 
 // Copies returns how many copies of the message the network delivers:
@@ -43,6 +67,16 @@ func (d LinkDecision) Copies() int {
 	}
 	return 1 + d.Duplicates
 }
+
+// WireBodyFn, when non-nil, locates the link-layer framed body inside a
+// wire payload's data: it returns the offset at which the original
+// (pre-framing) payload bytes begin, and ok=false for data that carries no
+// such framing. The reliable delivery layer registers its frame decoder
+// here at init, so the fault plane can reach through its header when a
+// Byzantine rule must mutate or reseal the inner payload without breaking
+// the framing — without the fault plane importing the layer (whose tests
+// import the fault plane). Set once at init; never mutated afterwards.
+var WireBodyFn func(data []byte) (offset int, ok bool)
 
 // LinkFn decides the fate of each message at send time: it is consulted by
 // the host (the deterministic simulator or the live runtime) once per send,
@@ -56,7 +90,8 @@ type LinkFn func(from, to model.ProcID, p Payload, at int64) LinkDecision
 // ("drop", "park,dup=2", "delay=+3"); the zero decision yields "". Hosts
 // use it to label fault-fate trace spans identically on both backends.
 func (d LinkDecision) Note() string {
-	if !d.Drop && !d.Park && !d.Reorder && d.Duplicates == 0 && d.ExtraDelay == 0 {
+	if !d.Drop && !d.Park && !d.Reorder && d.Duplicates == 0 && d.ExtraDelay == 0 &&
+		d.Replace == nil && d.Replay == nil {
 		return ""
 	}
 	var b []byte
@@ -80,6 +115,12 @@ func (d LinkDecision) Note() string {
 	}
 	if d.ExtraDelay != 0 {
 		add("delay=+" + strconv.FormatInt(d.ExtraDelay, 10))
+	}
+	if d.Replace != nil {
+		add(d.Replace.Note)
+	}
+	if d.Replay != nil {
+		add("replay=+" + strconv.FormatInt(d.Replay.Delay, 10))
 	}
 	return string(b)
 }

@@ -28,6 +28,11 @@ const (
 	// the note carries the recovery mode and, under durable recovery, the
 	// snapshot size restored. Detection-grade: never sampled out.
 	SpanRestart SpanKind = "restart"
+	// SpanByzDetect records a Byzantine-misbehavior conviction by the
+	// validation layer (internal/byz): Proc is the convicting process,
+	// Peer the culprit, and the note carries the reason ("bad-mac",
+	// "equivocation", "replay"). Detection-grade: never sampled out.
+	SpanByzDetect SpanKind = "byz-detect"
 )
 
 // Known reports whether k is a kind this package defines. Readers use it
@@ -36,7 +41,8 @@ const (
 func (k SpanKind) Known() bool {
 	switch k {
 	case SpanSend, SpanFate, SpanEnqueue, SpanDeliver, SpanDrop,
-		SpanRetransmit, SpanSuspect, SpanCrashConfirm, SpanRestart:
+		SpanRetransmit, SpanSuspect, SpanCrashConfirm, SpanRestart,
+		SpanByzDetect:
 		return true
 	}
 	return false

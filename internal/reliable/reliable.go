@@ -581,6 +581,24 @@ func (e *Endpoint) Accepts(from model.ProcID, p node.Payload) bool {
 	return true
 }
 
+// WireBody locates the framed payload bytes inside a data frame's wire
+// data: it returns the offset at which the original (pre-framing) payload
+// begins, and ok=false for data that is not a reliable-layer data frame
+// (acks, or traffic from a sender without the layer). The netadv fault
+// plane uses it — via node.WireBodyFn, to keep the fault plane from
+// importing this package — to reach through the reliable header when a
+// Byzantine rule must mutate or reseal the inner payload without breaking
+// the framing.
+func WireBody(data []byte) (offset int, ok bool) {
+	wf, ok := decodeFrame(data)
+	if !ok || wf.kind != kindData {
+		return 0, false
+	}
+	return headerLen, true
+}
+
+func init() { node.WireBodyFn = WireBody }
+
 // wireFrame is a decoded frame header plus the original payload bytes.
 type wireFrame struct {
 	kind           byte

@@ -289,6 +289,20 @@ func (n *Net) Metrics() obs.Metrics {
 			obs.Metric{Name: "reliable_retransmits_total", Kind: obs.KindCounter, Value: int64(r)},
 		)
 	}
+	hasByz := false
+	for p := 1; p <= n.cfg.N; p++ {
+		if _, ok := findByzStats(n.handlers[p]); ok {
+			hasByz = true
+			break
+		}
+	}
+	if hasByz {
+		d, m := n.ByzStats()
+		ms = append(ms,
+			obs.Metric{Name: "byz_detected_total", Kind: obs.KindCounter, Value: int64(d)},
+			obs.Metric{Name: "byz_masked_total", Kind: obs.KindCounter, Value: int64(m)},
+		)
+	}
 	// Mirroring the simulator's snapshot: recovery metrics appear only when
 	// the run has lifetimes, keeping fault-free snapshots byte-stable.
 	if len(n.cfg.Lifetimes) > 0 {
@@ -298,7 +312,7 @@ func (n *Net) Metrics() obs.Metrics {
 			obs.Metric{Name: "net_restarts_total", Kind: obs.KindCounter, Value: n.cRestarts.Value()},
 		)
 	}
-	if hasReliable || len(n.cfg.Lifetimes) > 0 {
+	if hasReliable || hasByz || len(n.cfg.Lifetimes) > 0 {
 		ms.Sort()
 	}
 	return ms
@@ -438,6 +452,44 @@ func (n *Net) ReliableStats() (retransmits, ackedDuplicates int) {
 		}
 	}
 	return retransmits, ackedDuplicates
+}
+
+// byzStats is implemented by the Byzantine validation interposer
+// (internal/byz.Endpoint), discovered structurally like reliableStats.
+type byzStats interface {
+	ByzStats() (detected, masked int)
+}
+
+// findByzStats walks a handler's wrapper chain outermost-first — the
+// interposer sits inside the reliable layer when both are enabled — until
+// it finds the validation interposer or runs out of wrappers.
+func findByzStats(h node.Handler) (byzStats, bool) {
+	for h != nil {
+		if bs, ok := h.(byzStats); ok {
+			return bs, true
+		}
+		iw, ok := h.(interface{ Inner() node.Handler })
+		if !ok {
+			return nil, false
+		}
+		h = iw.Inner()
+	}
+	return nil, false
+}
+
+// ByzStats aggregates the Byzantine validation interposer's counters
+// across every handler that carries the layer: misbehavior convictions,
+// and frames discarded from convicted senders. Both are 0 when no handler
+// wraps one. Safe to call while the network runs.
+func (n *Net) ByzStats() (detected, masked int) {
+	for p := 1; p <= n.cfg.N; p++ {
+		if bs, ok := findByzStats(n.handlers[p]); ok {
+			d, m := bs.ByzStats()
+			detected += d
+			masked += m
+		}
+	}
+	return detected, masked
 }
 
 // liveMsg is a queued message on a live channel.
@@ -689,17 +741,24 @@ func (c *liveCtx) Send(to model.ProcID, pl node.Payload) {
 	}
 	net.cDuplicated.Add(int64(dec.Duplicates))
 
+	// A Byzantine network may substitute what the channel carries; the send
+	// event above still records the payload the sender actually passed in.
+	wire := pl
+	if dec.Replace != nil {
+		wire = dec.Replace.Payload
+	}
+
 	dst := net.procs[to]
 	var maxDelay time.Duration
 	dst.mu.Lock()
-	for c := 0; c < dec.Copies(); c++ {
-		d := net.delay() + time.Duration(dec.ExtraDelay)*net.cfg.Tick
+	enqueue := func(payload node.Payload, extraTicks int64) {
+		d := net.delay() + time.Duration(dec.ExtraDelay+extraTicks)*net.cfg.Tick
 		if d > maxDelay {
 			maxDelay = d
 		}
 		msg := liveMsg{
 			id:      id,
-			payload: pl,
+			payload: payload,
 			readyAt: time.Now().Add(d),
 			parked:  dec.Park,
 		}
@@ -719,6 +778,14 @@ func (c *liveCtx) Send(to model.ProcID, pl node.Payload) {
 			q = append(q, msg)
 		}
 		dst.queues[p.self] = q
+	}
+	for c := 0; c < dec.Copies(); c++ {
+		enqueue(wire, 0)
+	}
+	if dec.Replay != nil {
+		// A Byzantine replay: a ghost copy of an earlier wire payload rides
+		// along, further delayed so it lands stale.
+		enqueue(dec.Replay.Payload, dec.Replay.Delay)
 	}
 	dst.mu.Unlock()
 	dst.wake()

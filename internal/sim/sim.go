@@ -295,6 +295,11 @@ type Result struct {
 	// counts the restarts that followed; Recovered counts restarts that
 	// restored a non-empty durable snapshot. All are 0 without lifetimes.
 	PlanCrashes, Restarts, Recovered int
+	// ByzDetected and ByzMasked aggregate the Byzantine validation layer
+	// across all processes, when handlers carry one (misbehavior convictions,
+	// and frames discarded from convicted senders). Both are 0 when the
+	// layer is disabled.
+	ByzDetected, ByzMasked int
 	// Blocked lists channels holding undelivered messages to live processes
 	// at the end of the run (gated or parked) plus channels into crashed
 	// processes. A run with gated entries did not reach protocol quiescence.
@@ -536,6 +541,7 @@ func (s *Sim) Run() *Result {
 	res.Recovered = int(s.cRecovered.Value())
 	res.Blocked = s.blockedChannels()
 	hasReliable := false
+	hasByz := false
 	for p := 1; p <= s.cfg.N; p++ {
 		if rs, ok := s.handlers[p].(reliableStats); ok {
 			hasReliable = true
@@ -543,8 +549,14 @@ func (s *Sim) Run() *Result {
 			res.Retransmits += r
 			res.AckedDuplicates += d
 		}
+		if bs, ok := findByzStats(s.handlers[p]); ok {
+			hasByz = true
+			d, m := bs.ByzStats()
+			res.ByzDetected += d
+			res.ByzMasked += m
+		}
 	}
-	res.Metrics = s.snapshotMetrics(res, hasReliable)
+	res.Metrics = s.snapshotMetrics(res, hasReliable, hasByz)
 	if s.cfg.Timeline != nil {
 		res.Timeline = s.cfg.Timeline.Snapshot()
 	}
@@ -553,7 +565,7 @@ func (s *Sim) Run() *Result {
 
 // snapshotMetrics builds the run's metric snapshot directly from the
 // inline counters — already name-sorted, so no sort pass is needed.
-func (s *Sim) snapshotMetrics(res *Result, hasReliable bool) obs.Metrics {
+func (s *Sim) snapshotMetrics(res *Result, hasReliable, hasByz bool) obs.Metrics {
 	ms := obs.Metrics{
 		{Name: "sim_delivered_total", Kind: obs.KindCounter, Value: s.cDelivered.Value()},
 		{Name: "sim_dropped_total", Kind: obs.KindCounter, Value: s.cDropped.Value()},
@@ -567,6 +579,12 @@ func (s *Sim) snapshotMetrics(res *Result, hasReliable bool) obs.Metrics {
 			obs.Metric{Name: "reliable_retransmits_total", Kind: obs.KindCounter, Value: int64(res.Retransmits)},
 		)
 	}
+	if hasByz {
+		ms = append(ms,
+			obs.Metric{Name: "byz_detected_total", Kind: obs.KindCounter, Value: int64(res.ByzDetected)},
+			obs.Metric{Name: "byz_masked_total", Kind: obs.KindCounter, Value: int64(res.ByzMasked)},
+		)
+	}
 	// Like the registry, the snapshot grows recovery metrics only when the
 	// run actually had lifetimes, keeping fault-free snapshots byte-stable.
 	if len(s.cfg.Lifetimes) > 0 {
@@ -576,7 +594,7 @@ func (s *Sim) snapshotMetrics(res *Result, hasReliable bool) obs.Metrics {
 			obs.Metric{Name: "sim_restarts_total", Kind: obs.KindCounter, Value: s.cRestarts.Value()},
 		)
 	}
-	if hasReliable || len(s.cfg.Lifetimes) > 0 {
+	if hasReliable || hasByz || len(s.cfg.Lifetimes) > 0 {
 		ms.Sort()
 	}
 	return ms
@@ -613,6 +631,29 @@ func (s *Sim) maxBacklog() int {
 // structurally to avoid depending on the layer.
 type reliableStats interface {
 	ReliableStats() (retransmits, ackedDuplicates int)
+}
+
+// byzStats is implemented by the Byzantine validation interposer
+// (internal/byz.Endpoint), discovered structurally like reliableStats.
+type byzStats interface {
+	ByzStats() (detected, masked int)
+}
+
+// findByzStats walks a handler's wrapper chain outermost-first — the
+// interposer sits inside the reliable layer when both are enabled — until
+// it finds the validation interposer or runs out of wrappers.
+func findByzStats(h node.Handler) (byzStats, bool) {
+	for h != nil {
+		if bs, ok := h.(byzStats); ok {
+			return bs, true
+		}
+		iw, ok := h.(interface{ Inner() node.Handler })
+		if !ok {
+			return nil, false
+		}
+		h = iw.Inner()
+	}
+	return nil, false
 }
 
 func (s *Sim) blockedChannels() []BlockedChannel {
@@ -933,6 +974,13 @@ func (c *procCtx) Send(to model.ProcID, p node.Payload) {
 	}
 	s.cDuplicated.Add(int64(dec.Duplicates))
 
+	// A Byzantine network may substitute what the channel carries; the send
+	// event above still records the payload the sender actually passed in.
+	wire := p
+	if dec.Replace != nil {
+		wire = dec.Replace.Payload
+	}
+
 	k := chanKey{from: c.p, to: to}
 	ch := s.chans[k]
 	if ch == nil {
@@ -943,7 +991,7 @@ func (c *procCtx) Send(to model.ProcID, p node.Payload) {
 		s.chans[k] = ch
 	}
 	headChanged := false
-	for n := 0; n < dec.Copies(); n++ {
+	enqueue := func(payload node.Payload, extra int64) {
 		var delay int64
 		if s.cfg.Delay != nil {
 			delay = s.cfg.Delay(c.p, to, p, s.now)
@@ -952,9 +1000,9 @@ func (c *procCtx) Send(to model.ProcID, p node.Payload) {
 		}
 		ready := int64(-1)
 		if delay >= 0 && !dec.Park {
-			ready = s.now + delay + dec.ExtraDelay
+			ready = s.now + delay + dec.ExtraDelay + extra
 		}
-		msg := pendingMsg{id: id, payload: p, readyAt: ready}
+		msg := pendingMsg{id: id, payload: payload, readyAt: ready}
 		s.inflight++
 		if parentSpan != 0 {
 			msg.span = s.cfg.Spans.Record(obs.Span{
@@ -973,6 +1021,14 @@ func (c *procCtx) Send(to model.ProcID, p node.Payload) {
 				headChanged = true
 			}
 		}
+	}
+	for n := 0; n < dec.Copies(); n++ {
+		enqueue(wire, 0)
+	}
+	if dec.Replay != nil {
+		// A Byzantine replay: a ghost copy of an earlier wire payload rides
+		// along, further delayed so it lands stale.
+		enqueue(dec.Replay.Payload, dec.Replay.Delay)
 	}
 	if headChanged {
 		s.scheduleHead(k)

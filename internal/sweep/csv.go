@@ -46,11 +46,12 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	tsNames := metricNames(allTs...)
 
 	header := []string{
-		"n", "t", "protocol", "quorum_delta", "schedule", "plan", "reliable", "recovery",
+		"n", "t", "protocol", "quorum_delta", "schedule", "plan", "reliable", "recovery", "byzantine",
 		"runs", "quiescent", "blocked_runs", "checked",
 		"stop_drained", "stop_max_time", "stop_max_events",
 		"dropped", "duplicated", "retransmits", "acked_duplicates",
 		"plan_crashes", "restarts", "recovered",
+		"byz_detected", "byz_masked", "corrupted", "equivocated", "replayed",
 		"events_p50", "events_p95", "events_p99", "events_p999", "events_max",
 		"end_time_p50", "end_time_p95",
 	}
@@ -74,7 +75,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			strconv.Itoa(c.Cell.NT.N), strconv.Itoa(c.Cell.NT.T),
 			fmt.Sprint(c.Cell.Protocol), strconv.Itoa(c.Cell.QuorumDelta),
 			c.Cell.Schedule, c.Cell.Plan, strconv.FormatBool(c.Cell.Reliable),
-			c.Cell.Recovery.String(),
+			c.Cell.Recovery.String(), strconv.FormatBool(c.Cell.Byzantine),
 			strconv.Itoa(c.Runs), strconv.Itoa(c.Quiescent),
 			strconv.Itoa(c.BlockedRuns), strconv.Itoa(c.Checked),
 			strconv.Itoa(c.Stops[sim.StopDrained]),
@@ -83,6 +84,8 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			strconv.Itoa(c.Dropped), strconv.Itoa(c.Duplicated),
 			strconv.Itoa(c.Retransmits), strconv.Itoa(c.AckedDuplicates),
 			strconv.Itoa(c.PlanCrashes), strconv.Itoa(c.Restarts), strconv.Itoa(c.Recovered),
+			strconv.Itoa(c.ByzDetected), strconv.Itoa(c.ByzMasked),
+			strconv.Itoa(c.Corrupted), strconv.Itoa(c.Equivocated), strconv.Itoa(c.Replayed),
 			csvFloat(c.Events.Median), csvFloat(c.Events.P95),
 			csvFloat(c.Events.P99), csvFloat(c.Events.P999), csvFloat(c.Events.Max),
 			csvFloat(c.EndTimes.Median), csvFloat(c.EndTimes.P95),

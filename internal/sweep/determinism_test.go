@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"failstop/internal/byz"
 )
 
 // runAt executes the spec with the given GOMAXPROCS and worker count and
@@ -117,6 +119,90 @@ func TestObsTimelineStableAcrossWorkers(t *testing.T) {
 		}
 		if gotCSV != baseCSV {
 			t.Errorf("workers=%d: CSV diverged from serial", workers)
+		}
+	}
+}
+
+// TestByzantineAxisStableAcrossWorkers extends the invariant to the
+// Byzantine axis: a sweep gridding the validation interposer off and on
+// over a plan with Byzantine rules must render identical text, JSON, and
+// CSV — including the byz_detected/byz_masked conviction totals and the
+// fault plane's corrupted/equivocated/replayed injection totals — no
+// matter the worker count.
+func TestByzantineAxisStableAcrossWorkers(t *testing.T) {
+	// false-suspicion keeps the plan's victims (the two highest-numbered
+	// processes) alive and talking; the crash schedule would kill them
+	// before their first SUSP.
+	sched, ok := Builtin("false-suspicion")
+	if !ok {
+		t.Fatal("builtin false-suspicion schedule missing")
+	}
+	spec := Spec{
+		Grid:      []NT{{5, 2}},
+		Schedules: []Schedule{sched},
+		Plans:     plansByName(t, "byzantine-minority"),
+		Byzantine: []byz.Options{{}, {Enabled: true}},
+		Seeds:     SeedRange{Count: 6},
+		MaxTime:   3000,
+		Check:     true,
+	}
+	render := func(procs, workers int) (string, string, string) {
+		text, raw := runAt(t, spec, procs, workers)
+		rep, err := Run(spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Workers = 0
+		var csv strings.Builder
+		if err := rep.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		return text, string(raw), csv.String()
+	}
+	baseText, baseJSON, baseCSV := render(1, 1)
+	if !strings.Contains(baseText, " byz") {
+		t.Fatalf("cell table carries no byz cells:\n%s", baseText)
+	}
+	for _, col := range []string{"byz-detected", "corrupted", "equivocated", "replayed"} {
+		if !strings.Contains(baseText, col) {
+			t.Errorf("cell table missing %q column:\n%s", col, baseText)
+		}
+	}
+	if !strings.Contains(baseCSV, ",byzantine,") || !strings.Contains(baseCSV, ",byz_detected,") {
+		t.Errorf("CSV header missing Byzantine columns:\n%s", strings.SplitN(baseCSV, "\n", 2)[0])
+	}
+	if !strings.Contains(baseJSON, `"byzantine":true`) {
+		t.Errorf("JSON report missing interposer-on cell identity")
+	}
+	// The schedule's SUSP broadcasts flow through the plan's Byzantine
+	// rules: both cells must record injections, and the interposer-on
+	// cell must convict.
+	rep, err := Run(spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		if c.Corrupted == 0 && c.Equivocated == 0 {
+			t.Errorf("cell %q: plan injected no Byzantine faults", c.Cell.String())
+		}
+		if c.Cell.Byzantine && c.ByzDetected == 0 {
+			t.Errorf("cell %q: interposer on but no convictions", c.Cell.String())
+		}
+		if !c.Cell.Byzantine && (c.ByzDetected != 0 || c.ByzMasked != 0) {
+			t.Errorf("cell %q: interposer off but det=%d masked=%d", c.Cell.String(), c.ByzDetected, c.ByzMasked)
+		}
+	}
+	for _, c := range []struct{ procs, workers int }{{1, 4}, {runtime.NumCPU(), 8}} {
+		text, raw, csv := render(c.procs, c.workers)
+		if text != baseText {
+			t.Errorf("procs=%d workers=%d: text report diverged from serial baseline", c.procs, c.workers)
+		}
+		if raw != baseJSON {
+			t.Errorf("procs=%d workers=%d: JSON report diverged from serial baseline", c.procs, c.workers)
+		}
+		if csv != baseCSV {
+			t.Errorf("procs=%d workers=%d: CSV diverged from serial baseline", c.procs, c.workers)
 		}
 	}
 }

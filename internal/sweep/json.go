@@ -116,6 +116,11 @@ func cellAccumulator(c *CellResult) *accumulator {
 		planCrashes: c.PlanCrashes,
 		restarts:    c.Restarts,
 		recovered:   c.Recovered,
+		byzDetected: c.ByzDetected,
+		byzMasked:   c.ByzMasked,
+		corrupted:   c.Corrupted,
+		equivocated: c.Equivocated,
+		replayed:    c.Replayed,
 		holds:       c.Holds,
 		metrics:     c.Metrics,
 		obsTotals:   c.Obs,

@@ -55,6 +55,16 @@ type CellResult struct {
 	PlanCrashes int `json:"plan_crashes"`
 	Restarts    int `json:"restarts"`
 	Recovered   int `json:"recovered"`
+	// ByzDetected and ByzMasked total the validation interposer's counters
+	// over all runs of the cell: convictions issued and forged/duplicate/
+	// masked-sender frames discarded (0 for cells without the interposer).
+	// Corrupted, Equivocated, and Replayed total the fault plane's
+	// Byzantine injection counters (0 for plans without Byzantine rules).
+	ByzDetected int `json:"byz_detected"`
+	ByzMasked   int `json:"byz_masked"`
+	Corrupted   int `json:"corrupted"`
+	Equivocated int `json:"equivocated"`
+	Replayed    int `json:"replayed"`
 	// Holds counts, per property, the checked runs on which it held.
 	Holds map[string]int `json:"holds"`
 	// Metrics counts, per custom metric, the runs on which it was true.
@@ -161,7 +171,7 @@ func (r *Report) PropertyTable() string {
 // plan), and any custom metrics.
 func (r *Report) CellTable() string {
 	var allMetrics []map[string]int
-	faulty, rel, rec := false, false, false
+	faulty, rel, rec, byz := false, false, false, false
 	for i := range r.Cells {
 		allMetrics = append(allMetrics, r.Cells[i].Metrics)
 		if r.Cells[i].Cell.Plan != "" {
@@ -172,6 +182,10 @@ func (r *Report) CellTable() string {
 		}
 		if r.Cells[i].Cell.Recovery != recovery.Off {
 			rec = true
+		}
+		if r.Cells[i].Cell.Byzantine || r.Cells[i].Corrupted > 0 ||
+			r.Cells[i].Equivocated > 0 || r.Cells[i].Replayed > 0 {
+			byz = true
 		}
 	}
 	names := metricNames(allMetrics...)
@@ -184,6 +198,9 @@ func (r *Report) CellTable() string {
 	}
 	if rec {
 		headers = append(headers, "crashes", "restarts", "recovered")
+	}
+	if byz {
+		headers = append(headers, "byz-detected", "byz-masked", "corrupted", "equivocated", "replayed")
 	}
 	headers = append(headers, names...)
 	tbl := stats.NewTable(headers...)
@@ -202,6 +219,9 @@ func (r *Report) CellTable() string {
 		}
 		if rec {
 			row = append(row, c.PlanCrashes, c.Restarts, c.Recovered)
+		}
+		if byz {
+			row = append(row, c.ByzDetected, c.ByzMasked, c.Corrupted, c.Equivocated, c.Replayed)
 		}
 		for _, m := range names {
 			row = append(row, fmt.Sprintf("%d/%d", c.Metrics[m], c.Runs))
@@ -246,6 +266,11 @@ type accumulator struct {
 	planCrashes int
 	restarts    int
 	recovered   int
+	byzDetected int
+	byzMasked   int
+	corrupted   int
+	equivocated int
+	replayed    int
 	holds       map[string]int
 	metrics     map[string]int
 	obsTotals   map[string]int64
@@ -294,6 +319,11 @@ func (a *accumulator) add(rec runRecord) {
 	a.planCrashes += rec.planCrashes
 	a.restarts += rec.restarts
 	a.recovered += rec.recovered
+	a.byzDetected += rec.byzDetected
+	a.byzMasked += rec.byzMasked
+	a.corrupted += rec.corrupted
+	a.equivocated += rec.equivocated
+	a.replayed += rec.replayed
 	if rec.verdicts != nil {
 		a.checked++
 		for _, v := range rec.verdicts {
@@ -343,6 +373,11 @@ func (a *accumulator) merge(b *accumulator) {
 	a.planCrashes += b.planCrashes
 	a.restarts += b.restarts
 	a.recovered += b.recovered
+	a.byzDetected += b.byzDetected
+	a.byzMasked += b.byzMasked
+	a.corrupted += b.corrupted
+	a.equivocated += b.equivocated
+	a.replayed += b.replayed
 	//sfs:allow detmaprange commutative sum into a map; emission renders via the sorted Properties list
 	for k, v := range b.holds {
 		a.holds[k] += v
@@ -390,6 +425,11 @@ func (a *accumulator) result() CellResult {
 		PlanCrashes:       a.planCrashes,
 		Restarts:          a.restarts,
 		Recovered:         a.recovered,
+		ByzDetected:       a.byzDetected,
+		ByzMasked:         a.byzMasked,
+		Corrupted:         a.corrupted,
+		Equivocated:       a.equivocated,
+		Replayed:          a.replayed,
 		Holds:             a.holds,
 		Metrics:           a.metrics,
 		Obs:               a.obsTotals,

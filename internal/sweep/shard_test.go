@@ -4,20 +4,42 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+
+	"failstop/internal/byz"
+	"failstop/internal/netadv"
 )
 
 // shardSpec is the grid the shard tests fan out: two (n, t) cells × two
-// schedules × 7 seeds (7 deliberately coprime with the shard counts under
-// test, so shards get uneven slices).
+// schedules × a Byzantine plan with the interposer off and on × 7 seeds
+// (7 deliberately coprime with the shard counts under test, so shards get
+// uneven slices). The Byzantine axis keeps the merge path honest about
+// the conviction and injection totals it recombines.
 func shardSpec() Spec {
 	crash, _ := Builtin("crash")
 	falseSusp, _ := Builtin("false-suspicion")
 	return Spec{
 		Grid:      []NT{{5, 2}, {8, 2}},
 		Schedules: []Schedule{crash, falseSusp},
+		Plans:     builtinPlans("byzantine-minority"),
+		Byzantine: []byz.Options{{}, {Enabled: true}},
 		Seeds:     SeedRange{Start: 3, Count: 7},
+		MaxTime:   3000,
 		Check:     true,
 	}
+}
+
+// builtinPlans resolves built-in plan generators by name, panicking on a
+// missing name (test-setup helper).
+func builtinPlans(names ...string) []netadv.Generator {
+	var out []netadv.Generator
+	for _, name := range names {
+		g, ok := netadv.Builtin(name)
+		if !ok {
+			panic("no built-in plan " + name)
+		}
+		out = append(out, g)
+	}
+	return out
 }
 
 // TestShardPartitionDisjointExhaustive is the property test behind Merge's

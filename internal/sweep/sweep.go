@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"failstop/internal/byz"
 	"failstop/internal/checker"
 	"failstop/internal/cluster"
 	"failstop/internal/core"
@@ -130,6 +131,10 @@ type Cell struct {
 	// crashed processes restart per the plan). Off for cells without
 	// process faults.
 	Recovery recovery.Mode `json:"recovery,omitempty"`
+	// Byzantine reports whether the cell runs with the validation
+	// interposer (per-sender MACs, echo quorums, replay watermark) under
+	// the protocol, masking misbehavior into crashes.
+	Byzantine bool `json:"byzantine,omitempty"`
 }
 
 // String renders the cell identity compactly.
@@ -149,6 +154,9 @@ func (c Cell) String() string {
 	}
 	if c.Recovery != recovery.Off {
 		s += " rec=" + c.Recovery.String()
+	}
+	if c.Byzantine {
+		s += " byz"
 	}
 	return s
 }
@@ -204,6 +212,12 @@ type Spec struct {
 	// and restarts). Default: {recovery.Off}. Plans whose process faults
 	// recur forever require MaxTime when any listed mode is not Off.
 	Recovery []recovery.Mode
+	// Byzantine lists the validation-interposer configurations to grid
+	// over — typically a disabled zero value next to an enabled one, so
+	// every other cell runs with and without misbehavior masking.
+	// Default: one disabled entry. Cells with the interposer additionally
+	// aggregate conviction and masked-frame counts.
+	Byzantine []byz.Options
 	// Seeds is the seed range. Default: {Start: 0, Count: 1}.
 	Seeds SeedRange
 	// Shard restricts execution to one deterministic 1/Count slice of the
@@ -281,6 +295,9 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Recovery) == 0 {
 		s.Recovery = []recovery.Mode{recovery.Off}
 	}
+	if len(s.Byzantine) == 0 {
+		s.Byzantine = []byz.Options{{}}
+	}
 	if s.Seeds.Count == 0 {
 		s.Seeds.Count = 1
 	}
@@ -354,6 +371,11 @@ func (s Spec) Validate() error {
 			}
 		}
 	}
+	for i, bo := range s.Byzantine {
+		if err := bo.Validate(); err != nil {
+			return fmt.Errorf("sweep: Byzantine[%d]: %w", i, err)
+		}
+	}
 	for i, ro := range s.Reliable {
 		if err := ro.Validate(); err != nil {
 			return fmt.Errorf("sweep: Reliable[%d]: %w", i, err)
@@ -381,6 +403,7 @@ type cellSpec struct {
 	sched Schedule
 	plan  netadv.Generator
 	rel   reliable.Options
+	byz   byz.Options
 }
 
 // Cells expands the grid axes (everything but the seed) in deterministic
@@ -402,17 +425,21 @@ func (s Spec) cells() []cellSpec {
 					for _, pg := range s.Plans {
 						for _, ro := range s.Reliable {
 							for _, rm := range s.Recovery {
-								out = append(out, cellSpec{
-									cell: Cell{
-										NT: nt, Protocol: proto, QuorumDelta: qd,
-										Schedule: sched.Name, Plan: pg.Name,
-										Reliable: ro.Enabled,
-										Recovery: rm,
-									},
-									sched: sched,
-									plan:  pg,
-									rel:   ro,
-								})
+								for _, bo := range s.Byzantine {
+									out = append(out, cellSpec{
+										cell: Cell{
+											NT: nt, Protocol: proto, QuorumDelta: qd,
+											Schedule: sched.Name, Plan: pg.Name,
+											Reliable:  ro.Enabled,
+											Recovery:  rm,
+											Byzantine: bo.Enabled,
+										},
+										sched: sched,
+										plan:  pg,
+										rel:   ro,
+										byz:   bo,
+									})
+								}
 							}
 						}
 					}
@@ -497,7 +524,8 @@ func defaultRun(spec Spec, cs cellSpec, seed int64) RunOutput {
 			N: cell.NT.N, T: cell.NT.T,
 			Protocol: cell.Protocol, QuorumSize: qsize,
 		},
-		Reliable: cs.rel,
+		Reliable:  cs.rel,
+		Byzantine: cs.byz,
 	}
 	if spec.HeartbeatEvery > 0 {
 		co.FD = func(model.ProcID) core.Component {
@@ -584,6 +612,11 @@ type runRecord struct {
 	planCrashes int
 	restarts    int
 	recovered   int
+	byzDetected int
+	byzMasked   int
+	corrupted   int
+	equivocated int
+	replayed    int
 	events      float64
 	endTime     float64
 	verdicts    []checker.Verdict // nil when unchecked
@@ -751,6 +784,11 @@ func execute(spec Spec, cs cellSpec, cellIdx int, seed int64) runRecord {
 		planCrashes: res.PlanCrashes,
 		restarts:    res.Restarts,
 		recovered:   res.Recovered,
+		byzDetected: res.ByzDetected,
+		byzMasked:   res.ByzMasked,
+		corrupted:   obsCounter(out.Obs, "plane_byz_corrupted_total"),
+		equivocated: obsCounter(out.Obs, "plane_byz_equivocated_total"),
+		replayed:    obsCounter(out.Obs, "plane_byz_replayed_total"),
 		events:      float64(len(res.History)),
 		endTime:     float64(res.EndTime),
 		metrics:     out.Metrics,
@@ -779,6 +817,17 @@ func execute(spec Spec, cs cellSpec, cellIdx int, seed int64) runRecord {
 		}
 	}
 	return rec
+}
+
+// obsCounter returns the value of the named counter in ms, or 0 when the
+// run's registry never registered it (e.g. plans without Byzantine rules).
+func obsCounter(ms obs.Metrics, name string) int {
+	for _, m := range ms {
+		if m.Name == name {
+			return int(m.Value)
+		}
+	}
+	return 0
 }
 
 // metricNames returns the sorted union of metric names in ms.

@@ -148,6 +148,12 @@ func TestFaultPlanRoundTrip(t *testing.T) {
 			{Proc: 2, CrashAt: 50, RestartAt: 120},
 			{Proc: 3, CrashAt: 30, Period: 200, ActiveFor: 60, Until: 900},
 		},
+		// Byzantine rules must survive too: a corruptor/replayer and an
+		// equivocator with its receiver groups.
+		Byz: []netadv.ByzRule{
+			{Victim: 2, From: 10, Tags: []string{"SUSP"}, Corrupt: 1, Replay: 0.5, ReplayDelay: 400},
+			{Victim: 3, Equivocate: [][]model.ProcID{{1}, {2}}},
+		},
 	}
 	var buf bytes.Buffer
 	hdr := Header{N: 3, T: 1, Plan: plan.Name, FaultPlan: &plan}
