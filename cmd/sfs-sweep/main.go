@@ -16,6 +16,7 @@
 //	sfs-sweep --plan restart-storm -recovery all -max-time 3000
 //	sfs-sweep --plan byzantine-minority -byz both -max-time 3000
 //	sfs-sweep --plan flaky-quorum -heartbeat 25 -hb-timeout 80 -max-time 5000
+//	sfs-sweep -topo gossip:8,hier:4x8 -grid 64:5          # sparse-topology axis
 //	sfs-sweep -list-schedules                     # built-in fault schedules
 //	sfs-sweep -list-plans                         # built-in fault plans
 //
@@ -47,6 +48,7 @@ import (
 	"failstop/internal/recovery"
 	"failstop/internal/reliable"
 	"failstop/internal/sweep"
+	"failstop/internal/topo"
 )
 
 func main() {
@@ -63,6 +65,7 @@ func run(args []string, out io.Writer) int {
 		protocols = fs.String("protocols", "sfs", "comma-separated protocols: sfs, cheap, unilateral")
 		schedules = fs.String("schedules", "false-suspicion,crash,mutual", "comma-separated built-in fault schedules")
 		plans     = fs.String("plan", "", "comma-separated built-in network fault plans (empty: fault-free network)")
+		topos     = fs.String("topo", "", "comma-separated topology axis: full, gossip:F[@SEED], hier:RxK (empty: full mesh only)")
 		planFiles = fs.String("plan-file", "", "comma-separated JSON fault-plan files to add to the plan axis (see examples/plans)")
 		reliab    = fs.String("reliable", "off", "reliable-delivery axis: off, on, or both (grid every cell with and without the layer)")
 		recov     = fs.String("recovery", "off", "crash-recovery axis: off, amnesia, durable, or all (grid every cell over all three modes)")
@@ -146,6 +149,10 @@ func run(args []string, out io.Writer) int {
 		return 2
 	}
 	if spec.Plans, err = parsePlans(*plans); err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	if spec.Topologies, err = parseTopos(*topos); err != nil {
 		fmt.Fprintln(out, err)
 		return 2
 	}
@@ -398,6 +405,24 @@ func parsePlanFiles(s string) ([]netadv.Generator, error) {
 			return nil, err
 		}
 		out = append(out, netadv.Fixed(plan))
+	}
+	return out, nil
+}
+
+// parseTopos parses the comma-separated -topo axis. Feasibility against
+// every grid point (fanout vs. n, regions×racks vs. n) is checked in
+// sweep.Spec.Validate, alongside the duplicate-topology guard.
+func parseTopos(s string) ([]topo.Spec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []topo.Spec
+	for _, name := range strings.Split(s, ",") {
+		sp, err := topo.ParseSpec(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sp)
 	}
 	return out, nil
 }

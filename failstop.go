@@ -46,6 +46,7 @@ import (
 	"failstop/internal/rewrite"
 	"failstop/internal/runtime"
 	"failstop/internal/sim"
+	"failstop/internal/topo"
 )
 
 // Re-exported model vocabulary. These are aliases, so values flow freely
@@ -124,7 +125,28 @@ type (
 	Timeline = obs.Timeline
 	// TimelineSeries is one named series of a timeline snapshot.
 	TimelineSeries = obs.TimelineSeries
+	// TopoSpec describes a communication topology (see internal/topo): the
+	// paper's complete graph (the zero value), a seed-deterministic gossip
+	// graph, or a rack/region hierarchy. Under a partial topology each
+	// process broadcasts to its neighborhood only and completes quorums
+	// over that neighborhood's pool — the partial-quorum reading that makes
+	// clusters of 10⁴–10⁶ processes simulable.
+	TopoSpec = topo.Spec
 )
+
+// Topology kinds for TopoSpec.Kind.
+const (
+	// TopoFull is the paper's complete graph (also the zero TopoSpec).
+	TopoFull = topo.KindFull
+	// TopoGossip samples TopoSpec.Fanout peers per process, symmetrized.
+	TopoGossip = topo.KindGossip
+	// TopoHier is a rack/region hierarchy: full racks, leader uplinks.
+	TopoHier = topo.KindHier
+)
+
+// ParseTopo parses the topology CLI grammar: "full", "gossip:F",
+// "gossip:F@SEED", or "hier:RxK" (R regions of K racks each).
+func ParseTopo(s string) (TopoSpec, error) { return topo.ParseSpec(s) }
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
@@ -193,6 +215,12 @@ type Options struct {
 	// HeartbeatTimeout is the suspicion timeout; 0 with heartbeats enabled
 	// means "never suspect" (useful to demonstrate FS1 violations).
 	HeartbeatTimeout int64
+	// Topology, when non-nil and not the full mesh, runs the protocol over
+	// a partial communication graph: SUSP broadcasts and heartbeats go to
+	// each process's neighborhood only, and quorums complete over the
+	// neighborhood pool (see TopoSpec). nil means the paper's complete
+	// graph.
+	Topology *TopoSpec
 	// Faults, when non-nil, subjects the cluster's network to the given
 	// fault plan (instantiated with Seed): partitions, loss, duplication,
 	// reorder. Use BuiltinFaultPlan for the named built-ins.
@@ -247,6 +275,11 @@ func (o Options) Validate() error {
 	}
 	if o.HeartbeatEvery > 0 && o.MaxTime <= 0 {
 		return fmt.Errorf("failstop: Options.HeartbeatEvery = %d requires MaxTime > 0 (heartbeats re-arm forever, so the run would never drain)", o.HeartbeatEvery)
+	}
+	if o.Topology != nil {
+		if _, err := topo.New(*o.Topology, o.N); err != nil {
+			return fmt.Errorf("failstop: Options.Topology: %w", err)
+		}
 	}
 	if o.Faults != nil {
 		if err := o.Faults.Validate(o.N); err != nil {
@@ -308,7 +341,7 @@ func NewCluster(opts Options) *Cluster {
 			Metrics: opts.Metrics, Spans: opts.Spans, Timeline: opts.Timeline,
 			Lifetimes: lifetimes, Recovery: opts.Recovery,
 		},
-		Det:       core.Config{N: opts.N, T: opts.T, Protocol: opts.Protocol},
+		Det:       core.Config{N: opts.N, T: opts.T, Protocol: opts.Protocol, Topology: resolveTopo(opts.Topology, opts.N)},
 		App:       opts.NewApp,
 		Reliable:  opts.Reliable,
 		Byzantine: opts.Byzantine,
@@ -319,6 +352,16 @@ func NewCluster(opts Options) *Cluster {
 		}
 	}
 	return &Cluster{inner: cluster.New(co), opts: opts, plane: plane}
+}
+
+// resolveTopo builds the one shared *topo.Topology every detector in a
+// cluster consumes, or nil for the complete graph (validated upstream, so
+// MustNew cannot fail here).
+func resolveTopo(sp *TopoSpec, n int) *topo.Topology {
+	if sp == nil || sp.IsFull() {
+		return nil
+	}
+	return topo.MustNew(*sp, n)
 }
 
 // Detector returns process p's detector (for state inspection after Run).
@@ -471,8 +514,8 @@ func MaxTolerable(n int) int { return quorum.MaxTolerable(n) }
 
 // FaultPlanNames lists the built-in network fault plans: "split-brain",
 // "isolated-minority", "one-way-cut", "flaky-quorum", "healing-partition",
-// "buffering-partition", "moving-partition", "byzantine-minority",
-// "restart-storm".
+// "buffering-partition", "moving-partition", "region-cut",
+// "byzantine-minority", "restart-storm".
 func FaultPlanNames() []string { return netadv.BuiltinNames() }
 
 // BuiltinFaultPlan instantiates the named built-in fault plan for a
@@ -513,6 +556,11 @@ type LiveOptions struct {
 	// Tick is the duration of one virtual tick (fault-plan times and timers
 	// are expressed in ticks). Default: 1ms.
 	Tick time.Duration
+	// Topology, when non-nil and not the full mesh, runs the protocol over
+	// a partial communication graph — identical semantics to
+	// Options.Topology, so topology scenarios cross-validate between the
+	// two backends.
+	Topology *TopoSpec
 	// Faults, when non-nil, subjects the live network to the given fault
 	// plan — the identical plan semantics the simulator applies, so a
 	// scenario validated deterministically in NewCluster can be replayed
@@ -578,6 +626,11 @@ func NewLiveCluster(opts LiveOptions) *LiveCluster {
 	if opts.N < 2 {
 		panic(fmt.Errorf("failstop: LiveOptions.N = %d; need at least 2 processes", opts.N))
 	}
+	if opts.Topology != nil {
+		if _, err := topo.New(*opts.Topology, opts.N); err != nil {
+			panic(fmt.Errorf("failstop: LiveOptions.Topology: %w", err))
+		}
+	}
 	var link node.LinkFn
 	var plane *netadv.Plane
 	if opts.Faults != nil {
@@ -622,12 +675,13 @@ func NewLiveCluster(opts LiveOptions) *LiveCluster {
 		plane: plane,
 		opts:  opts,
 	}
+	top := resolveTopo(opts.Topology, opts.N)
 	for p := 1; p <= opts.N; p++ {
 		var app App
 		if opts.NewApp != nil {
 			app = opts.NewApp(ProcID(p))
 		}
-		d := core.NewDetector(core.Config{N: opts.N, T: opts.T, Protocol: opts.Protocol}, nil, app)
+		d := core.NewDetector(core.Config{N: opts.N, T: opts.T, Protocol: opts.Protocol, Topology: top}, nil, app)
 		lc.dets[p] = d
 		var h node.Handler = d
 		if opts.Byzantine.Enabled {

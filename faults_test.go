@@ -74,7 +74,7 @@ func TestNewLiveClusterPanicsOnTooFewProcesses(t *testing.T) {
 
 func TestBuiltinFaultPlans(t *testing.T) {
 	names := failstop.FaultPlanNames()
-	if len(names) != 9 {
+	if len(names) != 10 {
 		t.Fatalf("FaultPlanNames() = %v", names)
 	}
 	for _, name := range names {
@@ -324,8 +324,20 @@ func TestOneWayCutCrossBackend(t *testing.T) {
 	lc.Start()
 	time.Sleep(5 * time.Millisecond) // past tick 10: the cut is standing
 	lc.Suspect(1, 5)
+	// The semantics check needs failed_p(5) for every p in 1..4, and the
+	// suspicion reaches 2..4 a beat after 1's own detection completes — so
+	// wait for all four, not just the suspecting process.
+	allFailed := func() bool {
+		h := lc.History()
+		for p := failstop.ProcID(1); p <= 4; p++ {
+			if h.FailedIndex(p, 5) < 0 {
+				return false
+			}
+		}
+		return true
+	}
 	deadline := time.Now().Add(2 * time.Second)
-	for lc.History().FailedIndex(1, 5) < 0 && time.Now().Before(deadline) {
+	for !allFailed() && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	lc.Stop()

@@ -17,7 +17,9 @@ import (
 type Options struct {
 	// Sim configures the simulator. Sim.N is set from Det.N if zero.
 	Sim sim.Config
-	// Det configures every process's detector identically.
+	// Det configures every process's detector identically. Det.Topology,
+	// when set, is shared by reference across all detectors (a Topology is
+	// immutable after construction, so one instance serves any N).
 	Det core.Config
 	// FD, when non-nil, constructs the fd component for each process.
 	FD func(p model.ProcID) core.Component

@@ -35,6 +35,7 @@ import (
 	"failstop/internal/model"
 	"failstop/internal/node"
 	"failstop/internal/quorum"
+	"failstop/internal/topo"
 )
 
 // Message tags used by the detector layer.
@@ -117,6 +118,14 @@ type Config struct {
 	// any detection is in progress and flushes them on completion — the
 	// sending half of §5's "takes no other action".
 	DeferAppSends bool
+	// Topology, when non-nil and not the complete graph, scopes the §5
+	// protocol to each process's neighborhood: SUSP broadcasts go to
+	// topology peers only, and quorums complete over the process's pool
+	// (its neighborhood plus itself, internal/quorum.PoolOf) rather than
+	// all N processes. nil means the paper's complete graph. The same
+	// *topo.Topology value must be shared by every detector in a cluster —
+	// it is immutable after construction, so sharing is safe.
+	Topology *topo.Topology
 	// Piggyback explores the paper's §6 future work ("stronger versions of
 	// fail-stop", specifically a transitive failed-before relation): SUSP
 	// messages carry the sender's completed detections, and a receiver does
@@ -137,7 +146,12 @@ func (c Config) withDefaults() Config {
 		c.Policy = FixedQuorum
 	}
 	if c.QuorumSize == 0 && c.Protocol == SimulatedFailStop && c.Policy == FixedQuorum {
-		c.QuorumSize = quorum.MinSize(c.N, c.T)
+		// Under a partial topology the minimum is per-process (it depends
+		// on each process's degree), so it is resolved at Init time from
+		// the pool instead of being fixed here.
+		if c.Topology == nil || c.Topology.IsFull() {
+			c.QuorumSize = quorum.MinSize(c.N, c.T)
+		}
 	}
 	return c
 }
@@ -181,6 +195,8 @@ type Detector struct {
 	app App
 
 	self      model.ProcID
+	pool      quorum.Pool // quorum membership under cfg.Topology (set at Init)
+	threshold int         // FixedQuorum completion size for this process's pool
 	crashed   bool
 	suspected map[model.ProcID]bool                  // broadcast sent for target
 	counts    map[model.ProcID]map[model.ProcID]bool // target -> senders of "target failed" (incl. self)
@@ -361,6 +377,11 @@ func (d *Detector) Config() Config { return d.cfg }
 // Init implements node.Handler.
 func (d *Detector) Init(ctx node.Context) {
 	d.self = ctx.Self()
+	d.pool = quorum.PoolOf(d.cfg.Topology, d.self, d.cfg.N, d.cfg.T)
+	d.threshold = d.cfg.QuorumSize
+	if d.threshold == 0 {
+		d.threshold = d.pool.MinSize()
+	}
 	if d.fd != nil {
 		d.fd.Init(ctx, d)
 	}
@@ -464,12 +485,36 @@ func (d *Detector) broadcastSusp(ctx node.Context, j model.ProcID) {
 	if d.cfg.Piggyback {
 		data = encodeProcIDs(d.DetectedSet())
 	}
+	d.ForEachPeer(func(q model.ProcID) {
+		ctx.Send(q, node.Payload{Tag: TagSusp, Subject: j, Data: data})
+	})
+}
+
+// ForEachPeer calls fn for every process this detector broadcasts to, in
+// ascending id order: the topology neighborhood under a partial topology,
+// everyone but self under the complete graph. Co-hosted components (the fd
+// heartbeat layer) use it so their fan-out follows the topology too.
+func (d *Detector) ForEachPeer(fn func(q model.ProcID)) {
+	if top := d.cfg.Topology; top != nil && !top.IsFull() {
+		top.ForEachPeer(d.self, fn)
+		return
+	}
 	for q := model.ProcID(1); int(q) <= d.cfg.N; q++ {
 		if q != d.self {
-			ctx.Send(q, node.Payload{Tag: TagSusp, Subject: j, Data: data})
+			fn(q)
 		}
 	}
 }
+
+// PoolSize returns the number of processes (self included) whose testimony
+// counts toward this detector's quorums — N under the complete graph, the
+// neighborhood size plus one under a partial topology. Valid after Init.
+func (d *Detector) PoolSize() int { return d.pool.Size() }
+
+// QuorumThreshold returns the effective FixedQuorum completion size for
+// this process: Config.QuorumSize if set, else the Theorem 7 minimum over
+// the process's pool. Valid after Init.
+func (d *Detector) QuorumThreshold() int { return d.threshold }
 
 // encodeProcIDs packs process ids one byte each (ids are <= 255).
 func encodeProcIDs(ps []model.ProcID) []byte {
@@ -528,14 +573,18 @@ func (d *Detector) onSusp(ctx node.Context, sender, x model.ProcID, data []byte)
 }
 
 // countSusp records that sender has announced "j failed" and completes the
-// detection if the quorum condition is met.
+// detection if the quorum condition is met. Under a partial topology only
+// pool members' testimony counts: a SUSP relayed from outside the
+// neighborhood still triggers the join (Suspect) but cannot contribute to
+// this process's quorum, which is what keeps the intersection guarantee
+// scoped to the pool.
 func (d *Detector) countSusp(ctx node.Context, j, sender model.ProcID) {
-	if d.detected[j] {
+	if d.detected[j] || !d.pool.Counts(sender) {
 		return
 	}
 	set := d.counts[j]
 	if set == nil {
-		set = make(map[model.ProcID]bool, d.cfg.N)
+		set = make(map[model.ProcID]bool, d.pool.Size())
 		d.counts[j] = set
 	}
 	set[sender] = true
@@ -549,18 +598,19 @@ func (d *Detector) maybeComplete(ctx node.Context, j model.ProcID) {
 	set := d.counts[j]
 	switch d.cfg.Policy {
 	case FixedQuorum:
-		if len(set) < d.cfg.QuorumSize {
+		if len(set) < d.threshold {
 			return
 		}
 	case AllButSuspected:
-		// Wait for "j failed" from every process not suspected by self.
-		for q := model.ProcID(1); int(q) <= d.cfg.N; q++ {
-			if q == d.self || d.suspected[q] {
-				continue
+		// Wait for "j failed" from every pool member not suspected by self.
+		complete := true
+		d.ForEachPeer(func(q model.ProcID) {
+			if complete && !d.suspected[q] && !set[q] {
+				complete = false
 			}
-			if !set[q] {
-				return
-			}
+		})
+		if !complete {
+			return
 		}
 	}
 	members := make([]model.ProcID, 0, len(set))
@@ -572,11 +622,13 @@ func (d *Detector) maybeComplete(ctx node.Context, j model.ProcID) {
 }
 
 func (d *Detector) reevaluateAll(ctx node.Context) {
-	for j := model.ProcID(1); int(j) <= d.cfg.N; j++ {
+	// Walk the suspected set in id order (not 1..N): O(open detections)
+	// per call, and deterministic despite the map.
+	for _, j := range sortedTrueKeys(d.suspected) {
 		if d.crashed {
 			return
 		}
-		if d.suspected[j] && !d.detected[j] {
+		if !d.detected[j] {
 			d.maybeComplete(ctx, j)
 		}
 	}
@@ -644,6 +696,12 @@ func (d *Detector) drainPending(ctx node.Context) {
 		}
 	}
 }
+
+// Detecting reports whether any detection is in progress: some target is
+// suspected (broadcast sent) but failed_self(target) has not executed. It
+// walks only the suspicion set, so callers can poll it per process without
+// an O(N) scan over candidate targets.
+func (d *Detector) Detecting() bool { return d.detecting() }
 
 // detecting reports whether any detection is in progress.
 func (d *Detector) detecting() bool {

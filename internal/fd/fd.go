@@ -53,12 +53,12 @@ func (h *Heartbeat) Init(ctx node.Context, d *core.Detector) {
 	if h.Interval <= 0 {
 		panic("fd: Heartbeat.Interval must be positive")
 	}
-	h.lastHeard = make(map[model.ProcID]int64, ctx.N())
-	for p := model.ProcID(1); int(p) <= ctx.N(); p++ {
-		if p != ctx.Self() {
-			h.lastHeard[p] = ctx.Now()
-		}
-	}
+	// Monitor the detector's broadcast peers — the whole cluster under the
+	// complete graph, the topology neighborhood under a partial one.
+	h.lastHeard = make(map[model.ProcID]int64, d.PoolSize())
+	d.ForEachPeer(func(p model.ProcID) {
+		h.lastHeard[p] = ctx.Now()
+	})
 	ctx.SetTimer(timerBeat, h.Interval)
 	if h.Timeout > 0 {
 		ctx.SetTimer(timerCheck, h.checkEvery())
@@ -87,27 +87,25 @@ func (h *Heartbeat) OnMessage(ctx node.Context, d *core.Detector, from model.Pro
 func (h *Heartbeat) OnTimer(ctx node.Context, d *core.Detector, name string) {
 	switch name {
 	case timerBeat:
-		for p := model.ProcID(1); int(p) <= ctx.N(); p++ {
-			if p != ctx.Self() {
-				ctx.Send(p, node.Payload{Tag: TagHeartbeat})
-			}
-		}
+		d.ForEachPeer(func(p model.ProcID) {
+			ctx.Send(p, node.Payload{Tag: TagHeartbeat})
+		})
 		ctx.SetTimer(timerBeat, h.Interval)
 	case timerCheck:
-		// Walk peers in PID order, not map order: when several peers time
-		// out on the same check tick, the order of Suspect calls orders
-		// their protocol messages, and a map range would make the whole run
-		// nondeterministic.
+		// Walk peers in PID order (ForEachPeer is ascending), not map
+		// order: when several peers time out on the same check tick, the
+		// order of Suspect calls orders their protocol messages, and a map
+		// range would make the whole run nondeterministic.
 		now := ctx.Now()
-		for p := model.ProcID(1); int(p) <= ctx.N(); p++ {
+		d.ForEachPeer(func(p model.ProcID) {
 			last, ok := h.lastHeard[p]
 			if !ok || d.Detected(p) || d.Suspects(p) {
-				continue
+				return
 			}
 			if now-last >= h.Timeout {
 				d.Suspect(ctx, p)
 			}
-		}
+		})
 		ctx.SetTimer(timerCheck, h.checkEvery())
 	}
 }
@@ -172,14 +170,12 @@ func (a *Adaptive) Init(ctx node.Context, d *core.Detector) {
 	if a.MinTimeout == 0 {
 		a.MinTimeout = 2 * a.Interval
 	}
-	a.stats = make(map[model.ProcID]*arrivalStats, ctx.N())
-	a.lastHeard = make(map[model.ProcID]int64, ctx.N())
-	for p := model.ProcID(1); int(p) <= ctx.N(); p++ {
-		if p != ctx.Self() {
-			a.lastHeard[p] = ctx.Now()
-			a.stats[p] = &arrivalStats{}
-		}
-	}
+	a.stats = make(map[model.ProcID]*arrivalStats, d.PoolSize())
+	a.lastHeard = make(map[model.ProcID]int64, d.PoolSize())
+	d.ForEachPeer(func(p model.ProcID) {
+		a.lastHeard[p] = ctx.Now()
+		a.stats[p] = &arrivalStats{}
+	})
 	ctx.SetTimer(timerBeat, a.Interval)
 	ctx.SetTimer(timerCheck, a.Interval)
 }
@@ -200,20 +196,18 @@ func (a *Adaptive) OnMessage(ctx node.Context, d *core.Detector, from model.Proc
 func (a *Adaptive) OnTimer(ctx node.Context, d *core.Detector, name string) {
 	switch name {
 	case timerBeat:
-		for p := model.ProcID(1); int(p) <= ctx.N(); p++ {
-			if p != ctx.Self() {
-				ctx.Send(p, node.Payload{Tag: TagHeartbeat})
-			}
-		}
+		d.ForEachPeer(func(p model.ProcID) {
+			ctx.Send(p, node.Payload{Tag: TagHeartbeat})
+		})
 		ctx.SetTimer(timerBeat, a.Interval)
 	case timerCheck:
 		// PID order, not map order — see Heartbeat.OnTimer: simultaneous
 		// timeouts must suspect in a deterministic order.
 		now := ctx.Now()
-		for p := model.ProcID(1); int(p) <= ctx.N(); p++ {
+		d.ForEachPeer(func(p model.ProcID) {
 			last, ok := a.lastHeard[p]
 			if !ok || d.Detected(p) || d.Suspects(p) {
-				continue
+				return
 			}
 			st := a.stats[p]
 			limit := float64(a.MinTimeout)
@@ -226,7 +220,7 @@ func (a *Adaptive) OnTimer(ctx node.Context, d *core.Detector, name string) {
 			if float64(now-last) >= limit {
 				d.Suspect(ctx, p)
 			}
-		}
+		})
 		ctx.SetTimer(timerCheck, a.Interval)
 	}
 }

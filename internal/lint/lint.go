@@ -67,6 +67,8 @@ var DeterministicPackages = []string{
 	"failstop/internal/checker",
 	"failstop/internal/adversary",
 	"failstop/internal/obs",
+	"failstop/internal/topo",
+	"failstop/internal/quorum",
 }
 
 // DefaultClassify is the module's package classification.

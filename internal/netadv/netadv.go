@@ -30,6 +30,7 @@ import (
 	"failstop/internal/node"
 	"failstop/internal/obs"
 	"failstop/internal/recovery"
+	"failstop/internal/topo"
 )
 
 // Link is one directed channel from one process to another.
@@ -51,11 +52,20 @@ type LinkSet struct {
 	Groups [][]model.ProcID `json:"groups,omitempty"`
 	// Pairs lists explicit directed links that match regardless of Groups.
 	Pairs []Link `json:"pairs,omitempty"`
+	// Regions and Racks select links that cross the named region's or rack's
+	// boundary under the plan's hierarchical topology (Plan.Topo): a link
+	// matches when exactly one endpoint lies inside the named region/rack —
+	// the correlated-failure primitive ("region 1 loses its uplink") for
+	// topology-aware plans. Indices are 0-based (topo.Topology.RegionOf and
+	// RackOf). Requires Plan.Topo to name a "hier" topology.
+	Regions []int `json:"regions,omitempty"`
+	Racks   []int `json:"racks,omitempty"`
 }
 
 // Empty reports whether the set is the zero value (match everything).
 func (ls LinkSet) Empty() bool {
-	return len(ls.Groups) == 0 && len(ls.Pairs) == 0
+	return len(ls.Groups) == 0 && len(ls.Pairs) == 0 &&
+		len(ls.Regions) == 0 && len(ls.Racks) == 0
 }
 
 // Rule applies network faults to matching messages while active. Fault
@@ -189,6 +199,11 @@ func (r ProcRule) Lifetime() recovery.Lifetime {
 type Plan struct {
 	// Name identifies the plan in reports and trace headers.
 	Name string `json:"name,omitempty"`
+	// Topo, when non-nil, is the topology the plan's region/rack link
+	// selectors resolve against (it must describe the same spec the cluster
+	// itself runs). Required by any rule using LinkSet.Regions or Racks;
+	// plans without such rules may omit it.
+	Topo *topo.Spec `json:"topo,omitempty"`
 	// Rules is the network fault timeline. Rules are evaluated in order on
 	// every send; all active matching rules apply.
 	Rules []Rule `json:"rules,omitempty"`
@@ -239,6 +254,18 @@ func (p Plan) UnboundedProcs() bool {
 // crash-on-own-SUSP victim) is skipped at run time — a protocol-level
 // crash is terminal by definition.
 func (p Plan) Validate(n int) error {
+	var top *topo.Topology
+	if p.Topo != nil {
+		var err error
+		if top, err = topo.New(*p.Topo, n); err != nil {
+			return fmt.Errorf("netadv: plan %q: topology: %v", p.Name, err)
+		}
+		if p.Topo.Kind != topo.KindHier {
+			// Plan.Topo exists to resolve region/rack selectors, and only
+			// hierarchical topologies define regions and racks.
+			return fmt.Errorf("netadv: plan %q: Topo kind %q has no regions or racks (only %q does)", p.Name, p.Topo.Kind, topo.KindHier)
+		}
+	}
 	for i, r := range p.Rules {
 		if r.From < 0 {
 			return fmt.Errorf("netadv: rule %d of plan %q: negative From %d", i, p.Name, r.From)
@@ -314,6 +341,21 @@ func (p Plan) Validate(n int) error {
 				return fmt.Errorf("netadv: rule %d of plan %q: link %d->%d outside 1..%d", i, p.Name, l.From, l.To, n)
 			}
 		}
+		if len(r.Links.Regions) > 0 || len(r.Links.Racks) > 0 {
+			if top == nil {
+				return fmt.Errorf("netadv: rule %d of plan %q: region/rack selectors need the plan's Topo set", i, p.Name)
+			}
+			for _, reg := range r.Links.Regions {
+				if reg < 0 || reg >= top.Regions() {
+					return fmt.Errorf("netadv: rule %d of plan %q: region %d outside 0..%d", i, p.Name, reg, top.Regions()-1)
+				}
+			}
+			for _, rk := range r.Links.Racks {
+				if rk < 0 || rk >= top.NumRacks() {
+					return fmt.Errorf("netadv: rule %d of plan %q: rack %d outside 0..%d", i, p.Name, rk, top.NumRacks()-1)
+				}
+			}
+		}
 	}
 	byProc := make(map[model.ProcID][]int)
 	for i, r := range p.Procs {
@@ -380,16 +422,22 @@ func (p Plan) Validate(n int) error {
 }
 
 // compiledRule is a Rule with its link and tag selectors resolved into
-// constant-time lookups.
+// constant-time lookups. A rule whose window was already over when the
+// plane was built compiles dead: its selector maps are never allocated and
+// activeAt short-circuits — but it keeps its slot in the rule list, because
+// Decide's PRNG stream draws per compiled rule and removing one would shift
+// the fates every later rule assigns.
 type compiledRule struct {
 	Rule
+	dead    bool
 	groupOf map[model.ProcID]int // proc -> group index; absent = residual
 	pairs   map[Link]bool
 	tags    map[string]bool
+	top     *topo.Topology // resolves Regions/Racks selectors; nil otherwise
 }
 
 func (cr *compiledRule) activeAt(at int64) bool {
-	if at < cr.From || (cr.Until != 0 && at >= cr.Until) {
+	if cr.dead || at < cr.From || (cr.Until != 0 && at >= cr.Until) {
 		return false
 	}
 	if cr.Period > 0 {
@@ -421,6 +469,20 @@ func (cr *compiledRule) matches(from, to model.ProcID, tag string) bool {
 	}
 	if cr.pairs[Link{From: from, To: to}] {
 		return true
+	}
+	if cr.top != nil {
+		// A link crosses a region/rack boundary when exactly one endpoint
+		// lies inside it.
+		for _, reg := range cr.Links.Regions {
+			if (cr.top.RegionOf(from) == reg) != (cr.top.RegionOf(to) == reg) {
+				return true
+			}
+		}
+		for _, rk := range cr.Links.Racks {
+			if (cr.top.RackOf(from) == rk) != (cr.top.RackOf(to) == rk) {
+				return true
+			}
+		}
 	}
 	if len(cr.groupOf) > 0 {
 		// Unlisted processes share the residual group (index -1).
@@ -486,6 +548,16 @@ type busyKey struct {
 // randomness from seed. It panics if the plan does not validate — plans are
 // authored, not computed, so an invalid one is a programming error.
 func NewPlane(plan Plan, n int, seed int64) *Plane {
+	return NewPlaneAt(plan, n, seed, 0)
+}
+
+// NewPlaneAt is NewPlane for a run whose clock starts at tick start rather
+// than 0 (a resumed or sharded scenario window). Rules whose Until is
+// already past at start compile dead: they keep their rule slot — the PRNG
+// stream draws per compiled rule, so dropping one would shift every later
+// rule's fates — but their selector lookup maps are never allocated and
+// they are skipped without a window check on every send.
+func NewPlaneAt(plan Plan, n int, seed, start int64) *Plane {
 	if err := plan.Validate(n); err != nil {
 		panic(err)
 	}
@@ -494,8 +566,17 @@ func NewPlane(plan Plan, n int, seed int64) *Plane {
 		seq: make(map[Link]uint64), busyUntil: make(map[busyKey]int64),
 		replayMem: make(map[byzKey]node.Payload),
 	}
+	var top *topo.Topology
+	if plan.Topo != nil {
+		top = topo.MustNew(*plan.Topo, n) // validated above
+	}
 	for _, r := range plan.Rules {
 		cr := compiledRule{Rule: r}
+		if r.Until != 0 && r.Until <= start {
+			cr.dead = true
+			pl.rules = append(pl.rules, cr)
+			continue
+		}
 		if len(r.Links.Groups) > 0 {
 			cr.groupOf = make(map[model.ProcID]int)
 			for gi, g := range r.Links.Groups {
@@ -515,6 +596,9 @@ func NewPlane(plan Plan, n int, seed int64) *Plane {
 			for _, t := range r.Tags {
 				cr.tags[t] = true
 			}
+		}
+		if len(r.Links.Regions) > 0 || len(r.Links.Racks) > 0 {
+			cr.top = top
 		}
 		pl.rules = append(pl.rules, cr)
 	}

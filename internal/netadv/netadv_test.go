@@ -329,7 +329,7 @@ func TestBuiltinsValidateAcrossGrid(t *testing.T) {
 
 func TestBuiltinLookup(t *testing.T) {
 	names := BuiltinNames()
-	want := []string{"buffering-partition", "byzantine-minority", "flaky-quorum", "healing-partition", "isolated-minority", "moving-partition", "one-way-cut", "restart-storm", "split-brain"}
+	want := []string{"buffering-partition", "byzantine-minority", "flaky-quorum", "healing-partition", "isolated-minority", "moving-partition", "one-way-cut", "region-cut", "restart-storm", "split-brain"}
 	if !reflect.DeepEqual(names, want) {
 		t.Errorf("BuiltinNames() = %v, want %v", names, want)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"failstop/internal/core"
 	"failstop/internal/model"
+	"failstop/internal/topo"
 )
 
 // Generator is a named built-in plan family: Make instantiates the plan for
@@ -66,6 +67,13 @@ func BuiltinNames() []string {
 //     window is lost for good. This is the adversarial-timing family of
 //     Gafni & Losa's "Time Is Not a Healer": no single partition lasts, yet
 //     some process is always unreachable.
+//   - "region-cut": the correlated-failure workload (internal/topo). The
+//     cluster is read as two regions (hier:2x1); from tick 10 until the
+//     heal at tick 200 every link crossing region 1's boundary is cut —
+//     the second region loses its uplink wholesale, the way a real
+//     datacenter region does, while links inside each region stay clean.
+//     Quorums spanning the cut starve until the heal; with partial quorums
+//     over a hierarchical topology, detections inside each region proceed.
 //   - "byzantine-minority": the Byzantine workload (internal/byz). From
 //     tick 10 the t highest-numbered processes turn traitor on the quorum
 //     protocol's "j failed" traffic: victims alternate between equivocators
@@ -137,6 +145,15 @@ func Builtins() []Generator {
 				})
 			}
 			return Plan{Name: "moving-partition", Rules: rules}
+		}},
+		{Name: "region-cut", Make: func(n, t int) Plan {
+			return Plan{
+				Name: "region-cut",
+				Topo: &topo.Spec{Kind: topo.KindHier, Regions: 2, Racks: 1},
+				Rules: []Rule{
+					{From: 10, Until: 200, Cut: true, Links: LinkSet{Regions: []int{1}}},
+				},
+			}
 		}},
 		{Name: "byzantine-minority", Make: func(n, t int) Plan {
 			victims := minority(n, t)

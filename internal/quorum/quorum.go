@@ -6,6 +6,7 @@ package quorum
 
 import (
 	"fmt"
+	"sort"
 
 	"failstop/internal/model"
 )
@@ -59,8 +60,15 @@ func Witness(quorums []map[model.ProcID]bool) (model.ProcID, bool) {
 	if len(quorums) == 0 {
 		return model.None, true
 	}
-	// Intersect all sets, iterating over the first.
+	// Intersect all sets against the first, candidates in ascending order
+	// so the reported witness is the smallest common member, not whichever
+	// the map yields first.
+	cands := make([]model.ProcID, 0, len(quorums[0]))
 	for w := range quorums[0] {
+		cands = append(cands, w)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	for _, w := range cands {
 		inAll := true
 		for _, q := range quorums[1:] {
 			if !q[w] {

@@ -139,12 +139,20 @@ type occurrence struct {
 	seq  int64 // insertion order; total tie-break
 	kind occKind
 
-	ch   chanKey            // occDeliver
-	proc model.ProcID       // occTimer, occInject, occPlanCrash, occRestart
+	proc model.ProcID       // occDeliver (batch receiver), occTimer, occInject, occPlanCrash, occRestart
 	name string             // occTimer
 	gen  int64              // occTimer: generation, stale timers are skipped
 	fn   func(node.Context) // occInject
 	lt   int                // occPlanCrash, occRestart: Config.Lifetimes index
+}
+
+// dueKey identifies one batched-delivery occurrence: every channel head due
+// at the same (time, receiver) coalesces into a single heap entry, so the
+// event queue holds O(active receivers) delivery occurrences per tick
+// instead of O(in-flight messages).
+type dueKey struct {
+	at int64
+	to model.ProcID
 }
 
 // occHeap is a binary min-heap of occurrences ordered by (time, seq). It
@@ -356,6 +364,10 @@ type Sim struct {
 	timerGen map[timerID]int64
 	ran      bool
 
+	due       map[dueKey][]model.ProcID // senders whose channel heads are due at (time, receiver)
+	batchFree [][]model.ProcID          // recycled sender slices for due batches
+	gatedFrom [][]model.ProcID          // per-receiver senders of gated channels
+
 	// Instruments live inline as values: zero-cost when no registry or
 	// recorder is attached, registered by pointer into Config.Metrics
 	// otherwise.
@@ -367,6 +379,7 @@ type Sim struct {
 	cPlanCrashes obs.Counter
 	cRestarts    obs.Counter
 	cRecovered   obs.Counter
+	gLinks       obs.Gauge // live (materialized) channel count
 
 	curSpan    int64 // span framing the handler callback now running, or 0
 	inflight   int   // enqueued-but-undelivered message copies
@@ -401,22 +414,28 @@ func New(cfg Config) *Sim {
 		cfg.Store = recovery.NewMemStore()
 	}
 	s := &Sim{
-		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		handlers: make([]node.Handler, cfg.N+1),
-		ctxs:     make([]*procCtx, cfg.N+1),
-		chans:    make(map[chanKey]*channel, cfg.N*(cfg.N-1)),
-		queue:    make(occHeap, 0, 4*cfg.N),
-		history:  make(model.History, 0, historyHint(cfg)),
-		crashed:  make([]bool, cfg.N+1),
-		down:     make([]bool, cfg.N+1),
-		failed:   make(map[[2]model.ProcID]bool),
-		timerGen: make(map[timerID]int64, cfg.N),
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		// Per-link state is lazy: a channel materializes on first traffic,
+		// so a sparse topology over a large N allocates O(active links), not
+		// the O(N²) a full-mesh presize would.
+		chans:     make(map[chanKey]*channel),
+		handlers:  make([]node.Handler, cfg.N+1),
+		ctxs:      make([]*procCtx, cfg.N+1),
+		queue:     make(occHeap, 0, 64),
+		history:   make(model.History, 0, historyHint(cfg)),
+		crashed:   make([]bool, cfg.N+1),
+		down:      make([]bool, cfg.N+1),
+		failed:    make(map[[2]model.ProcID]bool),
+		timerGen:  make(map[timerID]int64, 16),
+		due:       make(map[dueKey][]model.ProcID),
+		gatedFrom: make([][]model.ProcID, cfg.N+1),
 	}
 	for p := 1; p <= cfg.N; p++ {
 		s.ctxs[p] = &procCtx{s: s, p: model.ProcID(p)}
 	}
 	if reg := cfg.Metrics; reg != nil {
+		reg.RegisterGauge("sim_links_live", &s.gLinks)
 		reg.RegisterCounter("sim_sent_total", &s.cSent)
 		reg.RegisterCounter("sim_delivered_total", &s.cDelivered)
 		reg.RegisterCounter("sim_dropped_total", &s.cDropped)
@@ -515,7 +534,7 @@ func (s *Sim) Run() *Result {
 		}
 		switch o.kind {
 		case occDeliver:
-			s.deliver(o.ch)
+			s.deliverBatch(o.proc)
 		case occTimer:
 			s.fireTimer(o)
 		case occInject:
@@ -570,6 +589,7 @@ func (s *Sim) snapshotMetrics(res *Result, hasReliable, hasByz bool) obs.Metrics
 		{Name: "sim_delivered_total", Kind: obs.KindCounter, Value: s.cDelivered.Value()},
 		{Name: "sim_dropped_total", Kind: obs.KindCounter, Value: s.cDropped.Value()},
 		{Name: "sim_duplicated_total", Kind: obs.KindCounter, Value: s.cDuplicated.Value()},
+		{Name: "sim_links_live", Kind: obs.KindGauge, Value: s.gLinks.Value()},
 		{Name: "sim_sent_total", Kind: obs.KindCounter, Value: s.cSent.Value()},
 		{Name: "sim_timers_fired_total", Kind: obs.KindCounter, Value: s.cTimersFired.Value()},
 	}
@@ -686,6 +706,40 @@ func (s *Sim) blockedChannels() []BlockedChannel {
 	return out
 }
 
+// scheduleDelivery enqueues channel k's head delivery at time at.
+// Deliveries sharing a (time, receiver) coalesce into one occurrence and
+// drain in ascending sender order — deterministic, and independent of the
+// order the batch was assembled in.
+func (s *Sim) scheduleDelivery(k chanKey, at int64) {
+	key := dueKey{at: at, to: k.to}
+	senders, ok := s.due[key]
+	if !ok {
+		if n := len(s.batchFree); n > 0 {
+			senders = s.batchFree[n-1][:0]
+			s.batchFree = s.batchFree[:n-1]
+		}
+		s.push(occurrence{time: at, kind: occDeliver, proc: k.to})
+	}
+	s.due[key] = append(senders, k.from)
+}
+
+// deliverBatch drains every channel head due for receiver to at the current
+// time. A head rescheduled to the same tick during the drain (the next
+// message of a channel whose head just delivered, or a channel un-gated by
+// one of these deliveries) opens a fresh batch behind this one.
+func (s *Sim) deliverBatch(to model.ProcID) {
+	key := dueKey{at: s.now, to: to}
+	senders := s.due[key]
+	delete(s.due, key)
+	sort.Slice(senders, func(a, b int) bool { return senders[a] < senders[b] })
+	for _, from := range senders {
+		s.deliver(chanKey{from: from, to: to})
+	}
+	if senders != nil {
+		s.batchFree = append(s.batchFree, senders[:0])
+	}
+}
+
 // deliver attempts to deliver the head of channel k.
 func (s *Sim) deliver(k chanKey) {
 	c := s.chans[k]
@@ -705,7 +759,7 @@ func (s *Sim) deliver(k chanKey) {
 	}
 	if head.readyAt > s.now {
 		c.scheduled = true
-		s.push(occurrence{time: head.readyAt, kind: occDeliver, ch: k})
+		s.scheduleDelivery(k, head.readyAt)
 		return
 	}
 	if s.down[k.to] {
@@ -726,6 +780,7 @@ func (s *Sim) deliver(k chanKey) {
 	h := s.handlers[k.to]
 	if g, ok := h.(node.Gate); ok && !g.Accepts(k.from, head.payload) {
 		c.gated = true
+		s.gatedFrom[k.to] = append(s.gatedFrom[k.to], k.from)
 		return
 	}
 	c.gated = false
@@ -749,30 +804,37 @@ func (s *Sim) deliver(k chanKey) {
 }
 
 // afterEvent re-evaluates gated channels into p after any event of p: the
-// gate's answer may have changed (e.g. a detection completed).
+// gate's answer may have changed (e.g. a detection completed). Gated
+// channels are tracked per receiver, so the pass costs O(channels gated
+// into p), not a scan of every live link in the run.
 func (s *Sim) afterEvent(p model.ProcID) {
 	if s.crashed[p] || s.down[p] {
 		return
 	}
-	var keys []chanKey
-	for k, c := range s.chans {
-		if k.to == p && c.gated && len(c.queue) > 0 {
-			keys = append(keys, k)
-		}
+	pending := s.gatedFrom[p]
+	if len(pending) == 0 {
+		return
 	}
-	sort.Slice(keys, func(a, b int) bool { return keys[a].from < keys[b].from })
-	for _, k := range keys {
+	sort.Slice(pending, func(a, b int) bool { return pending[a] < pending[b] })
+	g, isGate := s.handlers[p].(node.Gate)
+	still := pending[:0]
+	for _, from := range pending {
+		k := chanKey{from: from, to: p}
 		c := s.chans[k]
-		g, ok := s.handlers[p].(node.Gate)
-		if ok && !g.Accepts(k.from, c.queue[0].payload) {
+		if c == nil || !c.gated || len(c.queue) == 0 {
+			continue // stale entry; the channel was un-gated or drained
+		}
+		if isGate && !g.Accepts(from, c.queue[0].payload) {
+			still = append(still, from)
 			continue
 		}
 		c.gated = false
 		if !c.scheduled {
 			c.scheduled = true
-			s.push(occurrence{time: s.now, kind: occDeliver, ch: k})
+			s.scheduleDelivery(k, s.now)
 		}
 	}
+	s.gatedFrom[p] = still
 }
 
 // scheduleHead queues a delivery occurrence for the head of channel k, if
@@ -791,7 +853,7 @@ func (s *Sim) scheduleHead(k chanKey) {
 		at = s.now
 	}
 	c.scheduled = true
-	s.push(occurrence{time: at, kind: occDeliver, ch: k})
+	s.scheduleDelivery(k, at)
 }
 
 func (s *Sim) fireTimer(o occurrence) {
@@ -989,6 +1051,7 @@ func (c *procCtx) Send(to model.ProcID, p node.Payload) {
 		// every (sender, receiver) pair of every run.
 		ch = &channel{queue: make([]pendingMsg, 0, 8)}
 		s.chans[k] = ch
+		s.gLinks.Set(int64(len(s.chans)))
 	}
 	headChanged := false
 	enqueue := func(payload node.Payload, extra int64) {

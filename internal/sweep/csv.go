@@ -46,7 +46,8 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	tsNames := metricNames(allTs...)
 
 	header := []string{
-		"n", "t", "protocol", "quorum_delta", "schedule", "plan", "reliable", "recovery", "byzantine",
+		"n", "t", "protocol", "quorum_delta", "schedule", "plan",
+		"topo", "links", "fanout", "reliable", "recovery", "byzantine",
 		"runs", "quiescent", "blocked_runs", "checked",
 		"stop_drained", "stop_max_time", "stop_max_events",
 		"dropped", "duplicated", "retransmits", "acked_duplicates",
@@ -74,7 +75,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		row := []string{
 			strconv.Itoa(c.Cell.NT.N), strconv.Itoa(c.Cell.NT.T),
 			fmt.Sprint(c.Cell.Protocol), strconv.Itoa(c.Cell.QuorumDelta),
-			c.Cell.Schedule, c.Cell.Plan, strconv.FormatBool(c.Cell.Reliable),
+			c.Cell.Schedule, c.Cell.Plan,
+			c.Cell.Topo, strconv.FormatInt(c.Links, 10), strconv.Itoa(c.Fanout),
+			strconv.FormatBool(c.Cell.Reliable),
 			c.Cell.Recovery.String(), strconv.FormatBool(c.Cell.Byzantine),
 			strconv.Itoa(c.Runs), strconv.Itoa(c.Quiescent),
 			strconv.Itoa(c.BlockedRuns), strconv.Itoa(c.Checked),

@@ -87,7 +87,7 @@ func Merge(reports ...*Report) (*Report, error) {
 	// DeepEqual) to a sweep run without sharding.
 	out := &Report{Shard: Shard{Index: 0, Count: 1}, Cells: make([]CellResult, 0, len(base.Cells))}
 	for j := range base.Cells {
-		a := newAccumulator(base.Cells[j].Cell, 0)
+		a := newAccumulator(base.Cells[j].Cell, base.Cells[j].Links, base.Cells[j].Fanout, 0)
 		for _, r := range reports {
 			a.merge(cellAccumulator(&r.Cells[j]))
 		}
@@ -104,6 +104,8 @@ func Merge(reports ...*Report) (*Report, error) {
 func cellAccumulator(c *CellResult) *accumulator {
 	return &accumulator{
 		cell:        c.Cell,
+		links:       c.Links,
+		fanout:      c.Fanout,
 		runs:        c.Runs,
 		stops:       c.Stops,
 		quiet:       c.Quiescent,

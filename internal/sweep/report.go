@@ -27,6 +27,14 @@ var Properties = []string{
 //sfs:wire
 type CellResult struct {
 	Cell Cell `json:"cell"`
+	// Links is the directed link count of the cell's topology — the
+	// footprint a fully-exercised network would lazily materialize:
+	// n(n-1) for the complete graph, the adjacency size for partial
+	// topologies. Fanout is the gossip sample fanout (0 for the other
+	// kinds). Both are static properties of (topology, n), recorded so
+	// large-N reports carry their own scale columns.
+	Links  int64 `json:"links,omitempty"`
+	Fanout int   `json:"fanout,omitempty"`
 	// Runs is the number of runs executed for the cell.
 	Runs int `json:"runs"`
 	// Stops tallies runs by stop reason.
@@ -171,11 +179,14 @@ func (r *Report) PropertyTable() string {
 // plan), and any custom metrics.
 func (r *Report) CellTable() string {
 	var allMetrics []map[string]int
-	faulty, rel, rec, byz := false, false, false, false
+	faulty, topos, rel, rec, byz := false, false, false, false, false
 	for i := range r.Cells {
 		allMetrics = append(allMetrics, r.Cells[i].Metrics)
 		if r.Cells[i].Cell.Plan != "" {
 			faulty = true
+		}
+		if r.Cells[i].Cell.Topo != "" {
+			topos = true
 		}
 		if r.Cells[i].Cell.Reliable {
 			rel = true
@@ -190,6 +201,9 @@ func (r *Report) CellTable() string {
 	}
 	names := metricNames(allMetrics...)
 	headers := []string{"cell", "runs", "quiescent", "blocked", "max-time", "max-events", "events p50", "events p95"}
+	if topos {
+		headers = append(headers, "links", "fanout")
+	}
 	if faulty {
 		headers = append(headers, "dropped", "duplicated")
 	}
@@ -210,6 +224,9 @@ func (r *Report) CellTable() string {
 			c.Cell.String(), c.Runs, c.Quiescent, c.BlockedRuns,
 			c.Stops[sim.StopMaxTime], c.Stops[sim.StopMaxEvents],
 			c.Events.Median, c.Events.P95,
+		}
+		if topos {
+			row = append(row, c.Links, c.Fanout)
 		}
 		if faulty {
 			row = append(row, c.Dropped, c.Duplicated)
@@ -254,6 +271,8 @@ func (r *Report) String() string {
 // which job.
 type accumulator struct {
 	cell        Cell
+	links       int64
+	fanout      int
 	runs        int
 	stops       map[sim.StopReason]int
 	quiet       int
@@ -282,9 +301,11 @@ type accumulator struct {
 // newAccumulator creates one empty accumulator; sampleHint presizes the
 // run-length sample slices (the former per-run record traffic, now
 // buffered in place).
-func newAccumulator(cell Cell, sampleHint int) *accumulator {
+func newAccumulator(cell Cell, links int64, fanout, sampleHint int) *accumulator {
 	return &accumulator{
 		cell:      cell,
+		links:     links,
+		fanout:    fanout,
 		stops:     make(map[sim.StopReason]int, 3),
 		holds:     make(map[string]int, len(Properties)),
 		metrics:   map[string]int{},
@@ -298,7 +319,7 @@ func newAccumulator(cell Cell, sampleHint int) *accumulator {
 func newAccumulators(cells []cellSpec) []*accumulator {
 	out := make([]*accumulator, len(cells))
 	for i, cs := range cells {
-		out[i] = newAccumulator(cs.cell, 0)
+		out[i] = newAccumulator(cs.cell, cs.links, cs.fanout, 0)
 	}
 	return out
 }
@@ -413,6 +434,8 @@ func (a *accumulator) result() CellResult {
 	}
 	return CellResult{
 		Cell:              a.cell,
+		Links:             a.links,
+		Fanout:            a.fanout,
 		Runs:              a.runs,
 		Stops:             a.stops,
 		Quiescent:         a.quiet,

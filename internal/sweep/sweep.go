@@ -41,6 +41,7 @@ import (
 	"failstop/internal/recovery"
 	"failstop/internal/reliable"
 	"failstop/internal/sim"
+	"failstop/internal/topo"
 )
 
 // NT is one (cluster size, failure bound) grid point.
@@ -123,6 +124,9 @@ type Cell struct {
 	Schedule string `json:"schedule"`
 	// Plan is the network fault plan's name; "" means a fault-free network.
 	Plan string `json:"plan"`
+	// Topo is the communication topology's compact name (topo.Spec.Name:
+	// "gossip:8", "hier:4x8"); "" means the paper's complete graph.
+	Topo string `json:"topo,omitempty"`
 	// Reliable reports whether the cell runs with the reliable-delivery
 	// layer (ack + retransmission) interposed under the protocol.
 	Reliable bool `json:"reliable"`
@@ -148,6 +152,9 @@ func (c Cell) String() string {
 	}
 	if c.Plan != "" {
 		s += " plan=" + c.Plan
+	}
+	if c.Topo != "" {
+		s += " topo=" + c.Topo
 	}
 	if c.Reliable {
 		s += " rel"
@@ -202,6 +209,13 @@ type Spec struct {
 	// quorum-starvation diagnostic (a live process left with a detection it
 	// began but could not complete).
 	Plans []netadv.Generator
+	// Topologies lists the communication topologies to grid over (see
+	// internal/topo): the complete graph (the zero topo.Spec), gossip
+	// fan-out graphs, rack/region hierarchies. Default: one complete-graph
+	// entry. Under a partial topology every process broadcasts to its
+	// neighborhood only and completes quorums over that neighborhood's
+	// pool, which is what keeps N in the 10⁴–10⁶ range simulable.
+	Topologies []topo.Spec
 	// Reliable lists the reliable-delivery configurations to grid over —
 	// typically a disabled zero value next to an enabled one, so every
 	// other cell runs with and without retransmission. Default: one
@@ -289,6 +303,9 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Plans) == 0 {
 		s.Plans = []netadv.Generator{{}}
 	}
+	if len(s.Topologies) == 0 {
+		s.Topologies = []topo.Spec{{}}
+	}
 	if len(s.Reliable) == 0 {
 		s.Reliable = []reliable.Options{{}}
 	}
@@ -371,6 +388,22 @@ func (s Spec) Validate() error {
 			}
 		}
 	}
+	seenTopo := map[string]bool{}
+	for _, tp := range s.Topologies {
+		name := tp.Name()
+		if seenTopo[name] {
+			return fmt.Errorf("sweep: duplicate topology %q", name)
+		}
+		seenTopo[name] = true
+		// Resolve the topology at every grid point up front: a gossip
+		// fanout or hierarchy shape that cannot fit some cell's n must
+		// fail the sweep with one clear error, not panic a worker.
+		for _, nt := range s.Grid {
+			if _, err := topo.New(tp, nt.N); err != nil {
+				return fmt.Errorf("sweep: topology %q at %v: %w", name, nt, err)
+			}
+		}
+	}
 	for i, bo := range s.Byzantine {
 		if err := bo.Validate(); err != nil {
 			return fmt.Errorf("sweep: Byzantine[%d]: %w", i, err)
@@ -396,14 +429,17 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// cellSpec pairs a Cell with its resolved schedule, plan generator, and
-// reliable-delivery configuration.
+// cellSpec pairs a Cell with its resolved schedule, plan generator,
+// topology, and reliable-delivery configuration.
 type cellSpec struct {
-	cell  Cell
-	sched Schedule
-	plan  netadv.Generator
-	rel   reliable.Options
-	byz   byz.Options
+	cell   Cell
+	sched  Schedule
+	plan   netadv.Generator
+	top    *topo.Topology // nil for the complete graph
+	links  int64          // directed link count of the cell's topology
+	fanout int            // gossip sample fanout; 0 for the other kinds
+	rel    reliable.Options
+	byz    byz.Options
 }
 
 // Cells expands the grid axes (everything but the seed) in deterministic
@@ -419,26 +455,49 @@ func (s Spec) Cells() []Cell {
 func (s Spec) cells() []cellSpec {
 	var out []cellSpec
 	for _, nt := range s.Grid {
+		// Resolve each topology once per grid point and share the instance
+		// across the point's cells and all their runs (a Topology is
+		// immutable): gossip adjacency is O(N·Fanout) to materialize, which
+		// must not be paid per seed.
+		tops := make([]*topo.Topology, len(s.Topologies))
+		for i, tp := range s.Topologies {
+			if !tp.IsFull() {
+				tops[i] = topo.MustNew(tp, nt.N) // Validate resolved it already
+			}
+		}
 		for _, proto := range s.Protocols {
 			for _, qd := range s.QuorumDeltas {
 				for _, sched := range s.Schedules {
 					for _, pg := range s.Plans {
-						for _, ro := range s.Reliable {
-							for _, rm := range s.Recovery {
-								for _, bo := range s.Byzantine {
-									out = append(out, cellSpec{
-										cell: Cell{
-											NT: nt, Protocol: proto, QuorumDelta: qd,
-											Schedule: sched.Name, Plan: pg.Name,
-											Reliable:  ro.Enabled,
-											Recovery:  rm,
-											Byzantine: bo.Enabled,
-										},
-										sched: sched,
-										plan:  pg,
-										rel:   ro,
-										byz:   bo,
-									})
+						for ti, tp := range s.Topologies {
+							topName := ""
+							links := int64(nt.N) * int64(nt.N-1)
+							if tops[ti] != nil {
+								topName = tp.Name()
+								links = tops[ti].Links()
+							}
+							fanout := tp.Fanout
+							for _, ro := range s.Reliable {
+								for _, rm := range s.Recovery {
+									for _, bo := range s.Byzantine {
+										out = append(out, cellSpec{
+											cell: Cell{
+												NT: nt, Protocol: proto, QuorumDelta: qd,
+												Schedule: sched.Name, Plan: pg.Name,
+												Topo:      topName,
+												Reliable:  ro.Enabled,
+												Recovery:  rm,
+												Byzantine: bo.Enabled,
+											},
+											sched:  sched,
+											plan:   pg,
+											top:    tops[ti],
+											links:  links,
+											fanout: fanout,
+											rel:    ro,
+											byz:    bo,
+										})
+									}
 								}
 							}
 						}
@@ -523,6 +582,7 @@ func defaultRun(spec Spec, cs cellSpec, seed int64) RunOutput {
 		Det: core.Config{
 			N: cell.NT.N, T: cell.NT.T,
 			Protocol: cell.Protocol, QuorumSize: qsize,
+			Topology: cs.top,
 		},
 		Reliable:  cs.rel,
 		Byzantine: cs.byz,
@@ -583,17 +643,14 @@ func falseSuspicion(h model.History) bool {
 
 // quorumStarved reports whether any live process of the finished cluster is
 // stuck mid-detection: it suspected some target (broadcast sent) but the
-// quorum condition never let failed_i(j) execute.
+// quorum condition never let failed_i(j) execute. Detecting walks the
+// process's suspicion set, not 1..N, so the scan is O(N + suspicions) —
+// what keeps the diagnostic affordable at N=10⁴ and beyond.
 func quorumStarved(c *cluster.Cluster) bool {
 	for p := 1; p <= c.N(); p++ {
 		d := c.Detectors[p]
-		if d.Crashed() {
-			continue
-		}
-		for j := model.ProcID(1); int(j) <= c.N(); j++ {
-			if d.Suspects(j) && !d.Detected(j) {
-				return true
-			}
+		if !d.Crashed() && d.Detecting() {
+			return true
 		}
 	}
 	return false
@@ -676,7 +733,8 @@ func Run(spec Spec, opts Options) (*Report, error) {
 				rec := execute(spec, cells[j.cellIdx], j.cellIdx, j.seed)
 				a := mine[j.cellIdx]
 				if a == nil {
-					a = newAccumulator(cells[j.cellIdx].cell, sampleHint)
+					cs := cells[j.cellIdx]
+					a = newAccumulator(cs.cell, cs.links, cs.fanout, sampleHint)
 					mine[j.cellIdx] = a
 				}
 				a.add(rec)

@@ -1,0 +1,270 @@
+// Tests for the Topologies axis: cell expansion, the links/fanout report
+// columns across all three renderings, the worker-count and shard-merge
+// determinism invariants with a topology in the grid, and the Validate
+// guards the axis adds (duplicate topologies, topologies infeasible at a
+// grid point, and plans referencing processes beyond the grid).
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"failstop/internal/model"
+	"failstop/internal/netadv"
+	"failstop/internal/topo"
+)
+
+// topoSpec is the grid the topology tests fan out: one (n, t) point with
+// the full mesh, a gossip overlay, and a two-region hierarchy side by
+// side, under a lossy plan so runs exercise delivery, not just expansion.
+func topoSpec() Spec {
+	crash, _ := Builtin("crash")
+	return Spec{
+		Grid:      []NT{{8, 2}},
+		Schedules: []Schedule{crash},
+		Plans:     builtinPlans("flaky-quorum"),
+		Topologies: []topo.Spec{
+			{},
+			{Kind: topo.KindGossip, Fanout: 3},
+			{Kind: topo.KindHier, Regions: 2, Racks: 2},
+		},
+		Seeds:   SeedRange{Count: 4},
+		MaxTime: 3000,
+		Check:   true,
+	}
+}
+
+// TestTopologiesAxisExpandsCells: each topology contributes one cell per
+// grid point, the full mesh keeps the empty Topo identity (wire-compatible
+// with pre-axis reports), and every cell reports the link count of its
+// graph — n(n-1) for the mesh, the materialized graph's for the others.
+func TestTopologiesAxisExpandsCells(t *testing.T) {
+	rep, err := Run(topoSpec(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 3 {
+		t.Fatalf("cells = %d, want 3 (one per topology)", len(rep.Cells))
+	}
+	gossip := topo.MustNew(topo.Spec{Kind: topo.KindGossip, Fanout: 3}, 8)
+	hier := topo.MustNew(topo.Spec{Kind: topo.KindHier, Regions: 2, Racks: 2}, 8)
+	want := []struct {
+		topo   string
+		links  int64
+		fanout int
+	}{
+		{"", 8 * 7, 0},
+		{"gossip:3", gossip.Links(), 3},
+		{"hier:2x2", hier.Links(), 0},
+	}
+	for i, w := range want {
+		c := &rep.Cells[i]
+		if c.Cell.Topo != w.topo {
+			t.Errorf("cell %d: Topo = %q, want %q", i, c.Cell.Topo, w.topo)
+		}
+		if c.Links != w.links {
+			t.Errorf("cell %d (%s): Links = %d, want %d", i, c.Cell.Topo, c.Links, w.links)
+		}
+		if c.Fanout != w.fanout {
+			t.Errorf("cell %d (%s): Fanout = %d, want %d", i, c.Cell.Topo, c.Fanout, w.fanout)
+		}
+		if c.Runs == 0 {
+			t.Errorf("cell %d (%s): no runs executed", i, c.Cell.Topo)
+		}
+	}
+	// Sparse graphs must actually be sparse: a gossip overlay with fanout 3
+	// over 8 processes has strictly fewer directed links than the mesh.
+	if g := rep.Cells[1].Links; g <= 0 || g >= 8*7 {
+		t.Errorf("gossip links = %d, want in (0, %d)", g, 8*7)
+	}
+}
+
+// TestTopologyReportColumns: the topology identity and its links/fanout
+// columns surface in all three renderings — the cell table, the CSV, and
+// the JSON — and stay absent from reports that never set the axis.
+func TestTopologyReportColumns(t *testing.T) {
+	rep, err := Run(topoSpec(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rep.String()
+	for _, col := range []string{"links", "fanout", "topo=gossip:3", "topo=hier:2x2"} {
+		if !strings.Contains(text, col) {
+			t.Errorf("cell table missing %q:\n%s", col, text)
+		}
+	}
+	var csv strings.Builder
+	if err := rep.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(csv.String(), "\n", 2)[0]
+	if !strings.Contains(header, ",topo,links,fanout,") {
+		t.Errorf("CSV header missing topology columns: %s", header)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"topo":"gossip:3"`, `"links":`, `"fanout":3`} {
+		if !strings.Contains(string(raw), frag) {
+			t.Errorf("JSON report missing %s", frag)
+		}
+	}
+
+	// A spec without the axis stays wire-identical to pre-axis reports:
+	// no topo key in cell identities, no topo= in the table.
+	plain, err := Run(Spec{Grid: []NT{{5, 2}}, Seeds: SeedRange{Count: 1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawPlain, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(rawPlain), `"topo"`) {
+		t.Errorf("axis-less report leaks topo identity: %s", rawPlain)
+	}
+	if strings.Contains(plain.String(), "topo=") {
+		t.Errorf("axis-less cell table leaks topo column:\n%s", plain)
+	}
+}
+
+// TestTopologyAxisStableAcrossWorkers extends the determinism invariant to
+// the topology axis: gossip sampling and partial-quorum scheduling must
+// not leak worker-pool size or GOMAXPROCS into the report.
+func TestTopologyAxisStableAcrossWorkers(t *testing.T) {
+	spec := topoSpec()
+	baseText, baseJSON := runAt(t, spec, 1, 1)
+	for _, c := range []struct{ procs, workers int }{{1, 4}, {runtime.NumCPU(), 8}} {
+		text, raw := runAt(t, spec, c.procs, c.workers)
+		if text != baseText {
+			t.Errorf("procs=%d workers=%d: text report diverged from serial baseline", c.procs, c.workers)
+		}
+		if string(raw) != string(baseJSON) {
+			t.Errorf("procs=%d workers=%d: JSON report diverged from serial baseline", c.procs, c.workers)
+		}
+	}
+}
+
+// TestTopologyShardMergeEqualsUnsharded: sharded runs of a topology sweep
+// recombine to the unsharded report — DeepEqual, byte-identical rendering,
+// and the links/fanout columns survive the JSON round trip and merge.
+func TestTopologyShardMergeEqualsUnsharded(t *testing.T) {
+	spec := topoSpec()
+	unsharded, err := Run(spec, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsharded.Workers = 0
+
+	for _, k := range []int{2, 3} {
+		var shards []*Report
+		for i := 0; i < k; i++ {
+			s := spec
+			s.Shard = Shard{Index: i, Count: k}
+			rep, err := Run(s, Options{Workers: 2})
+			if err != nil {
+				t.Fatalf("k=%d shard %d: %v", k, i, err)
+			}
+			var buf bytes.Buffer
+			if err := rep.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := ReadJSON(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards = append(shards, back)
+		}
+		merged, err := Merge(shards...)
+		if err != nil {
+			t.Fatalf("k=%d: Merge: %v", k, err)
+		}
+		if !reflect.DeepEqual(merged, unsharded) {
+			t.Errorf("k=%d: merged topology sweep differs from unsharded", k)
+		}
+		if merged.String() != unsharded.String() {
+			t.Errorf("k=%d: merged report renders differently:\n--- merged\n%s\n--- unsharded\n%s",
+				k, merged, unsharded)
+		}
+		if merged.Cells[1].Links == 0 || merged.Cells[1].Fanout != 3 {
+			t.Errorf("k=%d: merge dropped links/fanout: links=%d fanout=%d",
+				k, merged.Cells[1].Links, merged.Cells[1].Fanout)
+		}
+	}
+}
+
+// TestValidateTopologies: the axis rejects duplicate topologies and
+// topologies infeasible at any grid point, before any run starts.
+func TestValidateTopologies(t *testing.T) {
+	base := Spec{Grid: []NT{{5, 2}}, Seeds: SeedRange{Count: 1}}
+
+	dup := base
+	dup.Topologies = []topo.Spec{
+		{Kind: topo.KindGossip, Fanout: 3},
+		{Kind: topo.KindGossip, Fanout: 3},
+	}
+	if err := dup.withDefaults().Validate(); err == nil {
+		t.Error("Validate accepted a duplicate topology")
+	}
+
+	// Fanout 8 needs 9 processes; the grid tops out at 5.
+	wide := base
+	wide.Topologies = []topo.Spec{{Kind: topo.KindGossip, Fanout: 8}}
+	if err := wide.withDefaults().Validate(); err == nil {
+		t.Error("Validate accepted a gossip fanout infeasible at the grid point")
+	}
+
+	ok := base
+	ok.Topologies = []topo.Spec{{}, {Kind: topo.KindGossip, Fanout: 2}}
+	if err := ok.withDefaults().Validate(); err != nil {
+		t.Errorf("Validate rejected a feasible topology axis: %v", err)
+	}
+}
+
+// TestValidateRejectsPlanRefsBeyondGrid: a Plans entry whose process-fault
+// or Byzantine rules reference a process the grid's largest N doesn't have
+// is a spec error at Validate time, not a panic (or silent no-op) at run
+// time. Validate instantiates each generator at every grid point, so a
+// reference beyond ANY point — in particular the largest — is caught.
+func TestValidateRejectsPlanRefsBeyondGrid(t *testing.T) {
+	grid := []NT{{5, 2}, {8, 2}}
+
+	procOOB := Spec{Grid: grid, Plans: []netadv.Generator{netadv.Fixed(netadv.Plan{
+		Name:  "proc-oob",
+		Procs: []netadv.ProcRule{{Proc: 9, CrashAt: 10}},
+	})}}
+	if err := procOOB.withDefaults().Validate(); err == nil {
+		t.Error("Validate accepted a proc rule referencing process 9 with grid max N = 8")
+	}
+
+	byzOOB := Spec{Grid: grid, Plans: []netadv.Generator{netadv.Fixed(netadv.Plan{
+		Name: "byz-oob",
+		Byz:  []netadv.ByzRule{{Victim: 9, From: 10, Corrupt: 0.5}},
+	})}}
+	if err := byzOOB.withDefaults().Validate(); err == nil {
+		t.Error("Validate accepted a byz rule victimizing process 9 with grid max N = 8")
+	}
+
+	groupOOB := Spec{Grid: grid, Plans: []netadv.Generator{netadv.Fixed(netadv.Plan{
+		Name: "group-oob",
+		Rules: []netadv.Rule{{From: 10, Cut: true,
+			Links: netadv.LinkSet{Groups: [][]model.ProcID{{1, 9}}}}},
+	})}}
+	if err := groupOOB.withDefaults().Validate(); err == nil {
+		t.Error("Validate accepted a link group referencing process 9 with grid max N = 8")
+	}
+
+	// The same references are fine once the grid is big enough.
+	inRange := Spec{Grid: []NT{{9, 2}}, Plans: []netadv.Generator{netadv.Fixed(netadv.Plan{
+		Name:  "proc-ok",
+		Procs: []netadv.ProcRule{{Proc: 9, CrashAt: 10}},
+	})}}
+	if err := inRange.withDefaults().Validate(); err != nil {
+		t.Errorf("Validate rejected an in-range plan reference: %v", err)
+	}
+}
